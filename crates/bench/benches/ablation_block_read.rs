@@ -1,0 +1,36 @@
+//! Ablation bench: per-element reads vs the EM-X block-read send
+//! instruction (present in hardware, unevaluated in the paper).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use emx::prelude::*;
+use emx_bench::machine_cfg;
+
+fn run_sort(block: bool) -> (f64, u64) {
+    let cfg = machine_cfg(16, 256);
+    let mut params = SortParams::new(256 * 16, 4);
+    params.block_read = block;
+    let r = run_bitonic(&cfg, &params).unwrap().report;
+    (r.elapsed_secs(), r.total_packets())
+}
+
+fn ablation(c: &mut Criterion) {
+    let (t_elem, pk_elem) = run_sort(false);
+    let (t_block, pk_block) = run_sort(true);
+    println!(
+        "ablation_block_read: per-element {t_elem:.6e}s / {pk_elem} pkts; block {t_block:.6e}s / {pk_block} pkts"
+    );
+
+    let mut g = c.benchmark_group("ablation_block_read");
+    g.sample_size(10);
+    for block in [false, true] {
+        g.bench_with_input(
+            BenchmarkId::new("sort_p16_h4", if block { "block" } else { "per-element" }),
+            &block,
+            |b, &block| b.iter(|| run_sort(block)),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, ablation);
+criterion_main!(benches);

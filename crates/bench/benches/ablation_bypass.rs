@@ -1,0 +1,38 @@
+//! Ablation bench: EM-X by-passing DMA vs EM-4-style EXU-thread servicing
+//! of remote reads (the paper's §2.1 contrast).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use emx::prelude::*;
+use emx_bench::machine_cfg;
+
+fn run_mode(mode: ServiceMode) -> f64 {
+    let mut cfg = machine_cfg(16, 256);
+    cfg.service_mode = mode;
+    run_bitonic(&cfg, &SortParams::new(256 * 16, 4))
+        .unwrap()
+        .report
+        .elapsed_secs()
+}
+
+fn ablation(c: &mut Criterion) {
+    let emx = run_mode(ServiceMode::BypassDma);
+    let em4 = run_mode(ServiceMode::ExuThread);
+    println!(
+        "ablation_bypass: EM-X {emx:.6e}s vs EM-4 {em4:.6e}s ({:.2}x slowdown without by-pass)",
+        em4 / emx
+    );
+
+    let mut g = c.benchmark_group("ablation_bypass");
+    g.sample_size(10);
+    for mode in [ServiceMode::BypassDma, ServiceMode::ExuThread] {
+        g.bench_with_input(
+            BenchmarkId::new("sort_p16_h4", format!("{mode:?}")),
+            &mode,
+            |b, &mode| b.iter(|| run_mode(mode)),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, ablation);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Analytic-model bench: the Saavedra-Barrera closed form against the
+//! simulator's synthetic read loop (the paper's §1 reference [16]).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use emx::prelude::*;
+
+fn model_bench(c: &mut Criterion) {
+    let costs = MachineConfig::paper_p16().costs;
+    let m = ModelParams::sorting(&costs, 26.0);
+    println!(
+        "analytic model: h*={:.2}, optimal h={}, U(1)={:.2}, U(4)={:.2}",
+        m.saturation_point(),
+        m.optimal_threads(),
+        m.utilization(1.0),
+        m.utilization(4.0)
+    );
+
+    let mut g = c.benchmark_group("analytic_model");
+    g.bench_function("full_curve_1_to_64", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for h in 1..=64u32 {
+                acc += m.utilization(f64::from(h)) + m.overlap_efficiency(h);
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, model_bench);
+criterion_main!(benches);

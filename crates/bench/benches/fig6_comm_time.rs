@@ -1,0 +1,33 @@
+//! Figure 6 bench: communication time vs thread count.
+//!
+//! Criterion measures host wall time per simulated configuration; the
+//! simulated communication-time series itself (the paper's y-axis) is
+//! printed once at the start so `cargo bench` output documents the
+//! reproduced curve.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use emx_bench::{run_one, Workload};
+
+fn fig6(c: &mut Criterion) {
+    // Print the reproduced series once.
+    println!("fig6 series (comm+sync seconds), sort P=16, n/P=512:");
+    for h in [1usize, 2, 4, 8, 16] {
+        let pt = run_one(Workload::Sort, 16, 512, h);
+        println!("  h={h:<2} comm={:.6e}", pt.report.comm_sync_time_secs());
+    }
+
+    let mut g = c.benchmark_group("fig6_comm_time");
+    g.sample_size(10);
+    for &h in &[1usize, 4, 16] {
+        g.bench_with_input(BenchmarkId::new("sort_p16", h), &h, |b, &h| {
+            b.iter(|| run_one(Workload::Sort, 16, 256, h))
+        });
+        g.bench_with_input(BenchmarkId::new("fft_p16", h), &h, |b, &h| {
+            b.iter(|| run_one(Workload::Fft, 16, 256, h))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, fig6);
+criterion_main!(benches);

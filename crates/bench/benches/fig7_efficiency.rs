@@ -1,0 +1,34 @@
+//! Figure 7 bench: overlap efficiency at the h = 2–4 sweet spot.
+//!
+//! Prints the reproduced efficiencies (paper: sorting ~35 %, FFT > 95 %)
+//! and benchmarks the pair of runs an efficiency computation needs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use emx::prelude::overlap_efficiency;
+use emx_bench::{run_one, Workload};
+
+fn fig7(c: &mut Criterion) {
+    for w in [Workload::Sort, Workload::Fft] {
+        let base = run_one(w, 16, 512, 1).report.comm_sync_time_secs();
+        let at4 = run_one(w, 16, 512, 4).report.comm_sync_time_secs();
+        println!(
+            "fig7 {}: E(4) = {:.1}% (paper: sort ~35%, fft >95%)",
+            w.name(),
+            overlap_efficiency(base, at4)
+        );
+    }
+
+    let mut g = c.benchmark_group("fig7_efficiency");
+    g.sample_size(10);
+    g.bench_function("sort_pair_p16", |b| {
+        b.iter(|| {
+            let base = run_one(Workload::Sort, 16, 256, 1).report.comm_sync_time_secs();
+            let at4 = run_one(Workload::Sort, 16, 256, 4).report.comm_sync_time_secs();
+            overlap_efficiency(base, at4)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, fig7);
+criterion_main!(benches);

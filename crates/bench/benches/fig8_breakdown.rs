@@ -1,0 +1,31 @@
+//! Figure 8 bench: the four-component execution-time breakdown.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use emx_bench::{run_one, Workload};
+
+fn fig8(c: &mut Criterion) {
+    for w in [Workload::Sort, Workload::Fft] {
+        let pt = run_one(w, 16, 512, 4);
+        let f = pt.report.mean_breakdown().fractions();
+        println!(
+            "fig8 {} h=4: compute {:.1}% overhead {:.1}% comm {:.1}% switch {:.1}%",
+            w.name(),
+            f[0] * 100.0,
+            f[1] * 100.0,
+            f[2] * 100.0,
+            f[3] * 100.0
+        );
+    }
+
+    let mut g = c.benchmark_group("fig8_breakdown");
+    g.sample_size(10);
+    for w in [Workload::Sort, Workload::Fft] {
+        g.bench_with_input(BenchmarkId::new("p16_h4", w.name()), &w, |b, &w| {
+            b.iter(|| run_one(w, 16, 256, 4).report.mean_breakdown())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, fig8);
+criterion_main!(benches);

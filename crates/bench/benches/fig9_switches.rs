@@ -1,0 +1,27 @@
+//! Figure 9 bench: the switch census by type.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use emx_bench::{run_one, Workload};
+
+fn fig9(c: &mut Criterion) {
+    for h in [1usize, 4, 16] {
+        let pt = run_one(Workload::Sort, 16, 512, h);
+        let s = pt.report.mean_switches();
+        println!(
+            "fig9 sort h={h:<2}: remote-read {} iter-sync {} thread-sync {}",
+            s.remote_read, s.iter_sync, s.thread_sync
+        );
+    }
+
+    let mut g = c.benchmark_group("fig9_switches");
+    g.sample_size(10);
+    for &h in &[1usize, 16] {
+        g.bench_with_input(BenchmarkId::new("sort_census", h), &h, |b, &h| {
+            b.iter(|| run_one(Workload::Sort, 16, 256, h).report.mean_switches())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, fig9);
+criterion_main!(benches);

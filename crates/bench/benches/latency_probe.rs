@@ -1,0 +1,49 @@
+//! Latency bench: the in-text 20–40 clock (1–2 µs) remote-read claim,
+//! measured with the interpreted ISA kernel under varying load.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use emx::prelude::*;
+
+fn probe(pes: usize, readers: usize) -> f64 {
+    let mut cfg = MachineConfig::with_pes(pes);
+    cfg.local_memory_words = 1 << 12;
+    let mut m = Machine::new(cfg).unwrap();
+    let (counter, limit) = (Reg::r(7), Reg::r(8));
+    let mut b = ProgramBuilder::new("probe");
+    b.addi(limit, Reg::ZERO, 64);
+    b.label("loop");
+    b.rread(Reg::r(5), Reg::ARG);
+    b.addi(counter, counter, 1);
+    b.bne(counter, limit, "loop");
+    b.end();
+    let tmpl = m.register_template(b.build().unwrap());
+    for r in 0..readers {
+        let addr = GlobalAddr::new(PeId((pes - 1) as u16), 64).unwrap().pack();
+        m.spawn_at_start(PeId(r as u16), tmpl, addr).unwrap();
+    }
+    let report = m.run().unwrap();
+    let wait: f64 = report.per_pe[..readers]
+        .iter()
+        .map(|p| (p.breakdown.comm + p.breakdown.switch).get() as f64)
+        .sum();
+    wait / report.total_reads() as f64
+}
+
+fn latency(c: &mut Criterion) {
+    println!(
+        "latency: P=16 single reader {:.1} cycles/read; 8 readers {:.1} (paper band: 20-40)",
+        probe(16, 1),
+        probe(16, 8)
+    );
+
+    let mut g = c.benchmark_group("latency_probe");
+    for &readers in &[1usize, 8] {
+        g.bench_with_input(BenchmarkId::new("p16", readers), &readers, |b, &r| {
+            b.iter(|| probe(16, r))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, latency);
+criterion_main!(benches);

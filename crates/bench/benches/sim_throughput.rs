@@ -1,0 +1,59 @@
+//! Simulator-engineering bench: raw event throughput of the machine core,
+//! independent of any workload semantics. Useful for catching performance
+//! regressions in the event loop, network, and queue code.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use emx::prelude::*;
+
+/// A thread that fires `reads` reads round-robin across the machine: pure
+/// packet traffic with minimal bookkeeping.
+struct Storm {
+    remaining: u32,
+    cursor: u16,
+}
+
+impl ThreadBody for Storm {
+    fn step(&mut self, ctx: &mut ThreadCtx<'_>) -> Action {
+        if self.remaining == 0 {
+            return Action::End;
+        }
+        self.remaining -= 1;
+        self.cursor = (self.cursor + 7) % ctx.npes as u16;
+        Action::Read {
+            addr: GlobalAddr::new(PeId(self.cursor), 64).unwrap(),
+        }
+    }
+}
+
+fn run_storm(pes: usize, threads_per_pe: usize, reads: u32) -> u64 {
+    let mut cfg = MachineConfig::with_pes(pes);
+    cfg.local_memory_words = 1 << 10;
+    let mut m = Machine::new(cfg).unwrap();
+    let entry = m.register_entry("storm", move |pe, _| {
+        Box::new(Storm { remaining: reads, cursor: pe.0 })
+    });
+    for pe in 0..pes {
+        for _ in 0..threads_per_pe {
+            m.spawn_at_start(PeId(pe as u16), entry, 0).unwrap();
+        }
+    }
+    m.run().unwrap().total_packets()
+}
+
+fn throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_throughput");
+    g.sample_size(10);
+    for &(pes, h, reads) in &[(16usize, 4usize, 256u32), (64, 4, 128), (80, 2, 128)] {
+        let packets = run_storm(pes, h, reads);
+        g.throughput(Throughput::Elements(packets));
+        g.bench_with_input(
+            BenchmarkId::new("read_storm", format!("p{pes}_h{h}")),
+            &(pes, h, reads),
+            |b, &(pes, h, reads)| b.iter(|| run_storm(pes, h, reads)),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, throughput);
+criterion_main!(benches);

@@ -1,0 +1,469 @@
+//! Regenerate every figure of the SPAA'97 EM-X paper as tables + CSV.
+//!
+//! ```text
+//! cargo run --release -p emx-bench --bin figures -- all [quick|standard|full]
+//! cargo run --release -p emx-bench --bin figures -- fig6 standard
+//! ```
+//!
+//! Subcommands: `fig6` (communication time vs threads), `fig7` (overlap
+//! efficiency), `fig8` (execution-time breakdown), `fig9` (switch census),
+//! `latency` (remote-read latency probe), `model` (analytic model vs
+//! simulation), `ablation` (by-pass DMA vs EM-4 servicing), `block`
+//! (block-read send instruction), `priority` (two-priority IBU scheduling),
+//! `all`. CSV output lands in `results/`.
+
+use std::fs;
+use std::path::Path;
+
+use emx::prelude::*;
+use emx_bench::{fmt_n, machine_cfg, run_one, series_by_size, sweep, Point, Scale, Workload};
+
+fn save_csv(name: &str, table: &Table) {
+    let dir = Path::new("results");
+    if fs::create_dir_all(dir).is_ok() {
+        let path = dir.join(format!("{name}.csv"));
+        if fs::write(&path, table.to_csv()).is_ok() {
+            println!("  [csv] {}", path.display());
+        }
+    }
+}
+
+fn panel_sweep(w: Workload, p: usize, scale: Scale) -> Vec<Point> {
+    let sizes = match w {
+        Workload::Sort => scale.sort_per_pe(),
+        Workload::Fft => scale.fft_per_pe(),
+    };
+    sweep(w, p, &sizes, &scale.threads())
+}
+
+/// Figure 6: communication time (seconds) vs number of threads, four
+/// panels: sorting P=16/64, FFT P=16/64.
+fn fig6(scale: Scale, cache: &mut Vec<(Workload, usize, Vec<Point>)>) {
+    println!("\n=== Figure 6: communication time vs number of threads ===");
+    for w in [Workload::Sort, Workload::Fft] {
+        for &p in &scale.panel_pes() {
+            let points = panel_sweep(w, p, scale);
+            let series = series_by_size(&points, |pt| pt.report.comm_sync_time_secs());
+            let mut table = Table::new(["n", "h", "comm (s)"]);
+            let mut chart = Vec::new();
+            for (n, ys) in &series {
+                for &(h, y) in ys {
+                    table.row([fmt_n(*n), h.to_string(), format!("{y:.6e}")]);
+                }
+                chart.push(Series::new(
+                    format!("{} P={p} n={}", w.name(), fmt_n(*n)),
+                    ys.iter().map(|&(h, y)| (h as f64, y)).collect(),
+                ));
+            }
+            println!("\n--- {} P={p} ---", w.name());
+            println!("{}", table.render());
+            println!("{}", ascii_chart(&chart, 40));
+            save_csv(&format!("fig6_{}_p{p}", w.name()), &table);
+            cache.push((w, p, points));
+        }
+    }
+    println!(
+        "paper: \"the communication time becomes minimal when the number of threads\n\
+         is two to four\"; FFT's valleys are deeper than sorting's."
+    );
+}
+
+/// Figure 7: overlap efficiency E = (Tcomm,1 - Tcomm,h)/Tcomm,1.
+fn fig7(cache: &[(Workload, usize, Vec<Point>)]) {
+    println!("\n=== Figure 7: efficiency of overlapping ===");
+    let mut summary: Vec<(String, f64)> = Vec::new();
+    for (w, p, points) in cache {
+        let series = series_by_size(points, |pt| pt.report.comm_sync_time_secs());
+        let mut table = Table::new(["n", "h", "E (%)"]);
+        let mut best_at_small_h = 0.0f64;
+        for (n, ys) in &series {
+            let base = ys.first().map(|&(_, y)| y).unwrap_or(0.0);
+            for &(h, y) in ys {
+                let e = overlap_efficiency(base, y);
+                if (2..=4).contains(&h) {
+                    best_at_small_h = best_at_small_h.max(e);
+                }
+                table.row([fmt_n(*n), h.to_string(), format!("{e:.1}")]);
+            }
+        }
+        println!("\n--- {} P={p} ---", w.name());
+        println!("{}", table.render());
+        save_csv(&format!("fig7_{}_p{p}", w.name()), &table);
+        summary.push((format!("{} P={p}", w.name()), best_at_small_h));
+    }
+    println!("best efficiency at h in 2..4 (paper: sorting ~35%, FFT >95%):");
+    for (name, e) in summary {
+        println!("  {name:<20} {e:.1}%");
+    }
+}
+
+/// Figure 8: distribution of execution time (four components), P = largest
+/// panel, small and large problem sizes.
+fn fig8(scale: Scale) {
+    println!("\n=== Figure 8: distribution of execution time ===");
+    let p = *scale.panel_pes().last().unwrap();
+    for w in [Workload::Sort, Workload::Fft] {
+        let sizes = match w {
+            Workload::Sort => scale.sort_per_pe(),
+            Workload::Fft => scale.fft_per_pe(),
+        };
+        for &per_pe in [sizes.first().unwrap(), sizes.last().unwrap()].iter() {
+            let mut table = Table::new(["h", "compute %", "overhead %", "comm %", "switch %"]);
+            for &h in &scale.threads() {
+                let pt = run_one(w, p, *per_pe, h);
+                let f = pt.report.mean_breakdown().fractions();
+                table.row([
+                    h.to_string(),
+                    format!("{:.1}", f[0] * 100.0),
+                    format!("{:.1}", f[1] * 100.0),
+                    format!("{:.1}", f[2] * 100.0),
+                    format!("{:.1}", f[3] * 100.0),
+                ]);
+            }
+            let n = per_pe * p;
+            println!("\n--- {} P={p} n={} ---", w.name(), fmt_n(n));
+            println!("{}", table.render());
+            save_csv(&format!("fig8_{}_p{p}_n{}", w.name(), fmt_n(n)), &table);
+        }
+    }
+    println!(
+        "paper: sorting's communication band exceeds its computation; FFT is\n\
+         computation-dominated; the h=1 column looks different because nothing\n\
+         overlaps with one thread."
+    );
+}
+
+/// Figure 9: average number of switches per processor, by type.
+fn fig9(scale: Scale) {
+    println!("\n=== Figure 9: average number of switches per processor ===");
+    let p = *scale.panel_pes().last().unwrap();
+    for w in [Workload::Sort, Workload::Fft] {
+        let sizes = match w {
+            Workload::Sort => scale.sort_per_pe(),
+            Workload::Fft => scale.fft_per_pe(),
+        };
+        for &per_pe in [sizes.first().unwrap(), sizes.last().unwrap()].iter() {
+            let mut table = Table::new(["h", "remote-read", "iter-sync", "thread-sync"]);
+            for &h in &scale.threads() {
+                let pt = run_one(w, p, *per_pe, h);
+                let s = pt.report.mean_switches();
+                table.row([
+                    h.to_string(),
+                    s.remote_read.to_string(),
+                    s.iter_sync.to_string(),
+                    s.thread_sync.to_string(),
+                ]);
+            }
+            let n = per_pe * p;
+            println!("\n--- {} P={p} n={} ---", w.name(), fmt_n(n));
+            println!("{}", table.render());
+            save_csv(&format!("fig9_{}_p{p}_n{}", w.name(), fmt_n(n)), &table);
+        }
+    }
+    println!(
+        "paper: remote-read switches are flat in h; iteration-sync switches grow\n\
+         with h and overtake remote-read switches at h=16 for the small size;\n\
+         thread-sync switches appear for sorting but not FFT."
+    );
+}
+
+/// In-text claim: remote read latency of 20-40 clocks (1-2 µs).
+fn latency() {
+    println!("\n=== Remote read latency probe (interpreted ISA kernel) ===");
+    let mut table = Table::new(["PEs", "readers", "cycles/read", "us/read"]);
+    for (pes, readers) in [(16usize, 1usize), (16, 4), (16, 8), (64, 1), (64, 16), (64, 32)] {
+        let mut cfg = MachineConfig::with_pes(pes);
+        cfg.local_memory_words = 1 << 12;
+        let mut m = Machine::new(cfg).unwrap();
+        let (counter, limit) = (Reg::r(7), Reg::r(8));
+        let mut b = ProgramBuilder::new("probe");
+        b.addi(limit, Reg::ZERO, 64);
+        b.label("loop");
+        b.rread(Reg::r(5), Reg::ARG);
+        b.addi(counter, counter, 1);
+        b.bne(counter, limit, "loop");
+        b.end();
+        let tmpl = m.register_template(b.build().unwrap());
+        let target = (pes - 1) as u16;
+        for r in 0..readers {
+            let addr = GlobalAddr::new(PeId(target), 64).unwrap().pack();
+            m.spawn_at_start(PeId(r as u16), tmpl, addr).unwrap();
+        }
+        let report = m.run().unwrap();
+        // Round trip = idle waiting plus suspend/resume switching, the
+        // quantity the paper's 20-40 clock band describes.
+        let wait: f64 = report.per_pe[..readers]
+            .iter()
+            .map(|p| (p.breakdown.comm + p.breakdown.switch).get() as f64)
+            .sum();
+        let per_read = wait / report.total_reads() as f64;
+        table.row([
+            pes.to_string(),
+            readers.to_string(),
+            format!("{per_read:.1}"),
+            format!("{:.2}", per_read / 20.0),
+        ]);
+    }
+    println!("{}", table.render());
+    save_csv("latency", &table);
+    println!("paper: \"approximately 1 to 2 us, or 20-40 clocks\" under normal load.");
+}
+
+/// Simulated idle cycles per read for h threads each running the
+/// 12-cycle read loop over `reads_per_thread` reads.
+fn sim_read_loop(h: usize, reads_per_thread: u32) -> f64 {
+    struct ReadLoop {
+        remaining: u32,
+        cursor: u32,
+        issued_work: bool,
+    }
+    impl ThreadBody for ReadLoop {
+        fn step(&mut self, ctx: &mut ThreadCtx<'_>) -> Action {
+            if self.remaining == 0 {
+                return Action::End;
+            }
+            if !self.issued_work {
+                self.issued_work = true;
+                return Action::Work { cycles: 11, kind: WorkKind::Overhead };
+            }
+            self.issued_work = false;
+            self.remaining -= 1;
+            let mate = PeId((ctx.pe.0 + 1) % ctx.npes as u16);
+            self.cursor += 1;
+            Action::Read {
+                addr: GlobalAddr::new(mate, 64 + (self.cursor % 512)).unwrap(),
+            }
+        }
+    }
+    let mut cfg = MachineConfig::paper_p16();
+    cfg.local_memory_words = 1 << 12;
+    let mut m = Machine::new(cfg).unwrap();
+    let entry = m.register_entry("readloop", move |_, _| {
+        Box::new(ReadLoop { remaining: reads_per_thread, cursor: 0, issued_work: false })
+    });
+    for pe in 0..16u16 {
+        for _ in 0..h {
+            m.spawn_at_start(PeId(pe), entry, 0).unwrap();
+        }
+    }
+    let report = m.run().unwrap();
+    let idle: f64 = report
+        .per_pe
+        .iter()
+        .map(|p| p.breakdown.comm.get() as f64)
+        .sum();
+    idle / report.total_reads() as f64
+}
+
+/// Analytic model (Saavedra-Barrera) vs simulation on a synthetic read loop.
+fn model() {
+    println!("\n=== Analytic model vs simulation ===");
+    let cfg = MachineConfig::paper_p16();
+    // Self-calibrate: the single-thread simulated idle per read IS the
+    // model's effective latency parameter.
+    let measured_latency = sim_read_loop(1, 128);
+    let m = ModelParams::sorting(&cfg.costs, measured_latency);
+    println!("calibrated L = {measured_latency:.1} cycles from the h=1 run");
+    let mut table = Table::new(["h", "model idle/read", "sim idle/read", "model region"]);
+    for h in [1u32, 2, 3, 4, 8, 16] {
+        let pt = sim_read_loop(h as usize, 128);
+        table.row([
+            h.to_string(),
+            format!("{:.1}", m.idle_per_read(h)),
+            format!("{pt:.1}"),
+            format!("{:?}", m.region(h)),
+        ]);
+    }
+    println!("{}", table.render());
+    save_csv("model_vs_sim", &table);
+    println!(
+        "model optimal thread count: {} (paper: \"two to four threads\")",
+        m.optimal_threads()
+    );
+}
+
+/// Ablation: the by-passing DMA (EM-X) vs EXU-thread servicing (EM-4).
+fn ablation(scale: Scale) {
+    println!("\n=== Ablation: by-pass DMA (EM-X) vs EXU-thread servicing (EM-4) ===");
+    let per_pe = scale.sort_per_pe()[0];
+    let mut table = Table::new(["workload", "mode", "elapsed (s)", "comm (s)"]);
+    for w in [Workload::Sort, Workload::Fft] {
+        for mode in [ServiceMode::BypassDma, ServiceMode::ExuThread] {
+            let mut cfg = machine_cfg(16, per_pe);
+            cfg.service_mode = mode;
+            let n = per_pe * 16;
+            let report = match w {
+                Workload::Sort => run_bitonic(&cfg, &SortParams::new(n, 4)).unwrap().report,
+                Workload::Fft => run_fft(&cfg, &FftParams::comm_only(n, 4)).unwrap().report,
+            };
+            table.row([
+                w.name().to_string(),
+                format!("{mode:?}"),
+                format!("{:.6e}", report.elapsed_secs()),
+                format!("{:.6e}", report.comm_sync_time_secs()),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+    save_csv("ablation_bypass", &table);
+    println!(
+        "the EM-4 mode steals remote-PE processor cycles for every read (paper §2.1:\n\
+         \"this consumption adversely affects the performance\")."
+    );
+}
+
+/// Ablation: per-element reads vs the block-read send instruction.
+fn block(scale: Scale) {
+    println!("\n=== Ablation: per-element reads vs block reads ===");
+    let per_pe = scale.sort_per_pe()[0];
+    let n = per_pe * 16;
+    let mut table = Table::new(["mode", "h", "elapsed (s)", "comm (s)", "packets"]);
+    for &h in &[1usize, 4] {
+        for blockmode in [false, true] {
+            let cfg = machine_cfg(16, per_pe);
+            let mut params = SortParams::new(n, h);
+            params.block_read = blockmode;
+            let report = run_bitonic(&cfg, &params).unwrap().report;
+            table.row([
+                if blockmode { "block" } else { "per-element" }.to_string(),
+                h.to_string(),
+                format!("{:.6e}", report.elapsed_secs()),
+                format!("{:.6e}", report.comm_sync_time_secs()),
+                report.total_packets().to_string(),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+    save_csv("ablation_block_read", &table);
+}
+
+/// Sensitivity: how the computation-to-communication ratio drives overlap.
+///
+/// The paper's second key observation: "the ratio of computation to
+/// communication plays a critical role in tolerating latency". Sweeping the
+/// FFT's per-point computation from a handful of cycles (sorting-like) to
+/// hundreds (true FFT) moves the overlap efficiency from partial to >95 %.
+fn runlength(scale: Scale) {
+    println!("\n=== Sensitivity: run length (computation per point) vs overlap ===");
+    let per_pe = scale.fft_per_pe()[0];
+    let n = per_pe * 16;
+    let mut table = Table::new(["point cycles", "E(2) %", "E(4) %"]);
+    for &cycles in &[10u32, 30, 60, 120, 240, 480] {
+        let run = |h: usize| {
+            let cfg = machine_cfg(16, per_pe);
+            let mut params = FftParams::comm_only(n, h);
+            params.point_cycles = cycles;
+            run_fft(&cfg, &params).unwrap().report.comm_sync_time_secs()
+        };
+        let base = run(1);
+        table.row([
+            cycles.to_string(),
+            format!("{:.1}", overlap_efficiency(base, run(2))),
+            format!("{:.1}", overlap_efficiency(base, run(4))),
+        ]);
+    }
+    println!("{}", table.render());
+    save_csv("runlength_sensitivity", &table);
+    println!(
+        "with tiny per-point computation the FFT behaves like sorting; with the\n\
+         paper's hundreds-of-cycles trig loops two threads already mask the latency."
+    );
+}
+
+/// Ablation: two-priority IBU scheduling of read responses.
+fn priority(scale: Scale) {
+    println!("\n=== Ablation: high-priority read responses (scheduler tuning) ===");
+    let per_pe = scale.sort_per_pe()[0];
+    let n = per_pe * 16;
+    let mut table = Table::new(["priority responses", "h", "elapsed (s)", "comm (s)"]);
+    for &h in &[4usize, 16] {
+        for pri in [false, true] {
+            let mut cfg = machine_cfg(16, per_pe);
+            cfg.priority_read_responses = pri;
+            let report = run_bitonic(&cfg, &SortParams::new(n, h)).unwrap().report;
+            table.row([
+                pri.to_string(),
+                h.to_string(),
+                format!("{:.6e}", report.elapsed_secs()),
+                format!("{:.6e}", report.comm_sync_time_secs()),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+    save_csv("ablation_priority", &table);
+    println!("the paper's stated next goal: fine-tuning hardware thread scheduling.");
+}
+
+/// Ablation: network topologies under the same FFT workload.
+fn topology(scale: Scale) {
+    println!("\n=== Ablation: network topology (omega vs torus vs crossbar vs ideal) ===");
+    let per_pe = scale.fft_per_pe()[0];
+    let n = per_pe * 16;
+    let mut table = Table::new(["network", "elapsed (s)", "comm (s)", "net contention (cy)"]);
+    for model in [
+        NetModelKind::CircularOmega,
+        NetModelKind::Torus2D,
+        NetModelKind::FullCrossbar,
+        NetModelKind::Ideal { latency: 5 },
+    ] {
+        let mut cfg = machine_cfg(16, per_pe);
+        cfg.net.model = model;
+        let report = run_fft(&cfg, &FftParams::comm_only(n, 4)).unwrap().report;
+        table.row([
+            format!("{model:?}"),
+            format!("{:.6e}", report.elapsed_secs()),
+            format!("{:.6e}", report.comm_sync_time_secs()),
+            report.net_contention.get().to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    save_csv("ablation_topology", &table);
+    println!("the EM-X behaviour is not Omega-specific: any low-latency fabric masks\nsimilarly once h covers the round trip.");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or("all");
+    let scale = args
+        .get(1)
+        .and_then(|s| Scale::parse(s))
+        .unwrap_or(Scale::Standard);
+
+    println!("EM-X figure regeneration -- {cmd} at {scale:?} scale");
+    let mut cache = Vec::new();
+    match cmd {
+        "fig6" => fig6(scale, &mut cache),
+        "fig7" => {
+            fig6(scale, &mut cache);
+            fig7(&cache);
+        }
+        "fig8" => fig8(scale),
+        "fig9" => fig9(scale),
+        "latency" => latency(),
+        "model" => model(),
+        "ablation" => ablation(scale),
+        "block" => block(scale),
+        "priority" => priority(scale),
+        "runlength" => runlength(scale),
+        "topology" => topology(scale),
+        "all" => {
+            fig6(scale, &mut cache);
+            fig7(&cache);
+            fig8(scale);
+            fig9(scale);
+            latency();
+            model();
+            ablation(scale);
+            block(scale);
+            priority(scale);
+            runlength(scale);
+            topology(scale);
+        }
+        other => {
+            eprintln!(
+                "unknown figure {other:?}; use fig6|fig7|fig8|fig9|latency|model|ablation|block|priority|runlength|topology|all"
+            );
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,232 @@
+//! Shared sweep machinery for the figure regenerators and benches.
+//!
+//! Every figure in the paper is a sweep over (workload, P, n, h). The
+//! simulator is single-threaded per run, so sweeps fan the independent
+//! configurations out over host threads (crossbeam scope + a work queue)
+//! and then reassemble results in deterministic order.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use emx::prelude::*;
+use parking_lot::Mutex;
+
+/// How big the regenerated figures are.
+///
+/// The paper runs up to n = 8M elements on real hardware; the simulator
+/// reproduces shapes at reduced sizes with identical per-PE ratios (see
+/// EXPERIMENTS.md). `Full` approaches paper scale and takes correspondingly
+/// long.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Seconds: CI-sized smoke runs.
+    Quick,
+    /// A couple of minutes: the default for EXPERIMENTS.md numbers.
+    Standard,
+    /// Tens of minutes: closest to paper sizes.
+    Full,
+}
+
+impl Scale {
+    /// Parse from a CLI word.
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s {
+            "quick" => Some(Scale::Quick),
+            "standard" => Some(Scale::Standard),
+            "full" => Some(Scale::Full),
+            _ => None,
+        }
+    }
+
+    /// Elements-per-PE series for the sorting panels (the paper's series
+    /// are n/P = 8K..128K for P=16 and 8K..128K for P=64).
+    pub fn sort_per_pe(self) -> Vec<usize> {
+        match self {
+            Scale::Quick => vec![256, 1024],
+            Scale::Standard => vec![512, 2048, 8192],
+            Scale::Full => vec![2048, 8192, 32768],
+        }
+    }
+
+    /// Points-per-PE series for the FFT panels.
+    pub fn fft_per_pe(self) -> Vec<usize> {
+        match self {
+            Scale::Quick => vec![256, 1024],
+            Scale::Standard => vec![512, 2048, 8192],
+            Scale::Full => vec![2048, 8192, 32768],
+        }
+    }
+
+    /// Thread counts swept on the x axis (the paper sweeps 1..16).
+    pub fn threads(self) -> Vec<usize> {
+        match self {
+            Scale::Quick => vec![1, 2, 4, 8, 16],
+            _ => vec![1, 2, 3, 4, 6, 8, 12, 16],
+        }
+    }
+
+    /// Processor counts for the figure panels (paper: 16 and 64).
+    pub fn panel_pes(self) -> Vec<usize> {
+        match self {
+            Scale::Quick => vec![16],
+            _ => vec![16, 64],
+        }
+    }
+}
+
+/// One swept configuration and its result.
+#[derive(Debug, Clone)]
+pub struct Point {
+    /// Processors.
+    pub p: usize,
+    /// Total elements/points.
+    pub n: usize,
+    /// Threads per processor.
+    pub h: usize,
+    /// The run's measurements.
+    pub report: RunReport,
+}
+
+/// Machine configuration used by all figure sweeps: paper-default EM-X with
+/// memory sized to the largest block the sweep needs.
+pub fn machine_cfg(p: usize, per_pe: usize) -> MachineConfig {
+    let mut cfg = MachineConfig::with_pes(p);
+    // Sort needs 3 m + control; FFT 4 m. Round up generously.
+    cfg.local_memory_words = (per_pe * 6 + 256).next_power_of_two();
+    cfg
+}
+
+/// Which workload a sweep runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Workload {
+    /// Multithreaded bitonic sorting.
+    Sort,
+    /// Multithreaded FFT, first log P iterations (the paper's setup).
+    Fft,
+}
+
+impl Workload {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Workload::Sort => "bitonic-sort",
+            Workload::Fft => "fft",
+        }
+    }
+}
+
+/// Run one configuration.
+pub fn run_one(w: Workload, p: usize, per_pe: usize, h: usize) -> Point {
+    let cfg = machine_cfg(p, per_pe);
+    let n = per_pe * p;
+    let report = match w {
+        Workload::Sort => {
+            run_bitonic(&cfg, &SortParams::new(n, h))
+                .unwrap_or_else(|e| panic!("sort P={p} n={n} h={h}: {e}"))
+                .report
+        }
+        Workload::Fft => {
+            run_fft(&cfg, &FftParams::comm_only(n, h))
+                .unwrap_or_else(|e| panic!("fft P={p} n={n} h={h}: {e}"))
+                .report
+        }
+    };
+    Point { p, n, h, report }
+}
+
+/// Sweep `per_pe_sizes x threads` for one workload and processor count,
+/// fanning configurations across host threads. Results come back sorted by
+/// (n, h).
+pub fn sweep(w: Workload, p: usize, per_pe_sizes: &[usize], threads: &[usize]) -> Vec<Point> {
+    let tasks: Vec<(usize, usize)> = per_pe_sizes
+        .iter()
+        .flat_map(|&s| threads.iter().map(move |&h| (s, h)))
+        .collect();
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<Point>> = Mutex::new(Vec::with_capacity(tasks.len()));
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(tasks.len().max(1));
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(&(per_pe, h)) = tasks.get(i) else {
+                    break;
+                };
+                let point = run_one(w, p, per_pe, h);
+                results.lock().push(point);
+            });
+        }
+    })
+    .expect("sweep workers do not panic");
+    let mut out = results.into_inner();
+    out.sort_by_key(|pt| (pt.n, pt.h));
+    out
+}
+
+/// Group a sweep's points into per-size series of (h, y) pairs using the
+/// given metric.
+pub fn series_by_size(points: &[Point], metric: impl Fn(&Point) -> f64) -> Vec<(usize, Vec<(usize, f64)>)> {
+    let mut sizes: Vec<usize> = points.iter().map(|p| p.n).collect();
+    sizes.dedup();
+    sizes
+        .into_iter()
+        .map(|n| {
+            let ys = points
+                .iter()
+                .filter(|pt| pt.n == n)
+                .map(|pt| (pt.h, metric(pt)))
+                .collect();
+            (n, ys)
+        })
+        .collect()
+}
+
+/// Human-readable element count ("32K", "2M").
+pub fn fmt_n(n: usize) -> String {
+    if n >= 1 << 20 && n % (1 << 20) == 0 {
+        format!("{}M", n >> 20)
+    } else if n >= 1 << 10 && n % (1 << 10) == 0 {
+        format!("{}K", n >> 10)
+    } else {
+        n.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_parse() {
+        assert_eq!(Scale::parse("quick"), Some(Scale::Quick));
+        assert_eq!(Scale::parse("standard"), Some(Scale::Standard));
+        assert_eq!(Scale::parse("bogus"), None);
+    }
+
+    #[test]
+    fn fmt_n_uses_suffixes() {
+        assert_eq!(fmt_n(512), "512");
+        assert_eq!(fmt_n(2048), "2K");
+        assert_eq!(fmt_n(8 << 20), "8M");
+    }
+
+    #[test]
+    fn sweep_covers_the_grid_in_order() {
+        let pts = sweep(Workload::Sort, 4, &[64, 128], &[1, 2]);
+        let grid: Vec<(usize, usize)> = pts.iter().map(|p| (p.n, p.h)).collect();
+        assert_eq!(grid, vec![(256, 1), (256, 2), (512, 1), (512, 2)]);
+    }
+
+    #[test]
+    fn series_by_size_groups() {
+        let pts = sweep(Workload::Fft, 4, &[64], &[1, 2]);
+        let series = series_by_size(&pts, |p| p.report.comm_sync_time_secs());
+        assert_eq!(series.len(), 1);
+        assert_eq!(series[0].1.len(), 2);
+    }
+}

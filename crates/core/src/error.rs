@@ -1,0 +1,157 @@
+//! Error type shared across the simulator crates.
+
+use std::fmt;
+
+/// Everything that can go wrong while configuring or running the simulator.
+///
+/// The simulator is deterministic, so most of these indicate a programming
+/// error in a workload or harness (bad addresses, malformed packets) rather
+/// than a runtime condition; [`SimError::Deadlock`] is the exception and is
+/// the signal a mis-synchronized workload receives instead of a hang.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A processor index outside the configured machine (or the packed
+    /// address range).
+    BadPe {
+        /// The offending index.
+        pe: usize,
+    },
+    /// A local-memory word offset outside the packed address range.
+    AddressOutOfRange {
+        /// The offending word offset.
+        offset: u32,
+    },
+    /// A memory access outside the configured local memory of a processor.
+    MemoryFault {
+        /// Processor whose memory was accessed.
+        pe: usize,
+        /// The offending word offset.
+        offset: u32,
+        /// Configured memory size in words.
+        size: usize,
+    },
+    /// An activation-frame index that does not fit the packed continuation.
+    FrameOutOfRange {
+        /// The offending frame index.
+        frame: usize,
+    },
+    /// Frame table exhausted on a processor.
+    OutOfFrames {
+        /// Processor whose frame table overflowed.
+        pe: usize,
+    },
+    /// A wire tag carried an unassigned packet-kind code.
+    BadPacketKind {
+        /// The unassigned code.
+        code: u8,
+    },
+    /// A block read of zero words.
+    EmptyBlockRead,
+    /// A wire buffer too short to hold a packet.
+    TruncatedWirePacket {
+        /// Bytes actually available.
+        have: usize,
+    },
+    /// An event scheduled before the current simulation time.
+    EventInPast {
+        /// Requested cycle.
+        at: u64,
+        /// Current cycle.
+        now: u64,
+    },
+    /// The event queue drained while threads were still suspended: the
+    /// workload deadlocked (e.g. a barrier nobody releases, or a read whose
+    /// response was dropped).
+    Deadlock {
+        /// Cycle at which the queue drained.
+        at: u64,
+        /// Number of threads still suspended.
+        suspended: usize,
+    },
+    /// A machine configuration that cannot be built (e.g. zero processors,
+    /// or a network that requires a power-of-two processor count).
+    BadConfig {
+        /// Human-readable explanation.
+        reason: String,
+    },
+    /// An ISA-level fault (decode error, bad register, bad jump target).
+    IsaFault {
+        /// Human-readable explanation.
+        reason: String,
+    },
+    /// A workload-level invariant violation (e.g. output verification).
+    Workload {
+        /// Human-readable explanation.
+        reason: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::BadPe { pe } => write!(f, "processor index {pe} out of range"),
+            SimError::AddressOutOfRange { offset } => {
+                write!(f, "word offset {offset:#x} exceeds packed address range")
+            }
+            SimError::MemoryFault { pe, offset, size } => write!(
+                f,
+                "memory fault on PE{pe}: offset {offset:#x} outside {size} words"
+            ),
+            SimError::FrameOutOfRange { frame } => {
+                write!(f, "frame index {frame} exceeds packed continuation range")
+            }
+            SimError::OutOfFrames { pe } => write!(f, "PE{pe} exhausted its frame table"),
+            SimError::BadPacketKind { code } => write!(f, "unassigned packet kind code {code}"),
+            SimError::EmptyBlockRead => write!(f, "block read of zero words"),
+            SimError::TruncatedWirePacket { have } => {
+                write!(f, "wire buffer holds only {have} bytes of a packet")
+            }
+            SimError::EventInPast { at, now } => {
+                write!(f, "event scheduled at cycle {at}, but now is {now}")
+            }
+            SimError::Deadlock { at, suspended } => write!(
+                f,
+                "deadlock at cycle {at}: {suspended} threads suspended with no pending events"
+            ),
+            SimError::BadConfig { reason } => write!(f, "bad machine configuration: {reason}"),
+            SimError::IsaFault { reason } => write!(f, "ISA fault: {reason}"),
+            SimError::Workload { reason } => write!(f, "workload error: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SimError::MemoryFault {
+            pe: 3,
+            offset: 0x100,
+            size: 64,
+        };
+        let s = e.to_string();
+        assert!(s.contains("PE3"));
+        assert!(s.contains("0x100"));
+        assert!(s.contains("64"));
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&SimError::EmptyBlockRead);
+    }
+
+    #[test]
+    fn deadlock_reports_counts() {
+        let e = SimError::Deadlock {
+            at: 99,
+            suspended: 7,
+        };
+        assert!(e.to_string().contains("7 threads"));
+    }
+}

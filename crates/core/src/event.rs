@@ -1,0 +1,224 @@
+//! A deterministic discrete-event queue.
+//!
+//! The whole simulator is driven by one time-ordered queue of events. Two
+//! properties matter for reproducibility:
+//!
+//! 1. **Total order.** Events at the same cycle are delivered in insertion
+//!    order (FIFO tie-break by a monotone sequence number), so a run is a
+//!    pure function of its inputs — the repository's determinism tests rely
+//!    on this.
+//! 2. **Monotonicity is the caller's contract.** Popping never returns an
+//!    event earlier than the last popped time; attempting to schedule into
+//!    the past is reported as an error rather than silently reordered.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::error::SimError;
+use crate::time::Cycle;
+
+/// One scheduled event.
+#[derive(Debug, Clone)]
+struct Entry<T> {
+    at: Cycle,
+    seq: u64,
+    payload: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<T> Eq for Entry<T> {}
+
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse ordering: BinaryHeap is a max-heap, we want earliest first,
+        // and FIFO (smallest sequence number) among equal times.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic time-ordered event queue.
+///
+/// ```
+/// use emx_core::{EventQueue, Cycle};
+///
+/// let mut q = EventQueue::new();
+/// q.push(Cycle::new(10), "b").unwrap();
+/// q.push(Cycle::new(5), "a").unwrap();
+/// q.push(Cycle::new(10), "c").unwrap();
+/// assert_eq!(q.pop(), Some((Cycle::new(5), "a")));
+/// assert_eq!(q.pop(), Some((Cycle::new(10), "b"))); // FIFO among equals
+/// assert_eq!(q.pop(), Some((Cycle::new(10), "c")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Entry<T>>,
+    next_seq: u64,
+    now: Cycle,
+    pushed: u64,
+    popped: u64,
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// An empty queue at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: Cycle::ZERO,
+            pushed: 0,
+            popped: 0,
+        }
+    }
+
+    /// An empty queue with pre-reserved capacity, for hot loops.
+    pub fn with_capacity(cap: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(cap),
+            ..Self::new()
+        }
+    }
+
+    /// Schedule `payload` at time `at`. Scheduling strictly before the last
+    /// popped time is a logic error in the caller and is reported as
+    /// [`SimError::EventInPast`].
+    pub fn push(&mut self, at: Cycle, payload: T) -> Result<(), SimError> {
+        if at < self.now {
+            return Err(SimError::EventInPast {
+                at: at.get(),
+                now: self.now.get(),
+            });
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.pushed += 1;
+        self.heap.push(Entry { at, seq, payload });
+        Ok(())
+    }
+
+    /// Remove and return the earliest event, advancing the queue clock.
+    pub fn pop(&mut self) -> Option<(Cycle, T)> {
+        let e = self.heap.pop()?;
+        debug_assert!(e.at >= self.now, "event queue time went backwards");
+        self.now = e.at;
+        self.popped += 1;
+        Some((e.at, e.payload))
+    }
+
+    /// Time of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<Cycle> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// The time of the most recently popped event.
+    #[inline]
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Number of pending events.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Lifetime counters `(pushed, popped)`, for engine statistics.
+    #[inline]
+    pub fn counters(&self) -> (u64, u64) {
+        (self.pushed, self.popped)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        for (t, v) in [(30u64, 3), (10, 1), (20, 2)] {
+            q.push(Cycle::new(t), v).unwrap();
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, v)| v)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn fifo_among_equal_times() {
+        let mut q = EventQueue::new();
+        for v in 0..100 {
+            q.push(Cycle::new(7), v).unwrap();
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, v)| v)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn rejects_events_in_the_past() {
+        let mut q = EventQueue::new();
+        q.push(Cycle::new(10), ()).unwrap();
+        assert_eq!(q.pop().unwrap().0, Cycle::new(10));
+        let err = q.push(Cycle::new(9), ()).unwrap_err();
+        assert!(matches!(err, SimError::EventInPast { at: 9, now: 10 }));
+        // Scheduling exactly at `now` is allowed (zero-latency follow-up).
+        q.push(Cycle::new(10), ()).unwrap();
+    }
+
+    #[test]
+    fn now_tracks_last_pop() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.now(), Cycle::ZERO);
+        q.push(Cycle::new(42), ()).unwrap();
+        q.pop();
+        assert_eq!(q.now(), Cycle::new(42));
+    }
+
+    #[test]
+    fn len_and_counters() {
+        let mut q = EventQueue::with_capacity(8);
+        assert!(q.is_empty());
+        q.push(Cycle::new(1), 'a').unwrap();
+        q.push(Cycle::new(2), 'b').unwrap();
+        assert_eq!(q.len(), 2);
+        q.pop();
+        assert_eq!(q.counters(), (2, 1));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn interleaved_push_pop_stays_ordered() {
+        let mut q = EventQueue::new();
+        q.push(Cycle::new(5), 5).unwrap();
+        q.push(Cycle::new(1), 1).unwrap();
+        assert_eq!(q.pop().unwrap(), (Cycle::new(1), 1));
+        q.push(Cycle::new(3), 3).unwrap();
+        q.push(Cycle::new(2), 2).unwrap();
+        assert_eq!(q.pop().unwrap(), (Cycle::new(2), 2));
+        assert_eq!(q.pop().unwrap(), (Cycle::new(3), 3));
+        assert_eq!(q.pop().unwrap(), (Cycle::new(5), 5));
+    }
+}

@@ -1,0 +1,41 @@
+//! # emx-core
+//!
+//! Core types shared by every crate of the EM-X simulator: simulated time in
+//! processor cycles, the global address space, the 2-word fixed-size packet
+//! that carries *all* EM-X communication, a deterministic event queue, and the
+//! machine configuration (processor counts, cost model, network selection).
+//!
+//! The EM-X (Electrotechnical Laboratory, 1995) is a distributed-memory
+//! multiprocessor whose 80 EMC-Y processors run at 20 MHz and communicate
+//! exclusively through two-word packets routed over a circular Omega network.
+//! This crate pins down those machine constants and the vocabulary the rest of
+//! the workspace builds on; it contains no simulation logic itself.
+//!
+//! ## Layout
+//!
+//! * [`time`] — [`Cycle`](time::Cycle) arithmetic and wall-clock conversion.
+//! * [`addr`] — [`PeId`](addr::PeId), [`GlobalAddr`](addr::GlobalAddr) and
+//!   [`Continuation`](addr::Continuation) with their 32-bit wire packings.
+//! * [`packet`] — [`Packet`](packet::Packet), its kinds and priorities, and
+//!   the exact 2×32-bit wire encoding.
+//! * [`event`] — a deterministic time-ordered [`EventQueue`](event::EventQueue).
+//! * [`config`] — [`MachineConfig`](config::MachineConfig) and
+//!   [`CostModel`](config::CostModel).
+//! * [`error`] — [`SimError`](error::SimError).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod addr;
+pub mod config;
+pub mod error;
+pub mod event;
+pub mod packet;
+pub mod time;
+
+pub use addr::{Continuation, FrameId, GlobalAddr, PeId, SlotId};
+pub use config::{CostModel, MachineConfig, NetConfig, NetModelKind, ServiceMode};
+pub use error::SimError;
+pub use event::EventQueue;
+pub use packet::{Packet, PacketKind, Priority, WirePacket};
+pub use time::Cycle;

@@ -1,0 +1,260 @@
+//! `emx-cli` — run EM-X workloads and tools from the command line.
+//!
+//! ```text
+//! emx-cli sort    --pes 16 --n 16384 --threads 4 [--dist uniform] [--seed 1] [--block] [--em4] [--csv]
+//! emx-cli fft     --pes 16 --n 16384 --threads 4 [--comm-only] [--csv]
+//! emx-cli nullloop --pes 4 --threads 2 --packets 100
+//! emx-cli latency --pes 16 --readers 4 [--reads 64]
+//! emx-cli asm     <file.s>            # assemble and list a kernel
+//! emx-cli info    [--pes 80]          # dump the machine configuration
+//! ```
+
+use std::process::ExitCode;
+
+use emx::prelude::*;
+use emx::workloads::{run_null_loop, NullLoopParams};
+
+/// Minimal flag parser: `--name value` pairs plus boolean `--name` switches
+/// and positional arguments.
+struct Args {
+    positional: Vec<String>,
+    flags: Vec<(String, Option<String>)>,
+}
+
+impl Args {
+    fn parse(raw: &[String]) -> Args {
+        let mut positional = Vec::new();
+        let mut flags = Vec::new();
+        let mut it = raw.iter().peekable();
+        while let Some(a) = it.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                let value = it
+                    .peek()
+                    .filter(|v| !v.starts_with("--"))
+                    .map(|v| (*v).clone());
+                if value.is_some() {
+                    it.next();
+                }
+                flags.push((name.to_string(), value));
+            } else {
+                positional.push(a.clone());
+            }
+        }
+        Args { positional, flags }
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.flags.iter().any(|(n, _)| n == name)
+    }
+
+    fn usize_or(&self, name: &str, default: usize) -> Result<usize, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{name} wants a number, got {v:?}")),
+        }
+    }
+
+    fn u64_or(&self, name: &str, default: u64) -> Result<u64, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{name} wants a number, got {v:?}")),
+        }
+    }
+}
+
+fn machine_cfg(args: &Args, default_pes: usize) -> Result<MachineConfig, String> {
+    let pes = args.usize_or("pes", default_pes)?;
+    let mut cfg = MachineConfig::with_pes(pes);
+    cfg.local_memory_words = args.usize_or("memory-words", 1 << 18)?;
+    if args.has("em4") {
+        cfg.service_mode = ServiceMode::ExuThread;
+    }
+    if args.has("priority-responses") {
+        cfg.priority_read_responses = true;
+    }
+    Ok(cfg)
+}
+
+fn print_report(report: &RunReport, csv: bool) {
+    let mut t = Table::new(["metric", "value"]);
+    t.row(["elapsed (s)".to_string(), format!("{:.6e}", report.elapsed_secs())]);
+    t.row(["comm+sync (s)".to_string(), format!("{:.6e}", report.comm_sync_time_secs())]);
+    t.row(["pure idle (s)".to_string(), format!("{:.6e}", report.comm_time_secs())]);
+    t.row(["remote reads".to_string(), report.total_reads().to_string()]);
+    t.row(["packets".to_string(), report.total_packets().to_string()]);
+    t.row(["net packets".to_string(), report.net_packets.to_string()]);
+    t.row(["mean utilization".to_string(), format!("{:.3}", report.mean_utilization())]);
+    let s = report.mean_switches();
+    t.row(["switches/PE remote-read".to_string(), s.remote_read.to_string()]);
+    t.row(["switches/PE iter-sync".to_string(), s.iter_sync.to_string()]);
+    t.row(["switches/PE thread-sync".to_string(), s.thread_sync.to_string()]);
+    let f = report.mean_breakdown().fractions();
+    for (i, label) in Breakdown::LABELS.iter().enumerate() {
+        t.row([format!("{label} %"), format!("{:.1}", f[i] * 100.0)]);
+    }
+    if csv {
+        print!("{}", t.to_csv());
+    } else {
+        print!("{}", t.render());
+    }
+}
+
+fn cmd_sort(args: &Args) -> Result<(), String> {
+    let cfg = machine_cfg(args, 16)?;
+    let n = args.usize_or("n", 16 * 1024)?;
+    let threads = args.usize_or("threads", 4)?;
+    let mut params = SortParams::new(n, threads);
+    params.seed = args.u64_or("seed", params.seed)?;
+    params.block_read = args.has("block");
+    params.dist = match args.get("dist").unwrap_or("uniform") {
+        "uniform" => KeyDist::Uniform,
+        "sorted" => KeyDist::Sorted,
+        "reverse" => KeyDist::Reverse,
+        "gaussian" => KeyDist::Gaussian,
+        "constant" => KeyDist::Constant,
+        other => return Err(format!("unknown distribution {other:?}")),
+    };
+    let out = run_bitonic(&cfg, &params).map_err(|e| e.to_string())?;
+    if !args.has("csv") {
+        println!(
+            "sorted {} keys on {} PEs with h={} (verified)",
+            n, cfg.num_pes, threads
+        );
+    }
+    print_report(&out.report, args.has("csv"));
+    Ok(())
+}
+
+fn cmd_fft(args: &Args) -> Result<(), String> {
+    let cfg = machine_cfg(args, 16)?;
+    let n = args.usize_or("n", 16 * 1024)?;
+    let threads = args.usize_or("threads", 4)?;
+    let mut params = if args.has("comm-only") {
+        FftParams::comm_only(n, threads)
+    } else {
+        FftParams::new(n, threads)
+    };
+    params.seed = args.u64_or("seed", params.seed)?;
+    let out = run_fft(&cfg, &params).map_err(|e| e.to_string())?;
+    if !args.has("csv") {
+        println!(
+            "transformed {} points on {} PEs with h={} (verified against f64 reference)",
+            n, cfg.num_pes, threads
+        );
+    }
+    print_report(&out.report, args.has("csv"));
+    Ok(())
+}
+
+fn cmd_nullloop(args: &Args) -> Result<(), String> {
+    let cfg = machine_cfg(args, 4)?;
+    let params = NullLoopParams::new(
+        args.usize_or("packets", 100)? as u32,
+        args.usize_or("threads", 2)?,
+    );
+    let out = run_null_loop(&cfg, &params).map_err(|e| e.to_string())?;
+    println!(
+        "null loop: {:.2} overhead cycles per generated packet (paper measures \
+         packet-generation overhead exactly this way)",
+        out.overhead_per_packet
+    );
+    print_report(&out.report, args.has("csv"));
+    Ok(())
+}
+
+fn cmd_latency(args: &Args) -> Result<(), String> {
+    let cfg = machine_cfg(args, 16)?;
+    let readers = args.usize_or("readers", 1)?;
+    let reads = args.usize_or("reads", 64)? as i16;
+    if readers == 0 || readers >= cfg.num_pes {
+        return Err("--readers must be in 1..pes".into());
+    }
+    let mut m = Machine::new(cfg.clone()).map_err(|e| e.to_string())?;
+    let tmpl = m.register_template(emx::isa::kernels::read_loop(reads, 0));
+    let target = (cfg.num_pes - 1) as u16;
+    for r in 0..readers {
+        let addr = GlobalAddr::new(PeId(target), 64).unwrap().pack();
+        m.spawn_at_start(PeId(r as u16), tmpl, addr).map_err(|e| e.to_string())?;
+    }
+    let report = m.run().map_err(|e| e.to_string())?;
+    // Round trip = idle waiting plus the suspend/resume switch machinery,
+    // which is what the paper's 20-40 clock figure covers.
+    let wait: f64 = report.per_pe[..readers]
+        .iter()
+        .map(|p| (p.breakdown.comm + p.breakdown.switch).get() as f64)
+        .sum();
+    let per_read = wait / report.total_reads() as f64;
+    println!(
+        "{} reader(s) on {} PEs: {:.1} cycles/read = {:.2} µs at 20 MHz (paper band: 20-40 cycles)",
+        readers, cfg.num_pes, per_read, per_read / 20.0
+    );
+    Ok(())
+}
+
+fn cmd_asm(args: &Args) -> Result<(), String> {
+    let path = args
+        .positional
+        .first()
+        .ok_or("asm wants a source file path")?;
+    let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let prog = assemble(path.clone(), &src).map_err(|e| e.to_string())?;
+    let costs = MachineConfig::default().costs;
+    println!(
+        "; {} instructions, straight-line cost {} cycles",
+        prog.len(),
+        prog.straight_line_cost(&costs)
+    );
+    for (i, (ins, word)) in prog.instrs().iter().zip(prog.encode()).enumerate() {
+        println!("{i:>4}  {word:08x}  {ins}");
+    }
+    Ok(())
+}
+
+fn cmd_info(args: &Args) -> Result<(), String> {
+    let cfg = machine_cfg(args, 80)?;
+    let mut t = Table::new(["parameter", "value"]);
+    t.row(["processors".to_string(), cfg.num_pes.to_string()]);
+    t.row(["clock (MHz)".to_string(), (cfg.clock_hz / 1_000_000).to_string()]);
+    t.row(["memory words/PE".to_string(), cfg.local_memory_words.to_string()]);
+    t.row(["IBU FIFO capacity".to_string(), cfg.ibu_fifo_capacity.to_string()]);
+    t.row(["frames/PE".to_string(), cfg.frames_per_pe.to_string()]);
+    t.row(["service mode".to_string(), format!("{:?}", cfg.service_mode)]);
+    t.row(["context switch (cy)".to_string(), cfg.costs.context_switch.to_string()]);
+    t.row(["DMA service (cy)".to_string(), cfg.costs.dma_service.to_string()]);
+    t.row(["barrier poll interval (cy)".to_string(), cfg.costs.barrier_poll_interval.to_string()]);
+    t.row(["network".to_string(), format!("{:?}", cfg.net.model)]);
+    print!("{}", t.render());
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = raw.first().cloned() else {
+        eprintln!("usage: emx-cli <sort|fft|nullloop|latency|asm|info> [options]");
+        return ExitCode::from(2);
+    };
+    let args = Args::parse(&raw[1..]);
+    let result = match cmd.as_str() {
+        "sort" => cmd_sort(&args),
+        "fft" => cmd_fft(&args),
+        "nullloop" => cmd_nullloop(&args),
+        "latency" => cmd_latency(&args),
+        "asm" => cmd_asm(&args),
+        "info" => cmd_info(&args),
+        other => Err(format!("unknown command {other:?}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("emx-cli: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! # emx
+//!
+//! Facade crate for the EM-X fine-grain multithreading simulator — a
+//! from-scratch Rust reproduction of *Fine-Grain Multithreading with the
+//! EM-X Multiprocessor* (Sohn, Kodama, Ku, Sato, Sakane, Yamana, Sakai,
+//! Yamaguchi; SPAA 1997).
+//!
+//! The workspace models the 80-processor EM-X distributed-memory machine —
+//! EMC-Y processors with by-passing DMA, two-priority hardware packet
+//! queues, FIFO thread scheduling, 2-word packets, and a circular Omega
+//! network — and reruns the paper's bitonic-sorting and FFT experiments on
+//! it. This crate re-exports every public API under stable module names:
+//!
+//! | Module | Contents |
+//! |--------|----------|
+//! | [`core`] | cycles, packets, addresses, machine configuration |
+//! | [`net`] | circular Omega / ideal / crossbar network models |
+//! | [`isa`] | EMC-Y instruction set, assembler, interpreter |
+//! | [`proc`] | processor units: memory, packet queue, frames, by-pass DMA |
+//! | [`runtime`] | threads, scheduling, barriers, the [`Machine`] |
+//! | [`workloads`] | multithreaded bitonic sorting and FFT drivers |
+//! | [`model`] | the Saavedra-Barrera analytic multithreading model |
+//! | [`stats`] | breakdowns, switch censuses, reporters |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use emx::prelude::*;
+//!
+//! // Sort 1024 keys on a 4-processor EM-X with 4 threads per processor.
+//! let mut cfg = MachineConfig::with_pes(4);
+//! cfg.local_memory_words = 1 << 16;
+//! let outcome = run_bitonic(&cfg, &SortParams::new(1024, 4)).unwrap();
+//! assert!(outcome.output.windows(2).all(|w| w[0] <= w[1]));
+//! println!(
+//!     "sorted in {:.3} ms simulated, comm time {:.3} ms",
+//!     outcome.report.elapsed_secs() * 1e3,
+//!     outcome.report.comm_time_secs() * 1e3,
+//! );
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use emx_core as core;
+pub use emx_isa as isa;
+pub use emx_model as model;
+pub use emx_net as net;
+pub use emx_proc as proc;
+pub use emx_runtime as runtime;
+pub use emx_stats as stats;
+pub use emx_workloads as workloads;
+
+/// The most commonly used items, for glob import.
+pub mod prelude {
+    pub use emx_core::{
+        Cycle, GlobalAddr, MachineConfig, NetConfig, NetModelKind, Packet, PacketKind, PeId,
+        Priority, ServiceMode, SimError,
+    };
+    pub use emx_isa::{assemble, kernels, Instr, Program, ProgramBuilder, Reg};
+    pub use emx_model::{ModelParams, Region};
+    pub use emx_net::{build_network, Network};
+    pub use emx_runtime::{
+        Action, BarrierId, EntryId, Machine, ThreadBody, ThreadCtx, Trace, TraceEvent, TraceKind,
+        WorkKind,
+    };
+    pub use emx_stats::{
+        ascii_chart, overlap_efficiency, Breakdown, PeStats, RunReport, Series, SwitchCensus,
+        Table,
+    };
+    pub use emx_workloads::gen::{dft, keys, signal, KeyDist, Signal};
+    pub use emx_workloads::{
+        run_bitonic, run_fft, run_null_loop, FftOutcome, FftParams, NullLoopOutcome,
+        NullLoopParams, SortOutcome, SortParams,
+    };
+}

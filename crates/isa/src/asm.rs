@@ -1,0 +1,390 @@
+//! The text assembler.
+//!
+//! A thin, line-oriented syntax over [`ProgramBuilder`]:
+//!
+//! ```text
+//! ; sum = 1 + ... + 10
+//!         addi  r5, zero, 10
+//! loop:   add   r6, r6, r5
+//!         addi  r5, r5, -1
+//!         bne   r5, zero, loop
+//!         end
+//! ```
+//!
+//! * one instruction per line, operands separated by commas;
+//! * `label:` may stand alone or prefix an instruction;
+//! * comments start with `;` or `#`;
+//! * registers are `r0..r31` or the aliases `zero pe npes fp arg`;
+//! * immediates are decimal or `0x...` hex; `li32`/`lif` are the constant
+//!   pseudo-instructions (may expand to several machine instructions);
+//! * branch/jump targets are labels.
+
+use emx_core::SimError;
+
+use crate::program::{Program, ProgramBuilder};
+use crate::reg::Reg;
+
+/// Assemble `source` into a [`Program`] named `name`.
+pub fn assemble(name: impl Into<String>, source: &str) -> Result<Program, SimError> {
+    Assembler::new(name).source(source)?.finish()
+}
+
+/// Incremental assembler, for building templates from several snippets.
+#[derive(Debug)]
+pub struct Assembler {
+    builder: ProgramBuilder,
+    line_no: usize,
+}
+
+impl Assembler {
+    /// Start assembling a template named `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        Assembler {
+            builder: ProgramBuilder::new(name),
+            line_no: 0,
+        }
+    }
+
+    /// Feed a chunk of source text.
+    pub fn source(mut self, text: &str) -> Result<Self, SimError> {
+        for line in text.lines() {
+            self.line_no += 1;
+            self.line(line)?;
+        }
+        Ok(self)
+    }
+
+    /// Resolve labels and produce the program.
+    pub fn finish(self) -> Result<Program, SimError> {
+        self.builder.build()
+    }
+
+    fn err(&self, msg: impl std::fmt::Display) -> SimError {
+        SimError::IsaFault {
+            reason: format!("line {}: {msg}", self.line_no),
+        }
+    }
+
+    fn line(&mut self, raw: &str) -> Result<(), SimError> {
+        // Strip comments.
+        let code = raw.split([';', '#']).next().unwrap_or("");
+        let mut rest = code.trim();
+        // Leading labels (possibly several).
+        while let Some(colon) = rest.find(':') {
+            let (label, tail) = rest.split_at(colon);
+            let label = label.trim();
+            if label.is_empty()
+                || !label
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+            {
+                return Err(self.err(format!("bad label {label:?}")));
+            }
+            self.builder.label(label);
+            rest = tail[1..].trim();
+        }
+        if rest.is_empty() {
+            return Ok(());
+        }
+        let (mnemonic, operands) = match rest.split_once(char::is_whitespace) {
+            Some((m, o)) => (m, o),
+            None => (rest, ""),
+        };
+        let ops: Vec<&str> = operands
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .collect();
+        self.instr(&mnemonic.to_ascii_lowercase(), &ops)
+    }
+
+    fn reg(&self, s: &str) -> Result<Reg, SimError> {
+        s.parse::<Reg>().map_err(|e| self.err(e))
+    }
+
+    fn imm_i64(&self, s: &str) -> Result<i64, SimError> {
+        let (neg, body) = match s.strip_prefix('-') {
+            Some(b) => (true, b),
+            None => (false, s),
+        };
+        let v = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+            i64::from_str_radix(hex, 16)
+        } else {
+            body.parse::<i64>()
+        }
+        .map_err(|_| self.err(format!("bad immediate {s:?}")))?;
+        Ok(if neg { -v } else { v })
+    }
+
+    fn imm16(&self, s: &str) -> Result<i16, SimError> {
+        let v = self.imm_i64(s)?;
+        i16::try_from(v).map_err(|_| self.err(format!("immediate {v} exceeds 16 bits")))
+    }
+
+    fn imm_u16(&self, s: &str) -> Result<u16, SimError> {
+        let v = self.imm_i64(s)?;
+        u16::try_from(v).map_err(|_| self.err(format!("count {v} exceeds 16 bits")))
+    }
+
+    fn imm_u32(&self, s: &str) -> Result<u32, SimError> {
+        let v = self.imm_i64(s)?;
+        u32::try_from(v & 0xFFFF_FFFF).map_err(|_| self.err(format!("constant {v} exceeds 32 bits")))
+    }
+
+    fn want(&self, ops: &[&str], n: usize, m: &str) -> Result<(), SimError> {
+        if ops.len() == n {
+            Ok(())
+        } else {
+            Err(self.err(format!("{m} wants {n} operands, got {}", ops.len())))
+        }
+    }
+
+    fn instr(&mut self, m: &str, ops: &[&str]) -> Result<(), SimError> {
+        macro_rules! r3 {
+            ($f:ident) => {{
+                self.want(ops, 3, m)?;
+                let (a, b, c) = (self.reg(ops[0])?, self.reg(ops[1])?, self.reg(ops[2])?);
+                self.builder.$f(a, b, c);
+            }};
+        }
+        macro_rules! ri {
+            ($f:ident) => {{
+                self.want(ops, 3, m)?;
+                let (a, b) = (self.reg(ops[0])?, self.reg(ops[1])?);
+                let i = self.imm16(ops[2])?;
+                self.builder.$f(a, b, i);
+            }};
+        }
+        macro_rules! branch {
+            ($f:ident) => {{
+                self.want(ops, 3, m)?;
+                let (a, b) = (self.reg(ops[0])?, self.reg(ops[1])?);
+                self.builder.$f(a, b, ops[2]);
+            }};
+        }
+        match m {
+            "nop" => {
+                self.want(ops, 0, m)?;
+                self.builder.nop();
+            }
+            "add" => r3!(add),
+            "sub" => r3!(sub),
+            "mul" => r3!(mul),
+            "div" => r3!(div),
+            "and" => r3!(and),
+            "or" => r3!(or),
+            "xor" => r3!(xor),
+            "sll" => r3!(sll),
+            "srl" => r3!(srl),
+            "sra" => r3!(sra),
+            "slt" => r3!(slt),
+            "sltu" => r3!(sltu),
+            "fadd" => r3!(fadd),
+            "fsub" => r3!(fsub),
+            "fmul" => r3!(fmul),
+            "fdiv" => r3!(fdiv),
+            "addi" => ri!(addi),
+            "andi" => ri!(andi),
+            "ori" => ri!(ori),
+            "xori" => ri!(xori),
+            "slti" => ri!(slti),
+            "slli" => ri!(slli),
+            "srli" => ri!(srli),
+            "srai" => ri!(srai),
+            "lw" => ri!(lw),
+            "sw" => ri!(sw),
+            "lui" => {
+                self.want(ops, 2, m)?;
+                let r = self.reg(ops[0])?;
+                let i = self.imm16(ops[1])?;
+                self.builder.lui(r, i);
+            }
+            "li32" => {
+                self.want(ops, 2, m)?;
+                let r = self.reg(ops[0])?;
+                let v = self.imm_u32(ops[1])?;
+                self.builder.li32(r, v);
+            }
+            "lif" => {
+                self.want(ops, 2, m)?;
+                let r = self.reg(ops[0])?;
+                let v: f32 = ops[1]
+                    .parse()
+                    .map_err(|_| self.err(format!("bad float {:?}", ops[1])))?;
+                self.builder.lif(r, v);
+            }
+            "itof" => {
+                self.want(ops, 2, m)?;
+                let (a, b) = (self.reg(ops[0])?, self.reg(ops[1])?);
+                self.builder.itof(a, b);
+            }
+            "ftoi" => {
+                self.want(ops, 2, m)?;
+                let (a, b) = (self.reg(ops[0])?, self.reg(ops[1])?);
+                self.builder.ftoi(a, b);
+            }
+            "exch" => {
+                self.want(ops, 2, m)?;
+                let (a, b) = (self.reg(ops[0])?, self.reg(ops[1])?);
+                self.builder.exch(a, b);
+            }
+            "beq" => branch!(beq),
+            "bne" => branch!(bne),
+            "blt" => branch!(blt),
+            "bge" => branch!(bge),
+            "j" => {
+                self.want(ops, 1, m)?;
+                self.builder.j(ops[0]);
+            }
+            "rread" => {
+                self.want(ops, 2, m)?;
+                let (a, b) = (self.reg(ops[0])?, self.reg(ops[1])?);
+                self.builder.rread(a, b);
+            }
+            "rreadb" => {
+                self.want(ops, 3, m)?;
+                let (g, l) = (self.reg(ops[0])?, self.reg(ops[1])?);
+                let n = self.imm_u16(ops[2])?;
+                self.builder.rreadb(g, l, n);
+            }
+            "rwrite" => {
+                self.want(ops, 2, m)?;
+                let (g, v) = (self.reg(ops[0])?, self.reg(ops[1])?);
+                self.builder.rwrite(g, v);
+            }
+            "spawn" => {
+                self.want(ops, 2, m)?;
+                let (e, a) = (self.reg(ops[0])?, self.reg(ops[1])?);
+                self.builder.spawn(e, a);
+            }
+            "yield" => {
+                self.want(ops, 0, m)?;
+                self.builder.yld();
+            }
+            "end" => {
+                self.want(ops, 0, m)?;
+                self.builder.end();
+            }
+            other => return Err(self.err(format!("unknown mnemonic {other:?}"))),
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::Instr;
+    use crate::interp::{run_until_suspend, Effect, ThreadState, VecMemory};
+    use emx_core::CostModel;
+
+    #[test]
+    fn assembles_and_runs_the_sum_kernel() {
+        let p = assemble(
+            "sum",
+            r"
+            ; sum 1..10 into r6
+                    addi  r5, zero, 10
+            loop:   add   r6, r6, r5
+                    addi  r5, r5, -1
+                    bne   r5, zero, loop
+                    end
+            ",
+        )
+        .unwrap();
+        let mut st = ThreadState::at_entry(0, 1, 0, 0);
+        let mut mem = VecMemory::zeroed(4);
+        let (cycles, eff) =
+            run_until_suspend(&p, &mut st, &mut mem, &CostModel::default(), 1000).unwrap();
+        assert_eq!(eff, Effect::End);
+        assert_eq!(st.get(Reg::r(6)), 55);
+        assert_eq!(cycles, 32);
+    }
+
+    #[test]
+    fn label_on_its_own_line_and_inline() {
+        let p = assemble(
+            "t",
+            "start:\n  nop\nmid: nop\n  j start\n",
+        )
+        .unwrap();
+        assert_eq!(p.fetch(2).unwrap(), Instr::J { target: 0 });
+    }
+
+    #[test]
+    fn hex_and_negative_immediates() {
+        let p = assemble("t", "addi r5, zero, -42\naddi r6, zero, 0x1f\nend\n").unwrap();
+        assert_eq!(
+            p.fetch(0).unwrap(),
+            Instr::Addi { rd: Reg::r(5), rs: Reg::ZERO, imm: -42 }
+        );
+        assert_eq!(
+            p.fetch(1).unwrap(),
+            Instr::Addi { rd: Reg::r(6), rs: Reg::ZERO, imm: 31 }
+        );
+    }
+
+    #[test]
+    fn special_register_aliases() {
+        let p = assemble("t", "add r5, pe, npes\nsw r5, fp, 0\nend\n").unwrap();
+        assert_eq!(
+            p.fetch(0).unwrap(),
+            Instr::Add { rd: Reg::r(5), rs: Reg::PE, rt: Reg::NPES }
+        );
+    }
+
+    #[test]
+    fn send_instructions_parse() {
+        let p = assemble(
+            "t",
+            "rread r5, r6\nrreadb r6, r7, 32\nrwrite r6, r5\nspawn r6, r5\nend\n",
+        )
+        .unwrap();
+        assert!(matches!(p.fetch(0).unwrap(), Instr::Rread { .. }));
+        assert!(matches!(p.fetch(1).unwrap(), Instr::Rreadb { len: 32, .. }));
+        assert!(matches!(p.fetch(2).unwrap(), Instr::Rwrite { .. }));
+        assert!(matches!(p.fetch(3).unwrap(), Instr::Spawn { .. }));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = assemble("t", "nop\nfrob r1, r2\n").unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+        let err = assemble("t", "addi r5, zero\n").unwrap_err();
+        assert!(err.to_string().contains("3 operands"), "{err}");
+        let err = assemble("t", "addi r5, zero, 99999\n").unwrap_err();
+        assert!(err.to_string().contains("16 bits"), "{err}");
+        let err = assemble("t", "add r5, zero, q9\n").unwrap_err();
+        assert!(err.to_string().contains("line 1"), "{err}");
+    }
+
+    #[test]
+    fn undefined_label_reported_at_build() {
+        assert!(assemble("t", "j nowhere\n").is_err());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let p = assemble("t", "\n\n; full comment\n# hash comment\nnop ; trailing\nend\n").unwrap();
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn li32_pseudo_expands() {
+        let p = assemble("t", "li32 r5, 0xdeadbeef\nend\n").unwrap();
+        assert!(p.len() > 2, "li32 of a large constant needs several instructions");
+        let mut st = ThreadState::at_entry(0, 1, 0, 0);
+        let mut mem = VecMemory::zeroed(1);
+        run_until_suspend(&p, &mut st, &mut mem, &CostModel::default(), 100).unwrap();
+        assert_eq!(st.get(Reg::r(5)), 0xDEAD_BEEF);
+    }
+
+    #[test]
+    fn lif_pseudo_loads_float() {
+        let p = assemble("t", "lif r5, 2.5\nend\n").unwrap();
+        let mut st = ThreadState::at_entry(0, 1, 0, 0);
+        let mut mem = VecMemory::zeroed(1);
+        run_until_suspend(&p, &mut st, &mut mem, &CostModel::default(), 100).unwrap();
+        assert_eq!(f32::from_bits(st.get(Reg::r(5))), 2.5);
+    }
+}

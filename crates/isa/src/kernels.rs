@@ -1,0 +1,421 @@
+//! A small library of reusable EMC-Y kernels.
+//!
+//! These are the microbenchmark building blocks the experiments use: read
+//! loops for latency probing, local vector arithmetic, block transfers, and
+//! spawn chains. Each builder returns a fully assembled [`Program`]; the
+//! tests run them on the bare interpreter where possible (machine-level
+//! behaviour is covered by the `emx-runtime` and repo integration tests).
+//!
+//! Register conventions follow the machine ABI: `arg` carries the invoking
+//! packet's data word (usually a packed global address), `pe`/`npes`
+//! identify the processor, and `fp` points at the activation frame's memory
+//! region.
+
+use crate::program::{Program, ProgramBuilder};
+use crate::reg::Reg;
+
+/// A split-phase read loop: `reads` remote reads of the packed global
+/// address in `arg`. The paper's sorting read loop has a 12-cycle body; this
+/// one is 3 cycles (read + increment + branch), so it measures *latency*
+/// rather than loop overhead — add `pad_nops` to stretch the run length.
+pub fn read_loop(reads: i16, pad_nops: u8) -> Program {
+    let (counter, limit) = (Reg::r(7), Reg::r(8));
+    let mut b = ProgramBuilder::new("read_loop");
+    b.addi(limit, Reg::ZERO, reads);
+    b.label("loop");
+    b.rread(Reg::r(5), Reg::ARG);
+    for _ in 0..pad_nops {
+        b.nop();
+    }
+    b.addi(counter, counter, 1);
+    b.bne(counter, limit, "loop");
+    b.end();
+    b.build().expect("read_loop assembles")
+}
+
+/// Sum the `len` local words at `base` and remote-write the result to the
+/// packed global address in `arg`.
+pub fn vector_sum(base: i16, len: i16) -> Program {
+    let (acc, cursor, end, val) = (Reg::r(5), Reg::r(6), Reg::r(7), Reg::r(8));
+    let mut b = ProgramBuilder::new("vector_sum");
+    b.addi(cursor, Reg::ZERO, base);
+    b.addi(end, cursor, len);
+    b.label("loop");
+    b.lw(val, cursor, 0);
+    b.add(acc, acc, val);
+    b.addi(cursor, cursor, 1);
+    b.bne(cursor, end, "loop");
+    b.rwrite(Reg::ARG, acc);
+    b.end();
+    b.build().expect("vector_sum assembles")
+}
+
+/// Single-precision `y[i] = a*x[i] + y[i]` over `len` local elements, with
+/// `x` at `x_base`, `y` at `y_base`, and the scalar `a` given at build time.
+pub fn saxpy(a: f32, x_base: i16, y_base: i16, len: i16) -> Program {
+    let (xc, yc, end, xv, yv, av) = (
+        Reg::r(5),
+        Reg::r(6),
+        Reg::r(7),
+        Reg::r(8),
+        Reg::r(9),
+        Reg::r(10),
+    );
+    let mut b = ProgramBuilder::new("saxpy");
+    b.lif(av, a);
+    b.addi(xc, Reg::ZERO, x_base);
+    b.addi(yc, Reg::ZERO, y_base);
+    b.addi(end, xc, len);
+    b.label("loop");
+    b.lw(xv, xc, 0);
+    b.lw(yv, yc, 0);
+    b.fmul(xv, xv, av);
+    b.fadd(yv, yv, xv);
+    b.sw(yv, yc, 0);
+    b.addi(xc, xc, 1);
+    b.addi(yc, yc, 1);
+    b.bne(xc, end, "loop");
+    b.end();
+    b.build().expect("saxpy assembles")
+}
+
+/// Fetch `len` words from the packed global address in `arg` into local
+/// memory at `dst` with one block-read request, then end.
+pub fn block_fetch(dst: i16, len: u16) -> Program {
+    let dreg = Reg::r(6);
+    let mut b = ProgramBuilder::new("block_fetch");
+    b.addi(dreg, Reg::ZERO, dst);
+    b.rreadb(Reg::ARG, dreg, len);
+    b.end();
+    b.build().expect("block_fetch assembles")
+}
+
+/// Fill `len` local words at `base` with `value` (a 16-bit immediate).
+pub fn memset_local(base: i16, len: i16, value: i16) -> Program {
+    let (cursor, end, val) = (Reg::r(5), Reg::r(6), Reg::r(7));
+    let mut b = ProgramBuilder::new("memset_local");
+    b.addi(val, Reg::ZERO, value);
+    b.addi(cursor, Reg::ZERO, base);
+    b.addi(end, cursor, len);
+    b.label("loop");
+    b.sw(val, cursor, 0);
+    b.addi(cursor, cursor, 1);
+    b.bne(cursor, end, "loop");
+    b.end();
+    b.build().expect("memset_local assembles")
+}
+
+/// Relay a token around the machine: decrement the count in `arg`'s low
+/// half; if non-zero, spawn `self_entry` on the next processor with the
+/// decremented count, else remote-write a completion marker to the packed
+/// address stored at local word `done_slot_addr`.
+///
+/// `self_entry` is the entry id this template will receive when registered
+/// (entry ids are assigned in registration order, so the caller knows it).
+pub fn spawn_ring(self_entry: u32, done_slot_addr: i16) -> Program {
+    let (count, next_pe, entry_addr, one) = (Reg::r(5), Reg::r(6), Reg::r(7), Reg::r(8));
+    let mut b = ProgramBuilder::new("spawn_ring");
+    // count = arg - 1
+    b.addi(count, Reg::ARG, -1);
+    b.beq(count, Reg::ZERO, "finish");
+    // next_pe = (pe + 1) % npes
+    b.addi(next_pe, Reg::PE, 1);
+    b.blt(next_pe, Reg::NPES, "wrap_done");
+    b.addi(next_pe, Reg::ZERO, 0);
+    b.label("wrap_done");
+    // entry gaddr = (next_pe << 22) | self_entry
+    b.addi(one, Reg::ZERO, 22);
+    b.sll(entry_addr, next_pe, one);
+    // self_entry fits 16 bits for any realistic registry; ori it in.
+    b.ori(entry_addr, entry_addr, self_entry as u16 as i16);
+    b.spawn(entry_addr, count);
+    b.end();
+    b.label("finish");
+    // Write the hop count (1) to the completion address.
+    b.lw(entry_addr, Reg::ZERO, done_slot_addr);
+    b.addi(one, Reg::ZERO, 1);
+    b.rwrite(entry_addr, one);
+    b.end();
+    b.build().expect("spawn_ring assembles")
+}
+
+/// In-place insertion sort of the `len` local words at `base` — a complete
+/// sorting algorithm in EMC-Y assembly, used to demonstrate that the ISA
+/// and interpreter can express real control-heavy kernels.
+pub fn insertion_sort(base: i16, len: i16) -> Program {
+    // r5 = i (outer cursor), r6 = j (inner cursor), r7 = end, r8 = key,
+    // r9 = current element, r10 = scratch address.
+    let (i, j, end, key, cur, addr) = (
+        Reg::r(5),
+        Reg::r(6),
+        Reg::r(7),
+        Reg::r(8),
+        Reg::r(9),
+        Reg::r(10),
+    );
+    let mut b = ProgramBuilder::new("insertion_sort");
+    b.addi(i, Reg::ZERO, base + 1);
+    b.addi(end, Reg::ZERO, base + len);
+    b.label("outer");
+    b.bge(i, end, "done_check");
+    b.lw(key, i, 0);
+    b.add(j, i, Reg::ZERO);
+    b.label("inner");
+    // while j > base and mem[j-1] > key: mem[j] = mem[j-1]; j -= 1
+    b.addi(addr, Reg::ZERO, base);
+    b.bge(addr, j, "place"); // j == base
+    b.lw(cur, j, -1);
+    b.bge(key, cur, "place"); // mem[j-1] <= key
+    b.sw(cur, j, 0);
+    b.addi(j, j, -1);
+    b.j("inner");
+    b.label("place");
+    b.sw(key, j, 0);
+    b.addi(i, i, 1);
+    b.j("outer");
+    b.label("done_check");
+    b.end();
+    b.build().expect("insertion_sort assembles")
+}
+
+/// The distributed half of a compare-split step, entirely in assembly: read
+/// the mate's `len`-word sorted block (starting at the packed global
+/// address in `arg`) one element at a time into `recv`, then merge it with
+/// the sorted local block at `local`, keeping the lowest `len` keys into
+/// `out`. This is one processor's side of the paper's bitonic merge step,
+/// expressed at the instruction level.
+pub fn compare_split_low(local: i16, recv: i16, out: i16, len: i16) -> Program {
+    // r5 = read cursor (gaddr), r6 = recv store cursor, r7 = reads left,
+    // r8 = value, r9/r10 = merge cursors, r11 = out cursor, r12 = out end,
+    // r13/r14 = heads.
+    let (ga, rc, left, val) = (Reg::r(5), Reg::r(6), Reg::r(7), Reg::r(8));
+    let (li, ri, oi, oend) = (Reg::r(9), Reg::r(10), Reg::r(11), Reg::r(12));
+    let (lv, rv) = (Reg::r(13), Reg::r(14));
+    let mut b = ProgramBuilder::new("compare_split_low");
+    // Read loop: the paper's split-phase element-at-a-time exchange.
+    b.add(ga, Reg::ARG, Reg::ZERO);
+    b.addi(rc, Reg::ZERO, recv);
+    b.addi(left, Reg::ZERO, len);
+    b.label("read");
+    b.rread(val, ga);
+    b.sw(val, rc, 0);
+    b.addi(ga, ga, 1); // next mate word (same PE, next offset)
+    b.addi(rc, rc, 1);
+    b.addi(left, left, -1);
+    b.bne(left, Reg::ZERO, "read");
+    // Merge: keep the lowest `len` of local ++ recv.
+    b.addi(li, Reg::ZERO, local);
+    b.addi(ri, Reg::ZERO, recv);
+    b.addi(oi, Reg::ZERO, out);
+    b.addi(oend, Reg::ZERO, out + len);
+    b.label("merge");
+    b.bge(oi, oend, "finish");
+    b.lw(lv, li, 0);
+    b.lw(rv, ri, 0);
+    b.blt(rv, lv, "take_recv");
+    b.sw(lv, oi, 0);
+    b.addi(li, li, 1);
+    b.j("advance");
+    b.label("take_recv");
+    b.sw(rv, oi, 0);
+    b.addi(ri, ri, 1);
+    b.label("advance");
+    b.addi(oi, oi, 1);
+    b.j("merge");
+    b.label("finish");
+    b.end();
+    b.build().expect("compare_split_low assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::{run_until_suspend, Effect, ThreadState, VecMemory};
+    use emx_core::CostModel;
+
+    fn run_local(p: &Program, mem: &mut VecMemory) -> (ThreadState, Effect, u64) {
+        let mut st = ThreadState::at_entry(0, 4, 0, 0);
+        let (cycles, eff) =
+            run_until_suspend(p, &mut st, mem, &CostModel::default(), 1_000_000).unwrap();
+        (st, eff, cycles)
+    }
+
+    #[test]
+    fn vector_sum_adds_a_local_range() {
+        let p = vector_sum(64, 10);
+        let mut mem = VecMemory::zeroed(128);
+        for i in 0..10u32 {
+            mem.0[64 + i as usize] = i + 1;
+        }
+        // Standalone run: the remote write is swallowed by the harness; the
+        // accumulator register still holds the sum.
+        let (st, eff, _) = run_local(&p, &mut mem);
+        assert_eq!(eff, Effect::End);
+        assert_eq!(st.get(Reg::r(5)), 55);
+    }
+
+    #[test]
+    fn saxpy_computes_in_f32() {
+        let p = saxpy(2.5, 32, 48, 4);
+        let mut mem = VecMemory::zeroed(64);
+        for i in 0..4 {
+            mem.0[32 + i] = (i as f32 + 1.0).to_bits(); // x = 1..4
+            mem.0[48 + i] = 10.0f32.to_bits(); // y = 10
+        }
+        let (_, eff, _) = run_local(&p, &mut mem);
+        assert_eq!(eff, Effect::End);
+        for i in 0..4 {
+            let y = f32::from_bits(mem.0[48 + i]);
+            assert_eq!(y, 10.0 + 2.5 * (i as f32 + 1.0), "y[{i}]");
+        }
+    }
+
+    #[test]
+    fn memset_fills_the_range_and_nothing_else() {
+        let p = memset_local(16, 8, 42);
+        let mut mem = VecMemory::zeroed(32);
+        let (_, eff, _) = run_local(&p, &mut mem);
+        assert_eq!(eff, Effect::End);
+        assert!(mem.0[16..24].iter().all(|&w| w == 42));
+        assert_eq!(mem.0[15], 0);
+        assert_eq!(mem.0[24], 0);
+    }
+
+    #[test]
+    fn read_loop_issues_the_requested_reads() {
+        let p = read_loop(3, 0);
+        let mut mem = VecMemory::zeroed(4);
+        let mut st = ThreadState::at_entry(0, 2, 0, 0x0040_0000);
+        let cm = CostModel::default();
+        let mut reads = 0;
+        loop {
+            let (_, eff) = run_until_suspend(&p, &mut st, &mut mem, &cm, 1000).unwrap();
+            match eff {
+                Effect::RemoteRead { gaddr, dst } => {
+                    assert_eq!(gaddr, 0x0040_0000);
+                    st.set(dst, 7); // deliver a value and resume
+                    reads += 1;
+                }
+                Effect::End => break,
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(reads, 3);
+    }
+
+    #[test]
+    fn read_loop_padding_stretches_run_length() {
+        let cm = CostModel::default();
+        let short = read_loop(1, 0).straight_line_cost(&cm);
+        let long = read_loop(1, 9).straight_line_cost(&cm);
+        assert_eq!(long - short, 9);
+    }
+
+    #[test]
+    fn block_fetch_requests_the_right_block() {
+        let p = block_fetch(100, 16);
+        let mut mem = VecMemory::zeroed(128);
+        let mut st = ThreadState::at_entry(0, 2, 0, 0x0040_0020);
+        let (_, eff) =
+            run_until_suspend(&p, &mut st, &mut mem, &CostModel::default(), 1000).unwrap();
+        assert_eq!(
+            eff,
+            Effect::RemoteReadBlock { gaddr: 0x0040_0020, local: 100, len: 16 }
+        );
+    }
+
+    #[test]
+    fn insertion_sort_sorts_in_assembly() {
+        for seed in [1u64, 2, 3] {
+            let p = insertion_sort(32, 20);
+            let mut mem = VecMemory::zeroed(64);
+            // Deterministic pseudo-random fill.
+            let mut x = seed;
+            let mut expect = Vec::new();
+            for i in 0..20 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let v = (x >> 33) as u32 & 0xFFFF;
+                mem.0[32 + i] = v;
+                expect.push(v);
+            }
+            expect.sort_unstable();
+            let (_, eff, _) = run_local(&p, &mut mem);
+            assert_eq!(eff, Effect::End);
+            assert_eq!(&mem.0[32..52], &expect[..], "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn insertion_sort_handles_degenerate_lengths() {
+        for len in [1i16, 2] {
+            let p = insertion_sort(8, len);
+            let mut mem = VecMemory::zeroed(32);
+            mem.0[8] = 9;
+            mem.0[9] = 3;
+            let (_, eff, _) = run_local(&p, &mut mem);
+            assert_eq!(eff, Effect::End);
+            if len == 2 {
+                assert_eq!(&mem.0[8..10], &[3, 9]);
+            }
+        }
+    }
+
+    #[test]
+    fn compare_split_low_merges_after_reads() {
+        // Drive the kernel standalone, serving its remote reads by hand
+        // from a fake mate block (sorted ascending).
+        let mate: Vec<u32> = vec![1, 3, 4, 8];
+        let local: Vec<u32> = vec![2, 5, 6, 7];
+        let p = compare_split_low(32, 40, 48, 4);
+        let mut mem = VecMemory::zeroed(64);
+        mem.0[32..36].copy_from_slice(&local);
+        // arg = packed gaddr of the mate block: PE1, offset 100.
+        let mut st = ThreadState::at_entry(0, 2, 0, (1 << 22) | 100);
+        let cm = CostModel::default();
+        loop {
+            let (_, eff) = run_until_suspend(&p, &mut st, &mut mem, &cm, 10_000).unwrap();
+            match eff {
+                Effect::RemoteRead { gaddr, dst } => {
+                    let off = (gaddr & 0x3F_FFFF) as usize - 100;
+                    st.set(dst, mate[off]);
+                }
+                Effect::End => break,
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        // Lowest 4 of {1,2,3,4,5,6,7,8} = {1,2,3,4} — the paper's Px result.
+        assert_eq!(&mem.0[48..52], &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn spawn_ring_terminates_or_forwards() {
+        // arg = 1: finishes immediately (writes completion).
+        let p = spawn_ring(3, 8);
+        let mut mem = VecMemory::zeroed(16);
+        mem.0[8] = 0x0000_1234; // completion address
+        let mut st = ThreadState::at_entry(0, 4, 0, 1);
+        let (_, eff) =
+            run_until_suspend(&p, &mut st, &mut mem, &CostModel::default(), 1000).unwrap();
+        // Standalone harness treats the rwrite as executed-and-continue, so
+        // the thread ends.
+        assert_eq!(eff, Effect::End);
+
+        // arg = 2: spawns entry 3 on PE 1 with count 1.
+        let mut st = ThreadState::at_entry(0, 4, 0, 2);
+        let mut steps = 0;
+        let cm = CostModel::default();
+        loop {
+            let out = crate::interp::step(&p, &mut st, &mut mem, &cm).unwrap();
+            steps += 1;
+            assert!(steps < 100);
+            match out.effect {
+                Effect::Spawn { entry, arg } => {
+                    assert_eq!(entry, (1 << 22) | 3, "PE1, entry 3");
+                    assert_eq!(arg, 1);
+                }
+                Effect::End => break,
+                _ => {}
+            }
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! # emx-isa
+//!
+//! An EMC-Y-style instruction set for the EM-X simulator.
+//!
+//! The EMC-Y Execution Unit is "a register-based RISC pipeline which executes
+//! a thread of sequential instructions. It has 32 registers, including five
+//! special purpose registers. All integer instructions take one clock cycle,
+//! with the exception of an instruction which exchanges the content of a
+//! register with the content of memory. Single precision floating point
+//! instructions are also executed in one clock, except floating point
+//! division. Packet generation is also performed by this unit, which takes
+//! one clock. Four types of send instructions are implemented, including
+//! remote read request for one data and for a block of data." (paper §2.2)
+//!
+//! This crate provides exactly that machine model:
+//!
+//! * [`Reg`] — the 32-register file with its five special registers;
+//! * [`Instr`] — the instruction set, its per-instruction cycle
+//!   [`cost`](Instr::cost), and a 32-bit binary [`encode`](Instr::encode) /
+//!   [`decode`](Instr::decode);
+//! * [`Program`] / [`Assembler`] — a label-resolving text assembler and a
+//!   programmatic builder;
+//! * [`ThreadState`] / [`step`] — the EXU interpreter, which yields
+//!   [`Effect`]s (packet sends, split-phase reads, thread end) for the
+//!   processor model in `emx-proc` to act on.
+//!
+//! The large workload kernels in `emx-workloads` use the higher-level
+//! state-machine API in `emx-runtime`, whose cycle charges are calibrated to
+//! this cost table; microkernels (latency probes, vector ops) run directly
+//! on this interpreter.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod asm;
+mod instr;
+mod interp;
+pub mod kernels;
+mod program;
+mod reg;
+
+pub use asm::{assemble, Assembler};
+pub use instr::{Instr, Opcode};
+pub use interp::{run_until_suspend, step, Effect, MemoryBus, StepOutcome, ThreadState, VecMemory};
+pub use program::{Program, ProgramBuilder};
+pub use reg::Reg;

@@ -1,0 +1,121 @@
+//! Property-based tests of the instruction encoding and interpreter.
+
+use emx_core::CostModel;
+use emx_isa::{assemble, Instr, Program, ProgramBuilder, Reg, ThreadState, VecMemory};
+use proptest::prelude::*;
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (0u8..32).prop_map(Reg::r)
+}
+
+fn arb_instr() -> impl Strategy<Value = Instr> {
+    let r = arb_reg;
+    prop_oneof![
+        Just(Instr::Nop),
+        (r(), r(), r()).prop_map(|(rd, rs, rt)| Instr::Add { rd, rs, rt }),
+        (r(), r(), r()).prop_map(|(rd, rs, rt)| Instr::Sub { rd, rs, rt }),
+        (r(), r(), r()).prop_map(|(rd, rs, rt)| Instr::Mul { rd, rs, rt }),
+        (r(), r(), r()).prop_map(|(rd, rs, rt)| Instr::Div { rd, rs, rt }),
+        (r(), r(), r()).prop_map(|(rd, rs, rt)| Instr::Xor { rd, rs, rt }),
+        (r(), r(), r()).prop_map(|(rd, rs, rt)| Instr::Slt { rd, rs, rt }),
+        (r(), r(), any::<i16>()).prop_map(|(rd, rs, imm)| Instr::Addi { rd, rs, imm }),
+        (r(), r(), any::<i16>()).prop_map(|(rd, rs, imm)| Instr::Ori { rd, rs, imm }),
+        (r(), any::<i16>()).prop_map(|(rd, imm)| Instr::Lui { rd, imm }),
+        (r(), r(), r()).prop_map(|(rd, rs, rt)| Instr::FAdd { rd, rs, rt }),
+        (r(), r(), r()).prop_map(|(rd, rs, rt)| Instr::FDiv { rd, rs, rt }),
+        (r(), r(), any::<i16>()).prop_map(|(rd, base, imm)| Instr::Lw { rd, base, imm }),
+        (r(), r(), any::<i16>()).prop_map(|(src, base, imm)| Instr::Sw { src, base, imm }),
+        (r(), r(), any::<u16>()).prop_map(|(rs, rt, target)| Instr::Beq { rs, rt, target }),
+        (r(), r(), any::<u16>()).prop_map(|(rs, rt, target)| Instr::Blt { rs, rt, target }),
+        (0u32..1 << 26).prop_map(|target| Instr::J { target }),
+        (r(), r()).prop_map(|(rd, gaddr)| Instr::Rread { rd, gaddr }),
+        (r(), r(), 1u16..=1024).prop_map(|(gaddr, local, len)| Instr::Rreadb {
+            gaddr,
+            local,
+            len
+        }),
+        (r(), r()).prop_map(|(gaddr, val)| Instr::Rwrite { gaddr, val }),
+        (r(), r()).prop_map(|(entry, arg)| Instr::Spawn { entry, arg }),
+        Just(Instr::End),
+        Just(Instr::Yield),
+    ]
+}
+
+proptest! {
+    /// Every instruction survives encode → decode unchanged.
+    #[test]
+    fn encode_decode_roundtrip(ins in arb_instr()) {
+        prop_assert_eq!(Instr::decode(ins.encode()).unwrap(), ins);
+    }
+
+    /// Whole programs survive binary roundtrip.
+    #[test]
+    fn program_roundtrip(instrs in proptest::collection::vec(arb_instr(), 0..64)) {
+        let p = Program::new("prop", instrs);
+        let back = Program::decode("prop", &p.encode()).unwrap();
+        prop_assert_eq!(back.instrs(), p.instrs());
+    }
+
+    /// Interpreter ALU semantics agree with Rust's wrapping integer
+    /// arithmetic, and r0 is never clobbered.
+    #[test]
+    fn alu_matches_reference(a in any::<u32>(), b in any::<u32>()) {
+        let (x, y, z) = (Reg::r(5), Reg::r(6), Reg::r(7));
+        let cm = CostModel::default();
+        let cases: Vec<(Instr, u32)> = vec![
+            (Instr::Add { rd: z, rs: x, rt: y }, a.wrapping_add(b)),
+            (Instr::Sub { rd: z, rs: x, rt: y }, a.wrapping_sub(b)),
+            (Instr::Mul { rd: z, rs: x, rt: y }, a.wrapping_mul(b)),
+            (Instr::And { rd: z, rs: x, rt: y }, a & b),
+            (Instr::Or  { rd: z, rs: x, rt: y }, a | b),
+            (Instr::Xor { rd: z, rs: x, rt: y }, a ^ b),
+            (Instr::Sll { rd: z, rs: x, rt: y }, a << (b & 31)),
+            (Instr::Srl { rd: z, rs: x, rt: y }, a >> (b & 31)),
+            (Instr::Sra { rd: z, rs: x, rt: y }, ((a as i32) >> (b & 31)) as u32),
+            (Instr::Slt { rd: z, rs: x, rt: y }, ((a as i32) < (b as i32)) as u32),
+            (Instr::Sltu { rd: z, rs: x, rt: y }, (a < b) as u32),
+        ];
+        for (ins, expect) in cases {
+            let p = Program::new("t", vec![ins, Instr::End]);
+            let mut st = ThreadState::at_entry(0, 1, 0, 0);
+            st.set(x, a);
+            st.set(y, b);
+            let mut mem = VecMemory::zeroed(1);
+            emx_isa::step(&p, &mut st, &mut mem, &cm).unwrap();
+            prop_assert_eq!(st.get(z), expect, "{:?}", ins);
+            prop_assert_eq!(st.get(Reg::ZERO), 0);
+        }
+    }
+
+    /// li32 materializes every 32-bit constant exactly.
+    #[test]
+    fn li32_exact(v in any::<u32>()) {
+        let mut b = ProgramBuilder::new("li");
+        b.li32(Reg::r(5), v);
+        b.end();
+        let p = b.build().unwrap();
+        let mut st = ThreadState::at_entry(0, 1, 0, 0);
+        let mut mem = VecMemory::zeroed(1);
+        emx_isa::run_until_suspend(&p, &mut st, &mut mem, &CostModel::default(), 100).unwrap();
+        prop_assert_eq!(st.get(Reg::r(5)), v);
+    }
+
+    /// The assembler and the builder agree on simple kernels: assembling the
+    /// printed form of an addi/branch loop gives the same encoding.
+    #[test]
+    fn assembler_matches_builder(n in 1i16..100) {
+        let src = format!(
+            "        addi r5, zero, {n}\nloop:   add r6, r6, r5\n        addi r5, r5, -1\n        bne r5, zero, loop\n        end\n"
+        );
+        let from_text = assemble("k", &src).unwrap();
+        let mut b = ProgramBuilder::new("k");
+        b.addi(Reg::r(5), Reg::ZERO, n);
+        b.label("loop");
+        b.add(Reg::r(6), Reg::r(6), Reg::r(5));
+        b.addi(Reg::r(5), Reg::r(5), -1);
+        b.bne(Reg::r(5), Reg::ZERO, "loop");
+        b.end();
+        let from_builder = b.build().unwrap();
+        prop_assert_eq!(from_text.encode(), from_builder.encode());
+    }
+}

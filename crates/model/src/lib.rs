@@ -1,0 +1,400 @@
+//! # emx-model
+//!
+//! The analytic multithreading model the paper builds on (its reference
+//! [16]: Saavedra-Barrera, Culler, von Eicken, *Analysis of Multithreaded
+//! Architectures for Parallel Computing*, SPAA 1990).
+//!
+//! A processor runs h threads. Each thread executes a *run length* of R
+//! cycles, issues a remote reference with latency L, pays a context switch
+//! of S cycles, and waits for its reference while the other threads run.
+//! The model "indicated that the performance of multithreading can be
+//! classified into three regions: linear, transition, and saturation. The
+//! performance ... is proportional to the number of threads in the linear
+//! region while it depends only on the remote reference rate and switch
+//! cost in the saturation region" (paper §1).
+//!
+//! Deterministic closed form:
+//!
+//! * period per round of h threads: `max(R + S + L, h·(R + S))`;
+//! * utilization `U(h) = h·R / period`;
+//! * saturation point `h* = (R + S + L) / (R + S)`;
+//! * per-read idle time `max(0, L − (h−1)·(R+S))`, from which the Figure-7
+//!   overlap efficiency follows directly.
+//!
+//! The EM-X's measured parameters — R = 12 for the sorting read loop,
+//! S = "several" cycles, L = 20–40 cycles — put `h*` between 2 and 4, which
+//! is the paper's headline observation; [`ModelParams::optimal_threads`]
+//! reproduces it (see tests), and the `analytic_model` bench compares the
+//! model against the simulator.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use emx_core::CostModel;
+use serde::{Deserialize, Serialize};
+
+/// Which of the model's three regions a thread count falls in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Region {
+    /// Utilization grows proportionally with the thread count.
+    Linear,
+    /// Within one thread of the saturation point.
+    Transition,
+    /// Utilization is pinned at `R / (R + S)` regardless of h.
+    Saturation,
+}
+
+/// The three parameters of the model, in cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ModelParams {
+    /// Run length R: cycles a thread executes between remote references.
+    pub run_length: f64,
+    /// Context switch cost S.
+    pub switch_cost: f64,
+    /// Remote reference latency L (round trip).
+    pub latency: f64,
+}
+
+impl ModelParams {
+    /// Build from cycle counts.
+    pub fn new(run_length: f64, switch_cost: f64, latency: f64) -> Self {
+        ModelParams {
+            run_length,
+            switch_cost,
+            latency,
+        }
+    }
+
+    /// The paper's sorting configuration under a given cost model: run
+    /// length 12 (the read-loop body) and the configured switch cost, with
+    /// caller-supplied latency (20–40 cycles on the real machine).
+    pub fn sorting(costs: &CostModel, latency: f64) -> Self {
+        ModelParams::new(12.0, f64::from(costs.context_switch), latency)
+    }
+
+    /// Cycles per scheduling round of h threads.
+    fn period(&self, h: f64) -> f64 {
+        (self.run_length + self.switch_cost + self.latency)
+            .max(h * (self.run_length + self.switch_cost))
+    }
+
+    /// Processor utilization U(h) ∈ [0, 1].
+    pub fn utilization(&self, h: f64) -> f64 {
+        if h <= 0.0 {
+            return 0.0;
+        }
+        (h * self.run_length / self.period(h)).min(1.0)
+    }
+
+    /// The saturation point h* = (R+S+L)/(R+S).
+    pub fn saturation_point(&self) -> f64 {
+        let rs = self.run_length + self.switch_cost;
+        if rs <= 0.0 {
+            f64::INFINITY
+        } else {
+            (rs + self.latency) / rs
+        }
+    }
+
+    /// Region classification for an integer thread count.
+    pub fn region(&self, h: u32) -> Region {
+        let hstar = self.saturation_point();
+        let h = f64::from(h);
+        if h >= hstar {
+            if h < hstar + 1.0 {
+                Region::Transition
+            } else {
+                Region::Saturation
+            }
+        } else if h > hstar - 1.0 {
+            Region::Transition
+        } else {
+            Region::Linear
+        }
+    }
+
+    /// EXU idle cycles per remote read: `max(0, L − (h−1)(R+S))`.
+    pub fn idle_per_read(&self, h: u32) -> f64 {
+        (self.latency - (f64::from(h) - 1.0) * (self.run_length + self.switch_cost)).max(0.0)
+    }
+
+    /// The Figure-7 overlap efficiency in percent:
+    /// `E(h) = (idle(1) − idle(h)) / idle(1) × 100`.
+    pub fn overlap_efficiency(&self, h: u32) -> f64 {
+        let base = self.idle_per_read(1);
+        if base <= 0.0 {
+            0.0
+        } else {
+            (base - self.idle_per_read(h)) / base * 100.0
+        }
+    }
+
+    /// Smallest integer thread count that fully masks the latency
+    /// (`idle_per_read == 0`), i.e. `⌈h*⌉`.
+    pub fn optimal_threads(&self) -> u32 {
+        let rs = self.run_length + self.switch_cost;
+        if rs <= 0.0 {
+            return u32::MAX;
+        }
+        1 + (self.latency / rs).ceil() as u32
+    }
+
+    /// Predicted communication time in cycles for a workload issuing
+    /// `reads` remote reads per processor with h threads.
+    pub fn comm_cycles(&self, h: u32, reads: u64) -> f64 {
+        self.idle_per_read(h) * reads as f64
+    }
+}
+
+/// A deterministic xorshift64* generator so the stochastic model needs no
+/// external dependency and reruns exactly.
+#[derive(Debug, Clone)]
+struct XorShift(u64);
+
+impl XorShift {
+    fn new(seed: u64) -> Self {
+        XorShift(seed.max(1))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform in [0, 1).
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Geometric run length with mean `mean` (support ≥ 1).
+    fn geometric(&mut self, mean: f64) -> f64 {
+        if mean <= 1.0 {
+            return 1.0;
+        }
+        let p = 1.0 / mean;
+        // Inverse CDF of the geometric distribution on {1, 2, ...}.
+        1.0 + (self.next_f64().ln() / (1.0 - p).ln()).floor()
+    }
+}
+
+/// The stochastic counterpart of [`ModelParams`]: run lengths are geometric
+/// with mean R (the regime the Saavedra-Barrera analysis actually studies),
+/// estimated by discrete-event Monte Carlo over one processor's h threads.
+///
+/// Variance hurts: with random run lengths several threads can block at
+/// once, so utilization in the transition region falls below the
+/// deterministic bound — exactly why the paper's measured valleys are
+/// shallower than the back-of-envelope `(h-1)(R+S) >= L` rule suggests.
+#[derive(Debug, Clone, Copy)]
+pub struct StochasticModel {
+    /// The deterministic parameters the randomness is built around.
+    pub params: ModelParams,
+}
+
+impl StochasticModel {
+    /// Wrap deterministic parameters.
+    pub fn new(params: ModelParams) -> Self {
+        StochasticModel { params }
+    }
+
+    /// Estimate utilization for `h` threads over `reads_per_thread`
+    /// reference cycles per thread, with geometric run lengths. Seeded and
+    /// exactly reproducible.
+    pub fn utilization(&self, h: u32, reads_per_thread: u32, seed: u64) -> f64 {
+        if h == 0 || reads_per_thread == 0 {
+            return 0.0;
+        }
+        let mut rng = XorShift::new(seed ^ 0x9E37_79B9_7F4A_7C15);
+        let s = self.params.switch_cost;
+        let l = self.params.latency;
+        // Per-thread state: time at which the thread's outstanding
+        // reference returns (ready when <= now), and references left.
+        let mut ready_at = vec![0.0f64; h as usize];
+        let mut left = vec![reads_per_thread; h as usize];
+        let mut now = 0.0f64;
+        let mut busy = 0.0f64;
+        loop {
+            // FIFO-ish: pick the ready thread with the earliest ready time.
+            let mut pick: Option<usize> = None;
+            for (i, &r) in ready_at.iter().enumerate() {
+                if left[i] > 0 && r <= now {
+                    pick = match pick {
+                        Some(p) if ready_at[p] <= r => Some(p),
+                        _ => Some(i),
+                    };
+                }
+            }
+            match pick {
+                Some(i) => {
+                    let run = rng.geometric(self.params.run_length);
+                    busy += run;
+                    now += run + s;
+                    left[i] -= 1;
+                    ready_at[i] = now + l;
+                }
+                None => {
+                    // Idle until the next pending thread becomes ready.
+                    let next = ready_at
+                        .iter()
+                        .zip(&left)
+                        .filter(|&(_, &l)| l > 0)
+                        .map(|(&r, _)| r)
+                        .fold(f64::INFINITY, f64::min);
+                    if !next.is_finite() {
+                        break;
+                    }
+                    now = now.max(next);
+                }
+            }
+        }
+        if now <= 0.0 {
+            0.0
+        } else {
+            busy / now
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_headline_two_to_four_threads() {
+        // R = 12, S = 4, L in 20..40 -> "each remote read needs two to four
+        // threads to mask off the latency" (§4).
+        let costs = CostModel::default();
+        for l in [20.0, 30.0, 40.0] {
+            let m = ModelParams::sorting(&costs, l);
+            let h = m.optimal_threads();
+            assert!((2..=4).contains(&h), "L={l}: h_opt={h} outside 2..4");
+        }
+    }
+
+    #[test]
+    fn utilization_is_monotone_then_flat() {
+        let m = ModelParams::new(12.0, 4.0, 32.0);
+        let mut prev = 0.0;
+        for h in 1..=16u32 {
+            let u = m.utilization(f64::from(h));
+            assert!(u >= prev - 1e-12, "utilization dipped at h={h}");
+            prev = u;
+        }
+        // Saturation value R/(R+S).
+        let sat = 12.0 / 16.0;
+        assert!((m.utilization(16.0) - sat).abs() < 1e-12);
+        assert!((m.utilization(8.0) - sat).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_thread_utilization() {
+        let m = ModelParams::new(10.0, 2.0, 28.0);
+        // U(1) = R / (R + S + L).
+        assert!((m.utilization(1.0) - 10.0 / 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn regions_partition_correctly() {
+        let m = ModelParams::new(12.0, 4.0, 32.0);
+        // h* = (16+32)/16 = 3.
+        assert!((m.saturation_point() - 3.0).abs() < 1e-12);
+        assert_eq!(m.region(1), Region::Linear);
+        assert_eq!(m.region(3), Region::Transition);
+        assert_eq!(m.region(8), Region::Saturation);
+    }
+
+    #[test]
+    fn idle_decreases_linearly_to_zero() {
+        let m = ModelParams::new(12.0, 4.0, 32.0);
+        assert_eq!(m.idle_per_read(1), 32.0);
+        assert_eq!(m.idle_per_read(2), 16.0);
+        assert_eq!(m.idle_per_read(3), 0.0);
+        assert_eq!(m.idle_per_read(10), 0.0, "never negative");
+    }
+
+    #[test]
+    fn efficiency_reaches_100_at_saturation() {
+        let m = ModelParams::new(12.0, 4.0, 32.0);
+        assert_eq!(m.overlap_efficiency(1), 0.0);
+        assert!((m.overlap_efficiency(2) - 50.0).abs() < 1e-12);
+        assert_eq!(m.overlap_efficiency(3), 100.0);
+        assert_eq!(m.overlap_efficiency(16), 100.0);
+    }
+
+    #[test]
+    fn comm_cycles_scales_with_reads() {
+        let m = ModelParams::new(12.0, 4.0, 32.0);
+        assert_eq!(m.comm_cycles(1, 1000), 32_000.0);
+        assert_eq!(m.comm_cycles(4, 1000), 0.0);
+    }
+
+    #[test]
+    fn stochastic_model_is_reproducible() {
+        let m = StochasticModel::new(ModelParams::new(12.0, 4.0, 32.0));
+        assert_eq!(m.utilization(4, 500, 7), m.utilization(4, 500, 7));
+        assert_ne!(m.utilization(4, 500, 7), m.utilization(4, 500, 8));
+    }
+
+    #[test]
+    fn stochastic_utilization_grows_with_threads() {
+        let m = StochasticModel::new(ModelParams::new(12.0, 4.0, 32.0));
+        let u1 = m.utilization(1, 2000, 1);
+        let u4 = m.utilization(4, 2000, 1);
+        let u16 = m.utilization(16, 2000, 1);
+        assert!(u1 < u4, "u1={u1:.3} u4={u4:.3}");
+        assert!(u4 <= u16 + 0.05, "u4={u4:.3} u16={u16:.3}");
+    }
+
+    #[test]
+    fn variance_hurts_in_the_transition_region() {
+        // At the deterministic saturation point the deterministic model is
+        // fully masked; the geometric model falls short (the paper's
+        // measured valleys are shallower than the deterministic rule).
+        let p = ModelParams::new(12.0, 4.0, 32.0);
+        let det = p.utilization(3.0);
+        let stoch = StochasticModel::new(p).utilization(3, 5000, 42);
+        assert!(
+            stoch < det,
+            "stochastic {stoch:.3} should undershoot deterministic {det:.3}"
+        );
+        // But not absurdly: within 40% of it.
+        assert!(stoch > det * 0.6, "stochastic {stoch:.3} too low vs {det:.3}");
+    }
+
+    #[test]
+    fn stochastic_single_thread_matches_closed_form() {
+        // With one thread there is no overlap: U = R/(R+S+L) regardless of
+        // run-length variance (expectations are linear).
+        let p = ModelParams::new(12.0, 4.0, 32.0);
+        let stoch = StochasticModel::new(p).utilization(1, 20_000, 3);
+        let det = p.utilization(1.0);
+        assert!(
+            (stoch - det).abs() < 0.02,
+            "stochastic {stoch:.4} vs closed form {det:.4}"
+        );
+    }
+
+    #[test]
+    fn degenerate_stochastic_inputs_are_safe() {
+        let m = StochasticModel::new(ModelParams::new(12.0, 4.0, 32.0));
+        assert_eq!(m.utilization(0, 100, 1), 0.0);
+        assert_eq!(m.utilization(4, 0, 1), 0.0);
+        // mean run length <= 1 clamps to 1-cycle runs.
+        let tiny = StochasticModel::new(ModelParams::new(0.5, 1.0, 4.0));
+        let u = tiny.utilization(2, 500, 5);
+        assert!(u > 0.0 && u <= 1.0);
+    }
+
+    #[test]
+    fn degenerate_parameters_are_safe() {
+        let m = ModelParams::new(0.0, 0.0, 10.0);
+        assert_eq!(m.utilization(4.0), 0.0);
+        assert_eq!(m.saturation_point(), f64::INFINITY);
+        assert_eq!(m.optimal_threads(), u32::MAX);
+        assert_eq!(m.utilization(0.0), 0.0);
+    }
+}

@@ -1,0 +1,94 @@
+//! # emx-net
+//!
+//! Network models for the EM-X simulator.
+//!
+//! The real machine connects its 80 EMC-Y processors "through a circular
+//! Omega network ... except that each processor is attached to a switch box"
+//! (paper §2.2). Packets are routed virtual-cut-through: "a packet can be
+//! transferred in k+1 cycles to the processor k hops beyond", each switch
+//! port "can transfer a packet ... at every second cycle", and the Switching
+//! Unit enforces message non-overtaking.
+//!
+//! [`OmegaNetwork`] reproduces those properties with destination-tag routing
+//! over `log2(P)` stages of 2x2 switches and per-output-port occupancy
+//! tracking. [`IdealNetwork`] (fixed latency, no contention) and
+//! [`CrossbarNetwork`] (single hop, endpoint contention only) isolate
+//! topology effects for the ablation benches.
+//!
+//! All models implement [`Network`]: given the injection time of a packet
+//! they return its arrival time at the destination's Input Buffer Unit, and
+//! they guarantee non-overtaking per (source, destination) pair.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod crossbar;
+mod ideal;
+mod omega;
+mod stats;
+mod torus;
+
+pub use crossbar::CrossbarNetwork;
+pub use ideal::IdealNetwork;
+pub use omega::{route_ports, OmegaNetwork, PortId};
+pub use stats::NetStats;
+pub use torus::TorusNetwork;
+
+use emx_core::{Cycle, NetConfig, NetModelKind, PeId, SimError};
+
+/// A network model: maps packet injections to arrival times.
+pub trait Network: Send {
+    /// A packet leaves `src`'s Output Buffer Unit at `now`; return the cycle
+    /// its last word arrives at `dst`'s Input Buffer Unit.
+    ///
+    /// Implementations must be monotone per (src, dst) pair: if packet A is
+    /// injected no later than packet B on the same pair, A arrives no later
+    /// than B (message non-overtaking, paper §2.2).
+    fn route(&mut self, now: Cycle, src: PeId, dst: PeId) -> Cycle;
+
+    /// The number of hops the route from `src` to `dst` traverses.
+    fn hops(&self, src: PeId, dst: PeId) -> u32;
+
+    /// Accumulated traffic statistics.
+    fn stats(&self) -> &NetStats;
+
+    /// Human-readable model name, for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Build the network selected by `cfg` for a machine of `num_pes` processors.
+pub fn build_network(cfg: &NetConfig, num_pes: usize) -> Result<Box<dyn Network>, SimError> {
+    if num_pes == 0 {
+        return Err(SimError::BadConfig {
+            reason: "network needs at least one endpoint".into(),
+        });
+    }
+    Ok(match cfg.model {
+        NetModelKind::CircularOmega => Box::new(OmegaNetwork::new(num_pes, *cfg)?),
+        NetModelKind::Ideal { latency } => Box::new(IdealNetwork::new(num_pes, latency)),
+        NetModelKind::FullCrossbar => Box::new(CrossbarNetwork::new(num_pes, *cfg)),
+        NetModelKind::Torus2D => Box::new(TorusNetwork::new(num_pes, *cfg)?),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factory_builds_each_model() {
+        let mut cfg = NetConfig::default();
+        assert_eq!(build_network(&cfg, 16).unwrap().name(), "circular-omega");
+        cfg.model = NetModelKind::Ideal { latency: 10 };
+        assert_eq!(build_network(&cfg, 16).unwrap().name(), "ideal");
+        cfg.model = NetModelKind::FullCrossbar;
+        assert_eq!(build_network(&cfg, 16).unwrap().name(), "crossbar");
+        cfg.model = NetModelKind::Torus2D;
+        assert_eq!(build_network(&cfg, 16).unwrap().name(), "torus-2d");
+    }
+
+    #[test]
+    fn factory_rejects_empty_machine() {
+        assert!(build_network(&NetConfig::default(), 0).is_err());
+    }
+}

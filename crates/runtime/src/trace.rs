@@ -1,0 +1,152 @@
+//! Optional execution tracing.
+//!
+//! When enabled with [`Machine::enable_trace`](crate::Machine::enable_trace),
+//! the machine records one event per packet injection and per dispatch —
+//! enough to reconstruct the FIFO scheduling interleaving the paper's
+//! Figure 4 walks through by hand. The trace is bounded: once `capacity`
+//! events have been recorded the rest are counted but dropped, so tracing
+//! is safe on long runs.
+
+use std::fmt;
+
+use emx_core::{Cycle, PacketKind, PeId};
+use emx_stats::Table;
+use serde::{Deserialize, Serialize};
+
+/// What happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceKind {
+    /// The EXU popped a packet from the queue and acted on it.
+    Dispatch {
+        /// Kind of the dispatched packet.
+        pkt: PacketKind,
+    },
+    /// A packet left this processor for `dst`.
+    Send {
+        /// Kind of the injected packet.
+        pkt: PacketKind,
+        /// Destination processor.
+        dst: PeId,
+    },
+}
+
+/// One trace record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Simulation time of the event.
+    pub at: Cycle,
+    /// Processor the event happened on.
+    pub pe: PeId,
+    /// The event.
+    pub kind: TraceKind,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            TraceKind::Dispatch { pkt } => {
+                write!(f, "{:>10} {} dispatch {:?}", self.at, self.pe, pkt)
+            }
+            TraceKind::Send { pkt, dst } => {
+                write!(f, "{:>10} {} send {:?} -> {}", self.at, self.pe, pkt, dst)
+            }
+        }
+    }
+}
+
+/// A bounded event trace.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+    capacity: usize,
+    /// Events that arrived after the buffer filled.
+    pub dropped: u64,
+}
+
+impl Trace {
+    /// An empty trace that keeps at most `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        Trace {
+            events: Vec::with_capacity(capacity.min(4096)),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Record an event (drops once full).
+    pub fn record(&mut self, at: Cycle, pe: PeId, kind: TraceKind) {
+        if self.events.len() < self.capacity {
+            self.events.push(TraceEvent { at, pe, kind });
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// All recorded events, in time order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events on one processor.
+    pub fn for_pe(&self, pe: PeId) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter().filter(move |e| e.pe == pe)
+    }
+
+    /// Render as an aligned table (cycle, PE, event).
+    pub fn to_table(&self) -> Table {
+        let mut t = Table::new(["cycle", "pe", "event"]);
+        for e in &self.events {
+            let what = match e.kind {
+                TraceKind::Dispatch { pkt } => format!("dispatch {pkt:?}"),
+                TraceKind::Send { pkt, dst } => format!("send {pkt:?} -> {dst}"),
+            };
+            t.row([e.at.get().to_string(), e.pe.to_string(), what]);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_until_capacity_then_counts_drops() {
+        let mut tr = Trace::new(2);
+        for i in 0..5u64 {
+            tr.record(
+                Cycle::new(i),
+                PeId(0),
+                TraceKind::Dispatch { pkt: PacketKind::Spawn },
+            );
+        }
+        assert_eq!(tr.len(), 2);
+        assert_eq!(tr.dropped, 3);
+    }
+
+    #[test]
+    fn filters_by_pe_and_renders() {
+        let mut tr = Trace::new(8);
+        tr.record(Cycle::new(1), PeId(0), TraceKind::Dispatch { pkt: PacketKind::Spawn });
+        tr.record(
+            Cycle::new(2),
+            PeId(1),
+            TraceKind::Send { pkt: PacketKind::ReadReq, dst: PeId(0) },
+        );
+        assert_eq!(tr.for_pe(PeId(1)).count(), 1);
+        let rendered = tr.to_table().render();
+        assert!(rendered.contains("ReadReq"));
+        assert!(rendered.contains("PE1"));
+        assert!(tr.events()[1].to_string().contains("send"));
+    }
+}

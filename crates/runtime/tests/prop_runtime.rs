@@ -1,0 +1,185 @@
+//! Property-based tests of the scheduler: randomly generated (but
+//! well-formed) thread populations always run to quiescence, conserve their
+//! accounting invariants, and replay identically.
+
+use emx_core::{Cycle, GlobalAddr, MachineConfig, PeId};
+use emx_runtime::{Action, Machine, ThreadBody, ThreadCtx, WorkKind};
+use emx_stats::RunReport;
+use proptest::prelude::*;
+
+/// One generated action opcode (self-contained: no barriers or seq cells,
+/// which need cross-thread coordination to avoid deadlock by construction).
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Work(u16),
+    OverheadWork(u16),
+    Read { pe_off: u16, addr: u16 },
+    Write { pe_off: u16, addr: u16, value: u32 },
+    Block { pe_off: u16, addr: u8, len: u8, dst: u16 },
+    Yield,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (1u16..200).prop_map(Op::Work),
+        (1u16..50).prop_map(Op::OverheadWork),
+        (0u16..64, 0u16..512).prop_map(|(pe_off, addr)| Op::Read { pe_off, addr }),
+        (0u16..64, 0u16..512, any::<u32>())
+            .prop_map(|(pe_off, addr, value)| Op::Write { pe_off, addr, value }),
+        (0u16..64, 0u8..64, 1u8..32, 512u16..900)
+            .prop_map(|(pe_off, addr, len, dst)| Op::Block { pe_off, addr, len, dst }),
+        Just(Op::Yield),
+    ]
+}
+
+struct ScriptThread {
+    ops: Vec<Op>,
+    at: usize,
+}
+
+impl ThreadBody for ScriptThread {
+    fn step(&mut self, ctx: &mut ThreadCtx<'_>) -> Action {
+        let Some(op) = self.ops.get(self.at).copied() else {
+            return Action::End;
+        };
+        self.at += 1;
+        let pe = |off: u16| PeId((ctx.pe.0 + off % ctx.npes as u16) % ctx.npes as u16);
+        match op {
+            Op::Work(c) => Action::Work { cycles: u32::from(c), kind: WorkKind::Compute },
+            Op::OverheadWork(c) => Action::Work { cycles: u32::from(c), kind: WorkKind::Overhead },
+            Op::Read { pe_off, addr } => Action::Read {
+                addr: GlobalAddr::new(pe(pe_off), u32::from(addr)).unwrap(),
+            },
+            Op::Write { pe_off, addr, value } => Action::Write {
+                addr: GlobalAddr::new(pe(pe_off), u32::from(addr)).unwrap(),
+                value,
+            },
+            Op::Block { pe_off, addr, len, dst } => Action::ReadBlock {
+                addr: GlobalAddr::new(pe(pe_off), u32::from(addr)).unwrap(),
+                len: u16::from(len),
+                local_dst: u32::from(dst),
+            },
+            Op::Yield => Action::Yield,
+        }
+    }
+}
+
+fn run_population(
+    pes: usize,
+    scripts: &[Vec<Op>],
+    priority_responses: bool,
+) -> (RunReport, Vec<u32>) {
+    let mut cfg = MachineConfig::with_pes(pes);
+    cfg.local_memory_words = 1024;
+    cfg.priority_read_responses = priority_responses;
+    let mut m = Machine::new(cfg).unwrap();
+    let all = scripts.to_vec();
+    let entry = m.register_entry("script", move |_, arg| {
+        Box::new(ScriptThread { ops: all[arg as usize].clone(), at: 0 })
+    });
+    for (i, _) in scripts.iter().enumerate() {
+        m.spawn_at_start(PeId((i % pes) as u16), entry, i as u32).unwrap();
+    }
+    let report = m.run().unwrap();
+    // Fingerprint the final memory of PE0 so replays can be compared.
+    let fp = m.mem(PeId(0)).unwrap().read_slice(0, 64).unwrap().to_vec();
+    (report, fp)
+}
+
+/// Expected reads issued by a script (block reads count per word).
+fn expected_reads(ops: &[Op]) -> u64 {
+    ops.iter()
+        .map(|op| match op {
+            Op::Read { .. } => 1,
+            Op::Block { len, .. } => u64::from(*len),
+            _ => 0,
+        })
+        .sum()
+}
+
+/// Expected remote-read switches (one per Read or Block suspension).
+fn expected_rr_switches(ops: &[Op]) -> u64 {
+    ops.iter()
+        .filter(|op| matches!(op, Op::Read { .. } | Op::Block { .. }))
+        .count() as u64
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Any population of well-formed scripts quiesces (no deadlock, no
+    /// panic), with exact read and switch accounting.
+    #[test]
+    fn random_populations_quiesce_with_exact_accounting(
+        pes_log in 0u32..=4,
+        scripts in proptest::collection::vec(
+            proptest::collection::vec(arb_op(), 0..24),
+            1..12
+        ),
+    ) {
+        let pes = 1usize << pes_log;
+        let (report, _) = run_population(pes, &scripts, false);
+        let reads: u64 = scripts.iter().map(|s| expected_reads(s)).sum();
+        let rr: u64 = scripts.iter().map(|s| expected_rr_switches(s)).sum();
+        prop_assert_eq!(report.total_reads(), reads);
+        prop_assert_eq!(report.total_switches().remote_read, rr);
+        // Every PE's busy breakdown fits inside the elapsed window.
+        for p in &report.per_pe {
+            prop_assert!(p.breakdown.total() <= report.elapsed + Cycle::ZERO);
+        }
+    }
+
+    /// Replays are bit-identical, including final memory contents.
+    #[test]
+    fn replays_are_identical(
+        scripts in proptest::collection::vec(
+            proptest::collection::vec(arb_op(), 0..16),
+            1..8
+        ),
+    ) {
+        let (r1, m1) = run_population(4, &scripts, false);
+        let (r2, m2) = run_population(4, &scripts, false);
+        prop_assert_eq!(r1.elapsed, r2.elapsed);
+        prop_assert_eq!(r1.total_packets(), r2.total_packets());
+        prop_assert_eq!(m1, m2);
+    }
+
+    /// The priority-scheduling knob never changes *what* is computed, only
+    /// when: reads/switch censuses agree, memory fingerprints agree.
+    #[test]
+    fn priority_knob_preserves_semantics(
+        scripts in proptest::collection::vec(
+            proptest::collection::vec(arb_op(), 0..16),
+            1..8
+        ),
+    ) {
+        let (r1, m1) = run_population(4, &scripts, false);
+        let (r2, m2) = run_population(4, &scripts, true);
+        prop_assert_eq!(r1.total_reads(), r2.total_reads());
+        prop_assert_eq!(
+            r1.total_switches().remote_read,
+            r2.total_switches().remote_read
+        );
+        // Writes from different threads can interleave differently, but
+        // single-writer cells must agree; compare only when there was at
+        // most one writer (cheap approximation: skip when any two scripts
+        // write the same address).
+        let mut targets = std::collections::HashSet::new();
+        let mut conflict = false;
+        for s in &scripts {
+            for op in s {
+                if let Op::Write { pe_off, addr, .. } = op {
+                    if !targets.insert((pe_off, addr)) {
+                        conflict = true;
+                    }
+                }
+                if let Op::Block { .. } = op {
+                    conflict = true; // deposits may overlap writes
+                }
+            }
+        }
+        if !conflict {
+            prop_assert_eq!(m1, m2);
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Minimal ASCII charts for terminal reports.
+//!
+//! The examples and the figure harness print the paper's curves as rows of
+//! labelled bars so the valley at h = 2–4 threads is visible at a glance
+//! without any plotting dependency.
+
+/// One named series of (x, y) points.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub name: String,
+    /// Data points.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Construct a series.
+    pub fn new(name: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Series {
+            name: name.into(),
+            points,
+        }
+    }
+}
+
+/// A horizontal bar of `#` marks, proportional to `value / max`, `width`
+/// characters at full scale. Returns at least one mark for any positive
+/// value so tiny components stay visible.
+pub fn bar(value: f64, max: f64, width: usize) -> String {
+    if max <= 0.0 || value <= 0.0 || width == 0 {
+        return String::new();
+    }
+    let n = ((value / max) * width as f64).round() as usize;
+    "#".repeat(n.clamp(1, width))
+}
+
+/// Render series as rows of horizontal log-or-linear bars:
+///
+/// ```text
+/// fft P=64  h=1   2.31e-03  ########################
+/// fft P=64  h=2   1.02e-04  #
+/// ```
+///
+/// Each row is `name  x  y  bar`, with bars scaled to the global maximum.
+pub fn ascii_chart(series: &[Series], width: usize) -> String {
+    let max = series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|&(_, y)| y))
+        .fold(0.0_f64, f64::max);
+    let name_w = series.iter().map(|s| s.name.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for s in series {
+        for &(x, y) in &s.points {
+            out.push_str(&format!(
+                "{:<name_w$}  x={:<6} {:>10.3e}  {}\n",
+                s.name,
+                x,
+                y,
+                bar(y, max, width),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bar_scales_and_clamps() {
+        assert_eq!(bar(10.0, 10.0, 8), "########");
+        assert_eq!(bar(5.0, 10.0, 8), "####");
+        assert_eq!(bar(0.0001, 10.0, 8), "#", "positive values stay visible");
+        assert_eq!(bar(0.0, 10.0, 8), "");
+        assert_eq!(bar(1.0, 0.0, 8), "");
+    }
+
+    #[test]
+    fn chart_contains_all_points() {
+        let s = vec![
+            Series::new("a", vec![(1.0, 2.0), (2.0, 4.0)]),
+            Series::new("bb", vec![(1.0, 1.0)]),
+        ];
+        let out = ascii_chart(&s, 10);
+        assert_eq!(out.lines().count(), 3);
+        assert!(out.contains("bb"));
+        // Largest point gets the full-width bar.
+        assert!(out.contains(&"#".repeat(10)));
+    }
+}

@@ -1,0 +1,30 @@
+//! # emx-stats
+//!
+//! Instrumentation for the EM-X simulator, mirroring the measurements of the
+//! SPAA'97 paper:
+//!
+//! * [`Breakdown`] — the four timing components of Figure 8: computation,
+//!   overhead (packet generation), communication (EXU idle waiting on
+//!   remote data), and switching;
+//! * [`SwitchCensus`] — the three switch types of Figure 9: remote-read,
+//!   iteration-synchronization, and thread-synchronization switches;
+//! * [`PeStats`] / [`RunReport`] — per-processor and whole-run aggregates,
+//!   including the overlap efficiency `E = (Tcomm,1 − Tcomm,h)/Tcomm,1` of
+//!   Figure 7;
+//! * [`Table`] and [`ascii_chart`] — plain-text reporters used by the
+//!   examples and the figure-regeneration harness.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod breakdown;
+mod census;
+mod chart;
+mod report;
+mod table;
+
+pub use breakdown::Breakdown;
+pub use census::SwitchCensus;
+pub use chart::{ascii_chart, bar, Series};
+pub use report::{overlap_efficiency, PeStats, RunReport};
+pub use table::Table;

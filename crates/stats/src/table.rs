@@ -1,0 +1,148 @@
+//! Aligned text tables and CSV output for harness reports.
+
+use std::fmt::Write as _;
+
+/// A simple column-aligned table builder.
+///
+/// ```
+/// use emx_stats::Table;
+///
+/// let mut t = Table::new(["h", "comm (s)", "E (%)"]);
+/// t.row(["1", "1.2e-2", "0.0"]);
+/// t.row(["4", "7.8e-3", "35.0"]);
+/// let text = t.render();
+/// assert!(text.contains("comm (s)"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with the given column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(headers: I) -> Self {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row; short rows are padded with empty cells, long rows
+    /// extend the header width with blank headers.
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) -> &mut Self {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        while self.headers.len() < row.len() {
+            self.headers.push(String::new());
+        }
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render with aligned columns, a header rule, and a trailing newline.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut width = vec![0usize; cols];
+        for (i, h) in self.headers.iter().enumerate() {
+            width[i] = h.len();
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                width[i] = width[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let write_row = |out: &mut String, cells: &[String]| {
+            for (i, w) in width.iter().enumerate() {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                if i + 1 == cols {
+                    let _ = write!(out, "{cell}");
+                } else {
+                    let _ = write!(out, "{cell:<w$}  ", w = w);
+                }
+            }
+            out.push('\n');
+        };
+        write_row(&mut out, &self.headers);
+        let rule: usize = width.iter().sum::<usize>() + 2 * (cols.saturating_sub(1));
+        out.push_str(&"-".repeat(rule));
+        out.push('\n');
+        for row in &self.rows {
+            write_row(&mut out, row);
+        }
+        out
+    }
+
+    /// Render as CSV (RFC-4180-style quoting for cells containing commas,
+    /// quotes, or newlines).
+    pub fn to_csv(&self) -> String {
+        let esc = |s: &str| -> String {
+            if s.contains([',', '"', '\n']) {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let mut out = String::new();
+        let line = |cells: &[String], out: &mut String| {
+            let joined: Vec<String> = cells.iter().map(|c| esc(c)).collect();
+            out.push_str(&joined.join(","));
+            out.push('\n');
+        };
+        line(&self.headers, &mut out);
+        for row in &self.rows {
+            line(row, &mut out);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(["name", "value"]);
+        t.row(["x", "1"]);
+        t.row(["longer", "22"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // Columns align: "value" column starts at the same offset everywhere.
+        let col = lines[0].find("value").unwrap();
+        assert_eq!(&lines[2][col..col + 1], "1");
+        assert_eq!(&lines[3][col..col + 2], "22");
+    }
+
+    #[test]
+    fn csv_escapes_special_cells() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["has,comma", "has\"quote"]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"has,comma\""));
+        assert!(csv.contains("\"has\"\"quote\""));
+    }
+
+    #[test]
+    fn ragged_rows_are_padded() {
+        let mut t = Table::new(["a"]);
+        t.row(["1", "2", "3"]);
+        let s = t.render();
+        assert!(s.contains('3'));
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+}

@@ -1,0 +1,37 @@
+//! # emx-workloads
+//!
+//! The two application kernels of the SPAA'97 EM-X study, in their
+//! multithreaded forms:
+//!
+//! * [`bitonic`] — multithreaded bitonic sorting (Batcher). Selected by the
+//!   paper "for its nearly 1-to-1 computation-to-communication ratio and the
+//!   small amount of thread computation parallelism": communication can
+//!   proceed in any order, but merges must run in ascending thread order,
+//!   so threads synchronize through sequence cells and the switch census
+//!   shows thread-sync switches.
+//! * [`fft`] — multithreaded Fast Fourier Transform (Cooley-Tukey, radix-2
+//!   DIF with blocked binary-exchange distribution). Selected "because of
+//!   its high computation-to-communication ratio and the large amount of
+//!   thread computation parallelism": no data dependence exists between
+//!   points within an iteration, so threads never synchronize with each
+//!   other and overlap exceeds 95%.
+//!
+//! Both drivers build a [`Machine`](emx_runtime::Machine), distribute data
+//! blocked (n/P contiguous elements per processor), spawn `h` worker threads
+//! per processor, run to quiescence, **verify the numerical result** (sorted
+//! permutation; FFT against a naive DFT), and return the run's
+//! [`RunReport`](emx_stats::RunReport) for the figure harnesses.
+//!
+//! [`gen`] provides seeded input generators so every run is reproducible.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bitonic;
+pub mod fft;
+pub mod gen;
+pub mod nullloop;
+
+pub use bitonic::{run_bitonic, SortOutcome, SortParams};
+pub use fft::{run_fft, FftOutcome, FftParams};
+pub use nullloop::{run_null_loop, NullLoopOutcome, NullLoopParams};

@@ -1,0 +1,169 @@
+//! The paper's overhead-measurement methodology (§5).
+//!
+//! "Overhead refers to the time taken to generate packets. ... We measured
+//! the overhead by using a null loop, i.e., the loop body has no computation
+//! but instructions to generate packets. We find this was effective to
+//! measure the overhead cost for generating packets."
+//!
+//! [`run_null_loop`] runs exactly that: h threads per processor, each
+//! iterating a loop whose body is only address bookkeeping plus one
+//! remote-write send (remote writes do not suspend, so no latency hides the
+//! cost). The measured overhead component divided by the packets generated
+//! recovers the per-packet generation cost — which the sorting and FFT
+//! drivers then charge around their reads.
+
+use emx_core::{GlobalAddr, MachineConfig, PeId, SimError};
+use emx_runtime::{Action, Machine, ThreadBody, ThreadCtx, WorkKind};
+use emx_stats::RunReport;
+
+/// Parameters of a null-loop calibration run.
+#[derive(Debug, Clone)]
+pub struct NullLoopParams {
+    /// Packets generated per thread.
+    pub packets_per_thread: u32,
+    /// Threads per processor.
+    pub threads: usize,
+    /// Loop-bookkeeping cycles charged per iteration (the paper's sorting
+    /// loop body is 12 cycles including the send; default 11 + 1).
+    pub loop_overhead: u32,
+}
+
+impl NullLoopParams {
+    /// Defaults matching the sorting loop body.
+    pub fn new(packets_per_thread: u32, threads: usize) -> Self {
+        NullLoopParams {
+            packets_per_thread,
+            threads,
+            loop_overhead: 11,
+        }
+    }
+}
+
+/// Outcome of a calibration run.
+#[derive(Debug)]
+pub struct NullLoopOutcome {
+    /// Machine-wide measurements.
+    pub report: RunReport,
+    /// Measured overhead cycles per generated packet.
+    pub overhead_per_packet: f64,
+}
+
+struct NullLoop {
+    remaining: u32,
+    loop_overhead: u32,
+    cursor: u32,
+    in_body: bool,
+}
+
+impl ThreadBody for NullLoop {
+    fn name(&self) -> &'static str {
+        "null-loop"
+    }
+
+    fn step(&mut self, ctx: &mut ThreadCtx<'_>) -> Action {
+        if self.remaining == 0 {
+            return Action::End;
+        }
+        if !self.in_body {
+            self.in_body = true;
+            return Action::Work {
+                cycles: self.loop_overhead,
+                kind: WorkKind::Overhead,
+            };
+        }
+        self.in_body = false;
+        self.remaining -= 1;
+        self.cursor += 1;
+        let mate = PeId((ctx.pe.0 + 1) % ctx.npes as u16);
+        Action::Write {
+            addr: GlobalAddr::new(mate, 64 + (self.cursor % 64)).expect("address in range"),
+            value: self.cursor,
+        }
+    }
+}
+
+/// Run the null loop and recover the per-packet overhead.
+pub fn run_null_loop(
+    cfg: &MachineConfig,
+    params: &NullLoopParams,
+) -> Result<NullLoopOutcome, SimError> {
+    if params.packets_per_thread == 0 || params.threads == 0 {
+        return Err(SimError::Workload {
+            reason: "null loop needs at least one packet and one thread".into(),
+        });
+    }
+    let mut machine = Machine::new(cfg.clone())?;
+    let p = params.threads;
+    let (count, overhead) = (params.packets_per_thread, params.loop_overhead);
+    let entry = machine.register_entry("null-loop", move |_, _| {
+        Box::new(NullLoop {
+            remaining: count,
+            loop_overhead: overhead,
+            cursor: 0,
+            in_body: false,
+        })
+    });
+    for pe in 0..cfg.num_pes {
+        for _ in 0..p {
+            machine.spawn_at_start(PeId(pe as u16), entry, 0)?;
+        }
+    }
+    let report = machine.run()?;
+    let packets = report.total_packets().max(1) as f64;
+    let overhead_cycles = report.total_breakdown().overhead.get() as f64;
+    Ok(NullLoopOutcome {
+        overhead_per_packet: overhead_cycles / packets,
+        report,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> MachineConfig {
+        let mut c = MachineConfig::with_pes(4);
+        c.local_memory_words = 1 << 10;
+        c
+    }
+
+    #[test]
+    fn overhead_per_packet_is_loop_plus_send() {
+        let out = run_null_loop(&cfg(), &NullLoopParams::new(100, 2)).unwrap();
+        // 11 loop cycles + 1 send cycle per packet, exactly.
+        assert!(
+            (out.overhead_per_packet - 12.0).abs() < 1e-9,
+            "measured {}",
+            out.overhead_per_packet
+        );
+    }
+
+    #[test]
+    fn null_loop_has_no_computation_and_no_reads() {
+        let out = run_null_loop(&cfg(), &NullLoopParams::new(50, 1)).unwrap();
+        assert_eq!(out.report.total_breakdown().compute, emx_core::Cycle::ZERO);
+        assert_eq!(out.report.total_reads(), 0);
+        assert_eq!(out.report.total_switches().remote_read, 0);
+    }
+
+    #[test]
+    fn packet_count_matches_the_loop() {
+        let out = run_null_loop(&cfg(), &NullLoopParams::new(25, 3)).unwrap();
+        assert_eq!(out.report.total_packets(), 25 * 3 * 4);
+    }
+
+    #[test]
+    fn overhead_is_fixed_across_thread_counts() {
+        // "It is essentially fixed not only for different numbers of
+        // processors but also for different problems" — per packet.
+        let a = run_null_loop(&cfg(), &NullLoopParams::new(64, 1)).unwrap();
+        let b = run_null_loop(&cfg(), &NullLoopParams::new(16, 4)).unwrap();
+        assert!((a.overhead_per_packet - b.overhead_per_packet).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_degenerate_parameters() {
+        assert!(run_null_loop(&cfg(), &NullLoopParams::new(0, 1)).is_err());
+        assert!(run_null_loop(&cfg(), &NullLoopParams::new(1, 0)).is_err());
+    }
+}

@@ -1,0 +1,74 @@
+//! A complete distributed program written in EMC-Y assembly: every
+//! processor sums a local vector and remote-writes its partial sum into a
+//! result table on PE0. Demonstrates the text assembler, spawn packets, and
+//! one-sided remote writes.
+//!
+//! ```text
+//! cargo run --release -p emx --example asm_vector_sum
+//! ```
+
+use emx::prelude::*;
+
+const VEC_BASE: u32 = 256;
+const VEC_LEN: usize = 100;
+const RESULT_BASE: u32 = 128;
+
+fn main() {
+    let pes = 8usize;
+    let mut cfg = MachineConfig::with_pes(pes);
+    cfg.local_memory_words = 1 << 12;
+    let mut m = Machine::new(cfg).unwrap();
+
+    // The worker, written in assembly. The argument word carries the packed
+    // global address of this PE's result slot on PE0.
+    let src = format!(
+        r"
+        ; r5 = accumulator, r6 = cursor, r7 = end
+                addi  r6, zero, {vec}
+                addi  r7, r6, {len}
+        loop:   lw    r8, r6, 0
+                add   r5, r5, r8
+                addi  r6, r6, 1
+                bne   r6, r7, loop
+        ; deliver the partial sum to PE0's result table (one-sided write)
+                rwrite arg, r5
+                end
+        ",
+        vec = VEC_BASE,
+        len = VEC_LEN as i16,
+    );
+    let prog = assemble("vector-sum", &src).expect("kernel assembles");
+    println!(
+        "assembled {} instructions; straight-line cost {} cycles\n",
+        prog.len(),
+        prog.straight_line_cost(&m.config().costs)
+    );
+    let entry = m.register_template(prog);
+
+    // Load a different vector on every PE and spawn the worker.
+    let mut expected = Vec::new();
+    for pe in 0..pes {
+        let values: Vec<u32> = (0..VEC_LEN as u32).map(|i| (pe as u32 + 1) * (i + 1)).collect();
+        expected.push(values.iter().sum::<u32>());
+        m.mem_mut(PeId(pe as u16)).unwrap().write_slice(VEC_BASE, &values).unwrap();
+        let slot = GlobalAddr::new(PeId(0), RESULT_BASE + pe as u32).unwrap().pack();
+        m.spawn_at_start(PeId(pe as u16), entry, slot).unwrap();
+    }
+
+    let report = m.run().expect("program quiesces");
+
+    let mut t = Table::new(["PE", "partial sum", "expected"]);
+    let results = m.mem(PeId(0)).unwrap().read_slice(RESULT_BASE, pes).unwrap().to_vec();
+    for (pe, (&got, &want)) in results.iter().zip(expected.iter()).enumerate() {
+        assert_eq!(got, want, "PE{pe} sum mismatch");
+        t.row([pe.to_string(), got.to_string(), want.to_string()]);
+    }
+    println!("{}", t.render());
+    println!(
+        "all {} partial sums correct; {} packets, {} cycles simulated ({:.1} µs)",
+        pes,
+        report.total_packets(),
+        report.elapsed,
+        report.elapsed.as_emx_micros()
+    );
+}

@@ -1,0 +1,109 @@
+//! Repo-level integration: interpreted EMC-Y assembly programs running on
+//! the full machine — the latency claims and a distributed kernel.
+
+use emx::prelude::*;
+
+#[test]
+fn uncontended_remote_read_latency_is_in_the_paper_band() {
+    // "A typical remote read takes approximately 1 µs" (20 cycles); the §4
+    // band is 20–40 clocks. Measure with a single-reader ISA loop.
+    let mut cfg = MachineConfig::paper_p16();
+    cfg.local_memory_words = 1 << 12;
+    let mut m = Machine::new(cfg).unwrap();
+    let (counter, limit) = (Reg::r(7), Reg::r(8));
+    let mut b = ProgramBuilder::new("probe");
+    b.addi(limit, Reg::ZERO, 100);
+    b.label("loop");
+    b.rread(Reg::r(5), Reg::ARG);
+    b.addi(counter, counter, 1);
+    b.bne(counter, limit, "loop");
+    b.end();
+    let tmpl = m.register_template(b.build().unwrap());
+    let addr = GlobalAddr::new(PeId(15), 64).unwrap().pack();
+    m.spawn_at_start(PeId(0), tmpl, addr).unwrap();
+    let report = m.run().unwrap();
+    let per_read = report.per_pe[0].breakdown.comm.get() as f64 / report.total_reads() as f64;
+    assert!(
+        (10.0..=40.0).contains(&per_read),
+        "idle per read {per_read:.1} cycles; paper band is 20-40 for the whole round trip"
+    );
+}
+
+#[test]
+fn assembled_text_kernel_runs_distributed() {
+    let pes = 8usize;
+    let mut cfg = MachineConfig::with_pes(pes);
+    cfg.local_memory_words = 1 << 12;
+    let mut m = Machine::new(cfg).unwrap();
+    let src = r"
+            addi  r6, zero, 256
+            addi  r7, r6, 50
+    loop:   lw    r8, r6, 0
+            add   r5, r5, r8
+            addi  r6, r6, 1
+            bne   r6, r7, loop
+            rwrite arg, r5
+            end
+    ";
+    let entry = m.register_template(assemble("sum", src).unwrap());
+    for pe in 0..pes {
+        let vals: Vec<u32> = (1..=50).map(|i| i * (pe as u32 + 1)).collect();
+        m.mem_mut(PeId(pe as u16)).unwrap().write_slice(256, &vals).unwrap();
+        let slot = GlobalAddr::new(PeId(0), 128 + pe as u32).unwrap().pack();
+        m.spawn_at_start(PeId(pe as u16), entry, slot).unwrap();
+    }
+    m.run().unwrap();
+    for pe in 0..pes {
+        let got = m.mem(PeId(0)).unwrap().read(128 + pe as u32).unwrap();
+        assert_eq!(got, 1275 * (pe as u32 + 1), "PE{pe}");
+    }
+}
+
+#[test]
+fn isa_block_read_transfers_a_vector() {
+    let mut cfg = MachineConfig::with_pes(2);
+    cfg.local_memory_words = 1 << 12;
+    let mut m = Machine::new(cfg).unwrap();
+    let data: Vec<u32> = (0..32).map(|i| 7 * i + 1).collect();
+    m.mem_mut(PeId(1)).unwrap().write_slice(512, &data).unwrap();
+
+    // rreadb: gaddr register, local destination register, length.
+    let mut b = ProgramBuilder::new("blockfetch");
+    b.li32(Reg::r(6), GlobalAddr::new(PeId(1), 512).unwrap().pack());
+    b.addi(Reg::r(7), Reg::ZERO, 256); // local destination offset
+    b.rreadb(Reg::r(6), Reg::r(7), 32);
+    b.end();
+    let entry = m.register_template(b.build().unwrap());
+    m.spawn_at_start(PeId(0), entry, 0).unwrap();
+    let report = m.run().unwrap();
+    assert_eq!(m.mem(PeId(0)).unwrap().read_slice(256, 32).unwrap(), &data[..]);
+    assert_eq!(report.total_reads(), 32);
+    assert_eq!(report.total_switches().remote_read, 1, "one suspension for the block");
+}
+
+#[test]
+fn interpreted_and_native_threads_coexist() {
+    let mut cfg = MachineConfig::with_pes(2);
+    cfg.local_memory_words = 1 << 10;
+    let mut m = Machine::new(cfg).unwrap();
+
+    struct Native;
+    impl ThreadBody for Native {
+        fn step(&mut self, ctx: &mut ThreadCtx<'_>) -> Action {
+            if ctx.mem.read(3).unwrap() == 0 {
+                ctx.mem.write(3, 99).unwrap();
+                Action::Work { cycles: 5, kind: WorkKind::Compute }
+            } else {
+                Action::End
+            }
+        }
+    }
+    let native = m.register_entry("native", |_, _| Box::new(Native));
+    let isa = m.register_template(assemble("store", "sw arg, zero, 4\nend\n").unwrap());
+    m.spawn_at_start(PeId(0), native, 0).unwrap();
+    m.spawn_at_start(PeId(0), isa, 1234).unwrap();
+    m.run().unwrap();
+    let mem = m.mem(PeId(0)).unwrap();
+    assert_eq!(mem.read(3).unwrap(), 99);
+    assert_eq!(mem.read(4).unwrap(), 1234);
+}
