@@ -4,6 +4,11 @@
 //! simulated communication-time series itself (the paper's y-axis) is
 //! printed once at the start so `cargo bench` output documents the
 //! reproduced curve.
+//!
+//! `run_one` is the same `RunSpec` execution path the cached parallel
+//! sweep engine uses for the `figures` binary (see `docs/SWEEPS.md`), so
+//! the numbers printed here are bit-identical to the regenerated figure's
+//! — only the host wall time is bench-specific.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use emx_bench::{run_one, Workload};

@@ -22,8 +22,12 @@ fn fig7(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("sort_pair_p16", |b| {
         b.iter(|| {
-            let base = run_one(Workload::Sort, 16, 256, 1).report.comm_sync_time_secs();
-            let at4 = run_one(Workload::Sort, 16, 256, 4).report.comm_sync_time_secs();
+            let base = run_one(Workload::Sort, 16, 256, 1)
+                .report
+                .comm_sync_time_secs();
+            let at4 = run_one(Workload::Sort, 16, 256, 4)
+                .report
+                .comm_sync_time_secs();
             overlap_efficiency(base, at4)
         })
     });

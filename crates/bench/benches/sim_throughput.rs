@@ -30,7 +30,10 @@ fn run_storm(pes: usize, threads_per_pe: usize, reads: u32) -> u64 {
     cfg.local_memory_words = 1 << 10;
     let mut m = Machine::new(cfg).unwrap();
     let entry = m.register_entry("storm", move |pe, _| {
-        Box::new(Storm { remaining: reads, cursor: pe.0 })
+        Box::new(Storm {
+            remaining: reads,
+            cursor: pe.0,
+        })
     });
     for pe in 0..pes {
         for _ in 0..threads_per_pe {

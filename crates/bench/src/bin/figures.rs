@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! cargo run --release -p emx-bench --bin figures -- all [quick|standard|full]
-//! cargo run --release -p emx-bench --bin figures -- fig6 standard
+//! cargo run --release -p emx-bench --bin figures -- fig6 standard --jobs 4
+//! cargo run --release -p emx-bench --bin figures -- fig6 standard --no-cache
 //! ```
 //!
 //! Subcommands: `fig6` (communication time vs threads), `fig7` (overlap
@@ -10,39 +11,118 @@
 //! `latency` (remote-read latency probe), `model` (analytic model vs
 //! simulation), `ablation` (by-pass DMA vs EM-4 servicing), `block`
 //! (block-read send instruction), `priority` (two-priority IBU scheduling),
-//! `all`. CSV output lands in `results/`.
+//! `runlength` (computation-to-communication sensitivity), `topology`
+//! (network-model ablation), `all`.
+//!
+//! Every sweep runs through the `emx-sweep` engine: points execute in
+//! parallel (`--jobs N`, default all host cores, or `EMX_JOBS`), results
+//! assemble in grid order so the CSV output is byte-identical at any job
+//! count, and each simulated point is cached content-addressed under
+//! `results/cache/` (`--no-cache` bypasses it; delete the directory to
+//! clear it). Each CSV written to `results/` gets a `.json` provenance
+//! sidecar recording the exact specs, seeds, cache keys and report digests
+//! behind it — see `docs/SWEEPS.md`.
+//!
+//! `latency` and `model` are direct single-machine probes (interpreted ISA
+//! kernels and custom thread bodies), not grid sweeps; they run outside the
+//! engine and carry no sidecar.
 
 use std::fs;
 use std::path::Path;
 
 use emx::prelude::*;
-use emx_bench::{fmt_n, machine_cfg, run_one, series_by_size, sweep, Point, Scale, Workload};
+use emx::sweep::{grid, provenance, RunSpec, SweepEngine, SweepOutcome};
+use emx_bench::{fmt_n, series_by_size, Point, Scale, Workload};
 
-fn save_csv(name: &str, table: &Table) {
-    let dir = Path::new("results");
-    if fs::create_dir_all(dir).is_ok() {
-        let path = dir.join(format!("{name}.csv"));
-        if fs::write(&path, table.to_csv()).is_ok() {
-            println!("  [csv] {}", path.display());
+/// Figure-harness options parsed from the command line.
+#[derive(Clone)]
+struct Opts {
+    scale: Scale,
+    jobs: Option<usize>,
+    no_cache: bool,
+}
+
+impl Opts {
+    /// An engine configured per the command line: default cache under
+    /// `results/cache/` unless `--no-cache`, all host cores unless
+    /// `--jobs N` (or `EMX_JOBS`).
+    fn engine(&self) -> SweepEngine {
+        let mut e = SweepEngine::new();
+        if let Some(j) = self.jobs {
+            e = e.jobs(j);
         }
+        if self.no_cache {
+            e = e.cache(None);
+        }
+        e
     }
 }
 
-fn panel_sweep(w: Workload, p: usize, scale: Scale) -> Vec<Point> {
-    let sizes = match w {
+fn save_csv(name: &str, table: &Table) -> Option<std::path::PathBuf> {
+    let dir = Path::new("results");
+    fs::create_dir_all(dir).ok()?;
+    let path = dir.join(format!("{name}.csv"));
+    fs::write(&path, table.to_csv()).ok()?;
+    println!("  [csv] {}", path.display());
+    Some(path)
+}
+
+/// Write the CSV and its provenance sidecar (same stem, `.json`).
+fn save_csv_with_provenance(
+    name: &str,
+    table: &Table,
+    outcome: &SweepOutcome,
+    opts: &Opts,
+    extra: &[(&str, String)],
+) {
+    let Some(path) = save_csv(name, table) else {
+        return;
+    };
+    let mut facts = vec![("scale", opts.scale.name().to_string())];
+    facts.extend(extra.iter().map(|(k, v)| (*k, v.clone())));
+    match provenance::write_sidecar(&path, name, outcome, &facts) {
+        Ok(side) => println!("  [provenance] {}", side.display()),
+        Err(e) => eprintln!("  [provenance] failed for {name}: {e}"),
+    }
+}
+
+fn to_points(outcome: &SweepOutcome) -> Vec<Point> {
+    let mut pts: Vec<Point> = outcome
+        .points
+        .iter()
+        .map(|pt| Point {
+            p: pt.spec.pes,
+            n: pt.spec.n(),
+            h: pt.spec.threads,
+            report: pt.report.clone(),
+        })
+        .collect();
+    pts.sort_by_key(|pt| (pt.n, pt.h));
+    pts
+}
+
+fn sizes_for(w: Workload, scale: Scale) -> Vec<usize> {
+    match w {
         Workload::Sort => scale.sort_per_pe(),
         Workload::Fft => scale.fft_per_pe(),
-    };
-    sweep(w, p, &sizes, &scale.threads())
+    }
+}
+
+/// One figure panel's sweep: every (per-PE size, thread count) pair for a
+/// workload on `p` processors, through the engine.
+fn panel_sweep(w: Workload, p: usize, opts: &Opts) -> SweepOutcome {
+    let sizes = sizes_for(w, opts.scale);
+    opts.engine().run(grid(w, p, &sizes, &opts.scale.threads()))
 }
 
 /// Figure 6: communication time (seconds) vs number of threads, four
 /// panels: sorting P=16/64, FFT P=16/64.
-fn fig6(scale: Scale, cache: &mut Vec<(Workload, usize, Vec<Point>)>) {
+fn fig6(opts: &Opts, cache: &mut Vec<(Workload, usize, SweepOutcome)>) {
     println!("\n=== Figure 6: communication time vs number of threads ===");
     for w in [Workload::Sort, Workload::Fft] {
-        for &p in &scale.panel_pes() {
-            let points = panel_sweep(w, p, scale);
+        for &p in &opts.scale.panel_pes() {
+            let outcome = panel_sweep(w, p, opts);
+            let points = to_points(&outcome);
             let series = series_by_size(&points, |pt| pt.report.comm_sync_time_secs());
             let mut table = Table::new(["n", "h", "comm (s)"]);
             let mut chart = Vec::new();
@@ -58,8 +138,14 @@ fn fig6(scale: Scale, cache: &mut Vec<(Workload, usize, Vec<Point>)>) {
             println!("\n--- {} P={p} ---", w.name());
             println!("{}", table.render());
             println!("{}", ascii_chart(&chart, 40));
-            save_csv(&format!("fig6_{}_p{p}", w.name()), &table);
-            cache.push((w, p, points));
+            save_csv_with_provenance(
+                &format!("fig6_{}_p{p}", w.name()),
+                &table,
+                &outcome,
+                opts,
+                &[],
+            );
+            cache.push((w, p, outcome));
         }
     }
     println!(
@@ -69,11 +155,15 @@ fn fig6(scale: Scale, cache: &mut Vec<(Workload, usize, Vec<Point>)>) {
 }
 
 /// Figure 7: overlap efficiency E = (Tcomm,1 - Tcomm,h)/Tcomm,1.
-fn fig7(cache: &[(Workload, usize, Vec<Point>)]) {
+///
+/// Derived from the Figure 6 sweeps — no new simulations, so its sidecars
+/// point at the same runs (all cache hits when Figure 6 just ran).
+fn fig7(opts: &Opts, cache: &[(Workload, usize, SweepOutcome)]) {
     println!("\n=== Figure 7: efficiency of overlapping ===");
     let mut summary: Vec<(String, f64)> = Vec::new();
-    for (w, p, points) in cache {
-        let series = series_by_size(points, |pt| pt.report.comm_sync_time_secs());
+    for (w, p, outcome) in cache {
+        let points = to_points(outcome);
+        let series = series_by_size(&points, |pt| pt.report.comm_sync_time_secs());
         let mut table = Table::new(["n", "h", "E (%)"]);
         let mut best_at_small_h = 0.0f64;
         for (n, ys) in &series {
@@ -88,7 +178,13 @@ fn fig7(cache: &[(Workload, usize, Vec<Point>)]) {
         }
         println!("\n--- {} P={p} ---", w.name());
         println!("{}", table.render());
-        save_csv(&format!("fig7_{}_p{p}", w.name()), &table);
+        save_csv_with_provenance(
+            &format!("fig7_{}_p{p}", w.name()),
+            &table,
+            outcome,
+            opts,
+            &[("derived_from", format!("fig6_{}_p{p}", w.name()))],
+        );
         summary.push((format!("{} P={p}", w.name()), best_at_small_h));
     }
     println!("best efficiency at h in 2..4 (paper: sorting ~35%, FFT >95%):");
@@ -99,21 +195,20 @@ fn fig7(cache: &[(Workload, usize, Vec<Point>)]) {
 
 /// Figure 8: distribution of execution time (four components), P = largest
 /// panel, small and large problem sizes.
-fn fig8(scale: Scale) {
+fn fig8(opts: &Opts) {
     println!("\n=== Figure 8: distribution of execution time ===");
-    let p = *scale.panel_pes().last().unwrap();
+    let p = *opts.scale.panel_pes().last().unwrap();
     for w in [Workload::Sort, Workload::Fft] {
-        let sizes = match w {
-            Workload::Sort => scale.sort_per_pe(),
-            Workload::Fft => scale.fft_per_pe(),
-        };
+        let sizes = sizes_for(w, opts.scale);
         for &per_pe in [sizes.first().unwrap(), sizes.last().unwrap()].iter() {
+            let outcome = opts
+                .engine()
+                .run(grid(w, p, &[*per_pe], &opts.scale.threads()));
             let mut table = Table::new(["h", "compute %", "overhead %", "comm %", "switch %"]);
-            for &h in &scale.threads() {
-                let pt = run_one(w, p, *per_pe, h);
+            for pt in &outcome.points {
                 let f = pt.report.mean_breakdown().fractions();
                 table.row([
-                    h.to_string(),
+                    pt.spec.threads.to_string(),
                     format!("{:.1}", f[0] * 100.0),
                     format!("{:.1}", f[1] * 100.0),
                     format!("{:.1}", f[2] * 100.0),
@@ -123,7 +218,13 @@ fn fig8(scale: Scale) {
             let n = per_pe * p;
             println!("\n--- {} P={p} n={} ---", w.name(), fmt_n(n));
             println!("{}", table.render());
-            save_csv(&format!("fig8_{}_p{p}_n{}", w.name(), fmt_n(n)), &table);
+            save_csv_with_provenance(
+                &format!("fig8_{}_p{p}_n{}", w.name(), fmt_n(n)),
+                &table,
+                &outcome,
+                opts,
+                &[],
+            );
         }
     }
     println!(
@@ -134,21 +235,20 @@ fn fig8(scale: Scale) {
 }
 
 /// Figure 9: average number of switches per processor, by type.
-fn fig9(scale: Scale) {
+fn fig9(opts: &Opts) {
     println!("\n=== Figure 9: average number of switches per processor ===");
-    let p = *scale.panel_pes().last().unwrap();
+    let p = *opts.scale.panel_pes().last().unwrap();
     for w in [Workload::Sort, Workload::Fft] {
-        let sizes = match w {
-            Workload::Sort => scale.sort_per_pe(),
-            Workload::Fft => scale.fft_per_pe(),
-        };
+        let sizes = sizes_for(w, opts.scale);
         for &per_pe in [sizes.first().unwrap(), sizes.last().unwrap()].iter() {
+            let outcome = opts
+                .engine()
+                .run(grid(w, p, &[*per_pe], &opts.scale.threads()));
             let mut table = Table::new(["h", "remote-read", "iter-sync", "thread-sync"]);
-            for &h in &scale.threads() {
-                let pt = run_one(w, p, *per_pe, h);
+            for pt in &outcome.points {
                 let s = pt.report.mean_switches();
                 table.row([
-                    h.to_string(),
+                    pt.spec.threads.to_string(),
                     s.remote_read.to_string(),
                     s.iter_sync.to_string(),
                     s.thread_sync.to_string(),
@@ -157,7 +257,13 @@ fn fig9(scale: Scale) {
             let n = per_pe * p;
             println!("\n--- {} P={p} n={} ---", w.name(), fmt_n(n));
             println!("{}", table.render());
-            save_csv(&format!("fig9_{}_p{p}_n{}", w.name(), fmt_n(n)), &table);
+            save_csv_with_provenance(
+                &format!("fig9_{}_p{p}_n{}", w.name(), fmt_n(n)),
+                &table,
+                &outcome,
+                opts,
+                &[],
+            );
         }
     }
     println!(
@@ -168,10 +274,20 @@ fn fig9(scale: Scale) {
 }
 
 /// In-text claim: remote read latency of 20-40 clocks (1-2 µs).
+///
+/// A direct probe (interpreted ISA kernel on a hand-built machine), not a
+/// grid sweep — it runs outside the sweep engine and writes no sidecar.
 fn latency() {
     println!("\n=== Remote read latency probe (interpreted ISA kernel) ===");
     let mut table = Table::new(["PEs", "readers", "cycles/read", "us/read"]);
-    for (pes, readers) in [(16usize, 1usize), (16, 4), (16, 8), (64, 1), (64, 16), (64, 32)] {
+    for (pes, readers) in [
+        (16usize, 1usize),
+        (16, 4),
+        (16, 8),
+        (64, 1),
+        (64, 16),
+        (64, 32),
+    ] {
         let mut cfg = MachineConfig::with_pes(pes);
         cfg.local_memory_words = 1 << 12;
         let mut m = Machine::new(cfg).unwrap();
@@ -224,7 +340,10 @@ fn sim_read_loop(h: usize, reads_per_thread: u32) -> f64 {
             }
             if !self.issued_work {
                 self.issued_work = true;
-                return Action::Work { cycles: 11, kind: WorkKind::Overhead };
+                return Action::Work {
+                    cycles: 11,
+                    kind: WorkKind::Overhead,
+                };
             }
             self.issued_work = false;
             self.remaining -= 1;
@@ -239,7 +358,11 @@ fn sim_read_loop(h: usize, reads_per_thread: u32) -> f64 {
     cfg.local_memory_words = 1 << 12;
     let mut m = Machine::new(cfg).unwrap();
     let entry = m.register_entry("readloop", move |_, _| {
-        Box::new(ReadLoop { remaining: reads_per_thread, cursor: 0, issued_work: false })
+        Box::new(ReadLoop {
+            remaining: reads_per_thread,
+            cursor: 0,
+            issued_work: false,
+        })
     });
     for pe in 0..16u16 {
         for _ in 0..h {
@@ -256,6 +379,9 @@ fn sim_read_loop(h: usize, reads_per_thread: u32) -> f64 {
 }
 
 /// Analytic model (Saavedra-Barrera) vs simulation on a synthetic read loop.
+///
+/// Uses a custom `ThreadBody`, so — like `latency` — it runs outside the
+/// sweep engine.
 fn model() {
     println!("\n=== Analytic model vs simulation ===");
     let cfg = MachineConfig::paper_p16();
@@ -283,29 +409,29 @@ fn model() {
 }
 
 /// Ablation: the by-passing DMA (EM-X) vs EXU-thread servicing (EM-4).
-fn ablation(scale: Scale) {
+fn ablation(opts: &Opts) {
     println!("\n=== Ablation: by-pass DMA (EM-X) vs EXU-thread servicing (EM-4) ===");
-    let per_pe = scale.sort_per_pe()[0];
-    let mut table = Table::new(["workload", "mode", "elapsed (s)", "comm (s)"]);
+    let per_pe = opts.scale.sort_per_pe()[0];
+    let mut specs = Vec::new();
     for w in [Workload::Sort, Workload::Fft] {
         for mode in [ServiceMode::BypassDma, ServiceMode::ExuThread] {
-            let mut cfg = machine_cfg(16, per_pe);
-            cfg.service_mode = mode;
-            let n = per_pe * 16;
-            let report = match w {
-                Workload::Sort => run_bitonic(&cfg, &SortParams::new(n, 4)).unwrap().report,
-                Workload::Fft => run_fft(&cfg, &FftParams::comm_only(n, 4)).unwrap().report,
-            };
-            table.row([
-                w.name().to_string(),
-                format!("{mode:?}"),
-                format!("{:.6e}", report.elapsed_secs()),
-                format!("{:.6e}", report.comm_sync_time_secs()),
-            ]);
+            let mut spec = RunSpec::new(w, 16, per_pe, 4);
+            spec.service_mode = mode;
+            specs.push(spec);
         }
     }
+    let outcome = opts.engine().run(specs);
+    let mut table = Table::new(["workload", "mode", "elapsed (s)", "comm (s)"]);
+    for pt in &outcome.points {
+        table.row([
+            pt.spec.workload.name().to_string(),
+            format!("{:?}", pt.spec.service_mode),
+            format!("{:.6e}", pt.report.elapsed_secs()),
+            format!("{:.6e}", pt.report.comm_sync_time_secs()),
+        ]);
+    }
     println!("{}", table.render());
-    save_csv("ablation_bypass", &table);
+    save_csv_with_provenance("ablation_bypass", &table, &outcome, opts, &[]);
     println!(
         "the EM-4 mode steals remote-PE processor cycles for every read (paper §2.1:\n\
          \"this consumption adversely affects the performance\")."
@@ -313,28 +439,35 @@ fn ablation(scale: Scale) {
 }
 
 /// Ablation: per-element reads vs the block-read send instruction.
-fn block(scale: Scale) {
+fn block(opts: &Opts) {
     println!("\n=== Ablation: per-element reads vs block reads ===");
-    let per_pe = scale.sort_per_pe()[0];
-    let n = per_pe * 16;
-    let mut table = Table::new(["mode", "h", "elapsed (s)", "comm (s)", "packets"]);
+    let per_pe = opts.scale.sort_per_pe()[0];
+    let mut specs = Vec::new();
     for &h in &[1usize, 4] {
         for blockmode in [false, true] {
-            let cfg = machine_cfg(16, per_pe);
-            let mut params = SortParams::new(n, h);
-            params.block_read = blockmode;
-            let report = run_bitonic(&cfg, &params).unwrap().report;
-            table.row([
-                if blockmode { "block" } else { "per-element" }.to_string(),
-                h.to_string(),
-                format!("{:.6e}", report.elapsed_secs()),
-                format!("{:.6e}", report.comm_sync_time_secs()),
-                report.total_packets().to_string(),
-            ]);
+            let mut spec = RunSpec::new(Workload::Sort, 16, per_pe, h);
+            spec.block_read = blockmode;
+            specs.push(spec);
         }
     }
+    let outcome = opts.engine().run(specs);
+    let mut table = Table::new(["mode", "h", "elapsed (s)", "comm (s)", "packets"]);
+    for pt in &outcome.points {
+        table.row([
+            if pt.spec.block_read {
+                "block"
+            } else {
+                "per-element"
+            }
+            .to_string(),
+            pt.spec.threads.to_string(),
+            format!("{:.6e}", pt.report.elapsed_secs()),
+            format!("{:.6e}", pt.report.comm_sync_time_secs()),
+            pt.report.total_packets().to_string(),
+        ]);
+    }
     println!("{}", table.render());
-    save_csv("ablation_block_read", &table);
+    save_csv_with_provenance("ablation_block_read", &table, &outcome, opts, &[]);
 }
 
 /// Sensitivity: how the computation-to-communication ratio drives overlap.
@@ -343,27 +476,38 @@ fn block(scale: Scale) {
 /// communication plays a critical role in tolerating latency". Sweeping the
 /// FFT's per-point computation from a handful of cycles (sorting-like) to
 /// hundreds (true FFT) moves the overlap efficiency from partial to >95 %.
-fn runlength(scale: Scale) {
+fn runlength(opts: &Opts) {
     println!("\n=== Sensitivity: run length (computation per point) vs overlap ===");
-    let per_pe = scale.fft_per_pe()[0];
-    let n = per_pe * 16;
+    let per_pe = opts.scale.fft_per_pe()[0];
+    const CYCLES: [u32; 6] = [10, 30, 60, 120, 240, 480];
+    const THREADS: [usize; 3] = [1, 2, 4];
+    let mut specs = Vec::new();
+    for &cycles in &CYCLES {
+        for &h in &THREADS {
+            let mut spec = RunSpec::new(Workload::Fft, 16, per_pe, h);
+            spec.point_cycles = Some(cycles);
+            specs.push(spec);
+        }
+    }
+    let outcome = opts.engine().run(specs);
     let mut table = Table::new(["point cycles", "E(2) %", "E(4) %"]);
-    for &cycles in &[10u32, 30, 60, 120, 240, 480] {
-        let run = |h: usize| {
-            let cfg = machine_cfg(16, per_pe);
-            let mut params = FftParams::comm_only(n, h);
-            params.point_cycles = cycles;
-            run_fft(&cfg, &params).unwrap().report.comm_sync_time_secs()
-        };
-        let base = run(1);
+    for (i, &cycles) in CYCLES.iter().enumerate() {
+        let row = &outcome.points[i * THREADS.len()..(i + 1) * THREADS.len()];
+        let base = row[0].report.comm_sync_time_secs();
         table.row([
             cycles.to_string(),
-            format!("{:.1}", overlap_efficiency(base, run(2))),
-            format!("{:.1}", overlap_efficiency(base, run(4))),
+            format!(
+                "{:.1}",
+                overlap_efficiency(base, row[1].report.comm_sync_time_secs())
+            ),
+            format!(
+                "{:.1}",
+                overlap_efficiency(base, row[2].report.comm_sync_time_secs())
+            ),
         ]);
     }
     println!("{}", table.render());
-    save_csv("runlength_sensitivity", &table);
+    save_csv_with_provenance("runlength_sensitivity", &table, &outcome, opts, &[]);
     println!(
         "with tiny per-point computation the FFT behaves like sorting; with the\n\
          paper's hundreds-of-cycles trig loops two threads already mask the latency."
@@ -371,99 +515,145 @@ fn runlength(scale: Scale) {
 }
 
 /// Ablation: two-priority IBU scheduling of read responses.
-fn priority(scale: Scale) {
+fn priority(opts: &Opts) {
     println!("\n=== Ablation: high-priority read responses (scheduler tuning) ===");
-    let per_pe = scale.sort_per_pe()[0];
-    let n = per_pe * 16;
-    let mut table = Table::new(["priority responses", "h", "elapsed (s)", "comm (s)"]);
+    let per_pe = opts.scale.sort_per_pe()[0];
+    let mut specs = Vec::new();
     for &h in &[4usize, 16] {
         for pri in [false, true] {
-            let mut cfg = machine_cfg(16, per_pe);
-            cfg.priority_read_responses = pri;
-            let report = run_bitonic(&cfg, &SortParams::new(n, h)).unwrap().report;
-            table.row([
-                pri.to_string(),
-                h.to_string(),
-                format!("{:.6e}", report.elapsed_secs()),
-                format!("{:.6e}", report.comm_sync_time_secs()),
-            ]);
+            let mut spec = RunSpec::new(Workload::Sort, 16, per_pe, h);
+            spec.priority_read_responses = pri;
+            specs.push(spec);
         }
     }
+    let outcome = opts.engine().run(specs);
+    let mut table = Table::new(["priority responses", "h", "elapsed (s)", "comm (s)"]);
+    for pt in &outcome.points {
+        table.row([
+            pt.spec.priority_read_responses.to_string(),
+            pt.spec.threads.to_string(),
+            format!("{:.6e}", pt.report.elapsed_secs()),
+            format!("{:.6e}", pt.report.comm_sync_time_secs()),
+        ]);
+    }
     println!("{}", table.render());
-    save_csv("ablation_priority", &table);
+    save_csv_with_provenance("ablation_priority", &table, &outcome, opts, &[]);
     println!("the paper's stated next goal: fine-tuning hardware thread scheduling.");
 }
 
 /// Ablation: network topologies under the same FFT workload.
-fn topology(scale: Scale) {
+fn topology(opts: &Opts) {
     println!("\n=== Ablation: network topology (omega vs torus vs crossbar vs ideal) ===");
-    let per_pe = scale.fft_per_pe()[0];
-    let n = per_pe * 16;
-    let mut table = Table::new(["network", "elapsed (s)", "comm (s)", "net contention (cy)"]);
+    let per_pe = opts.scale.fft_per_pe()[0];
+    let mut specs = Vec::new();
     for model in [
         NetModelKind::CircularOmega,
         NetModelKind::Torus2D,
         NetModelKind::FullCrossbar,
         NetModelKind::Ideal { latency: 5 },
     ] {
-        let mut cfg = machine_cfg(16, per_pe);
-        cfg.net.model = model;
-        let report = run_fft(&cfg, &FftParams::comm_only(n, 4)).unwrap().report;
+        let mut spec = RunSpec::new(Workload::Fft, 16, per_pe, 4);
+        spec.net_model = model;
+        specs.push(spec);
+    }
+    let outcome = opts.engine().run(specs);
+    let mut table = Table::new(["network", "elapsed (s)", "comm (s)", "net contention (cy)"]);
+    for pt in &outcome.points {
         table.row([
-            format!("{model:?}"),
-            format!("{:.6e}", report.elapsed_secs()),
-            format!("{:.6e}", report.comm_sync_time_secs()),
-            report.net_contention.get().to_string(),
+            format!("{:?}", pt.spec.net_model),
+            format!("{:.6e}", pt.report.elapsed_secs()),
+            format!("{:.6e}", pt.report.comm_sync_time_secs()),
+            pt.report.net_contention.get().to_string(),
         ]);
     }
     println!("{}", table.render());
-    save_csv("ablation_topology", &table);
+    save_csv_with_provenance("ablation_topology", &table, &outcome, opts, &[]);
     println!("the EM-X behaviour is not Omega-specific: any low-latency fabric masks\nsimilarly once h covers the round trip.");
 }
 
+fn usage() -> ! {
+    eprintln!(
+        "usage: figures [fig6|fig7|fig8|fig9|latency|model|ablation|block|priority|runlength|topology|all]\n\
+         \x20              [quick|standard|full] [--jobs N] [--no-cache]"
+    );
+    std::process::exit(2);
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let cmd = args.first().map(String::as_str).unwrap_or("all");
-    let scale = args
-        .get(1)
-        .and_then(|s| Scale::parse(s))
-        .unwrap_or(Scale::Standard);
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut positional = Vec::new();
+    let mut jobs = None;
+    let mut no_cache = false;
+    let mut it = raw.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--jobs" | "-j" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => jobs = Some(n),
+                _ => {
+                    eprintln!("--jobs needs a positive integer");
+                    usage();
+                }
+            },
+            "--no-cache" => no_cache = true,
+            "--help" | "-h" => usage(),
+            flag if flag.starts_with('-') => {
+                eprintln!("unknown flag {flag:?}");
+                usage();
+            }
+            _ => positional.push(arg.clone()),
+        }
+    }
+    let cmd = positional.first().map(String::as_str).unwrap_or("all");
+    let scale = match positional.get(1) {
+        None => Scale::Standard,
+        Some(word) => Scale::parse(word).unwrap_or_else(|| {
+            eprintln!("unknown scale {word:?}");
+            usage();
+        }),
+    };
+    if let Some(extra) = positional.get(2) {
+        eprintln!("unexpected argument {extra:?}");
+        usage();
+    }
+    let opts = Opts {
+        scale,
+        jobs,
+        no_cache,
+    };
 
     println!("EM-X figure regeneration -- {cmd} at {scale:?} scale");
     let mut cache = Vec::new();
     match cmd {
-        "fig6" => fig6(scale, &mut cache),
+        "fig6" => fig6(&opts, &mut cache),
         "fig7" => {
-            fig6(scale, &mut cache);
-            fig7(&cache);
+            fig6(&opts, &mut cache);
+            fig7(&opts, &cache);
         }
-        "fig8" => fig8(scale),
-        "fig9" => fig9(scale),
+        "fig8" => fig8(&opts),
+        "fig9" => fig9(&opts),
         "latency" => latency(),
         "model" => model(),
-        "ablation" => ablation(scale),
-        "block" => block(scale),
-        "priority" => priority(scale),
-        "runlength" => runlength(scale),
-        "topology" => topology(scale),
+        "ablation" => ablation(&opts),
+        "block" => block(&opts),
+        "priority" => priority(&opts),
+        "runlength" => runlength(&opts),
+        "topology" => topology(&opts),
         "all" => {
-            fig6(scale, &mut cache);
-            fig7(&cache);
-            fig8(scale);
-            fig9(scale);
+            fig6(&opts, &mut cache);
+            fig7(&opts, &cache);
+            fig8(&opts);
+            fig9(&opts);
             latency();
             model();
-            ablation(scale);
-            block(scale);
-            priority(scale);
-            runlength(scale);
-            topology(scale);
+            ablation(&opts);
+            block(&opts);
+            priority(&opts);
+            runlength(&opts);
+            topology(&opts);
         }
         other => {
-            eprintln!(
-                "unknown figure {other:?}; use fig6|fig7|fig8|fig9|latency|model|ablation|block|priority|runlength|topology|all"
-            );
-            std::process::exit(2);
+            eprintln!("unknown figure {other:?}");
+            usage();
         }
     }
 }

@@ -1,17 +1,40 @@
-//! Shared sweep machinery for the figure regenerators and benches.
+//! # emx-bench
 //!
-//! Every figure in the paper is a sweep over (workload, P, n, h). The
-//! simulator is single-threaded per run, so sweeps fan the independent
-//! configurations out over host threads (crossbeam scope + a work queue)
-//! and then reassemble results in deterministic order.
+//! Benchmark harness regenerating every figure of the SPAA'97 EM-X paper.
+//!
+//! Every figure is a sweep over (workload, P, n, h) plus ablation knobs,
+//! executed by the [`emx_sweep::SweepEngine`] (re-exported as
+//! [`emx::sweep`]) — parallel across host
+//! threads, deterministic (results are assembled in grid order, so CSV
+//! output is byte-identical at any `--jobs` count), and cached
+//! content-addressed under `results/cache/` (see `docs/SWEEPS.md`). This
+//! crate layers the figure-specific vocabulary on top:
+//!
+//! * [`Scale`] — how big the regenerated figures are (`quick` CI smoke
+//!   runs, `standard` for EXPERIMENTS.md numbers, `full` near paper
+//!   sizes), and which per-PE sizes / thread counts / PE panels each
+//!   scale sweeps;
+//! * [`Workload`] — the paper's two kernels (re-exported from
+//!   `emx-sweep`): multithreaded bitonic sorting and multithreaded FFT;
+//! * [`run_one`] / [`sweep`] — single-point and grid execution, used by
+//!   the Criterion benches and the `figures` binary. `run_one(w, p,
+//!   per_pe, h)` is exactly `RunSpec::new(w, p, per_pe, h).execute()`, so
+//!   bench numbers and figure numbers can never drift apart;
+//! * [`series_by_size`] — regroup sweep points into the per-size series
+//!   the figure panels plot.
+//!
+//! The `figures` binary (`cargo run --release -p emx-bench --bin figures`)
+//! regenerates every figure and ablation as tables + CSV + provenance
+//! sidecars; see its `--help` text and README § "Regenerating the
+//! figures".
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-
 use emx::prelude::*;
-use parking_lot::Mutex;
+
+pub use emx::sweep::Workload;
+use emx::sweep::{grid, RunSpec, SweepEngine};
 
 /// How big the regenerated figures are.
 ///
@@ -37,6 +60,15 @@ impl Scale {
             "standard" => Some(Scale::Standard),
             "full" => Some(Scale::Full),
             _ => None,
+        }
+    }
+
+    /// The CLI word for this scale.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::Quick => "quick",
+            Scale::Standard => "standard",
+            Scale::Full => "full",
         }
     }
 
@@ -90,87 +122,58 @@ pub struct Point {
 }
 
 /// Machine configuration used by all figure sweeps: paper-default EM-X with
-/// memory sized to the largest block the sweep needs.
+/// memory sized to the largest block the sweep needs. Exactly
+/// [`RunSpec::machine_config`] for a baseline spec, so benches that build
+/// configurations by hand agree with the engine's cache keys.
 pub fn machine_cfg(p: usize, per_pe: usize) -> MachineConfig {
-    let mut cfg = MachineConfig::with_pes(p);
-    // Sort needs 3 m + control; FFT 4 m. Round up generously.
-    cfg.local_memory_words = (per_pe * 6 + 256).next_power_of_two();
-    cfg
+    RunSpec::new(Workload::Sort, p, per_pe, 1).machine_config()
 }
 
-/// Which workload a sweep runs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Workload {
-    /// Multithreaded bitonic sorting.
-    Sort,
-    /// Multithreaded FFT, first log P iterations (the paper's setup).
-    Fft,
-}
-
-impl Workload {
-    /// Display name.
-    pub fn name(self) -> &'static str {
-        match self {
-            Workload::Sort => "bitonic-sort",
-            Workload::Fft => "fft",
-        }
+/// Run one baseline configuration (no ablation knobs), without caching.
+/// The Criterion benches call this directly; the figure harness routes
+/// the same [`RunSpec`]s through the cached parallel engine.
+pub fn run_one(w: Workload, p: usize, per_pe: usize, h: usize) -> Point {
+    let spec = RunSpec::new(w, p, per_pe, h);
+    let report = spec
+        .execute()
+        .unwrap_or_else(|e| panic!("{}: {e}", spec.label()));
+    Point {
+        p,
+        n: spec.n(),
+        h,
+        report,
     }
 }
 
-/// Run one configuration.
-pub fn run_one(w: Workload, p: usize, per_pe: usize, h: usize) -> Point {
-    let cfg = machine_cfg(p, per_pe);
-    let n = per_pe * p;
-    let report = match w {
-        Workload::Sort => {
-            run_bitonic(&cfg, &SortParams::new(n, h))
-                .unwrap_or_else(|e| panic!("sort P={p} n={n} h={h}: {e}"))
-                .report
-        }
-        Workload::Fft => {
-            run_fft(&cfg, &FftParams::comm_only(n, h))
-                .unwrap_or_else(|e| panic!("fft P={p} n={n} h={h}: {e}"))
-                .report
-        }
-    };
-    Point { p, n, h, report }
-}
-
 /// Sweep `per_pe_sizes x threads` for one workload and processor count,
-/// fanning configurations across host threads. Results come back sorted by
-/// (n, h).
+/// fanning configurations across host threads via the sweep engine
+/// (uncached, quiet — the figure harness uses the engine directly for
+/// caching and progress). Results come back sorted by (n, h).
 pub fn sweep(w: Workload, p: usize, per_pe_sizes: &[usize], threads: &[usize]) -> Vec<Point> {
-    let tasks: Vec<(usize, usize)> = per_pe_sizes
-        .iter()
-        .flat_map(|&s| threads.iter().map(move |&h| (s, h)))
+    let outcome = SweepEngine::new()
+        .cache(None)
+        .quiet(true)
+        .run(grid(w, p, per_pe_sizes, threads));
+    let mut out: Vec<Point> = outcome
+        .points
+        .into_iter()
+        .map(|pt| Point {
+            p: pt.spec.pes,
+            n: pt.spec.n(),
+            h: pt.spec.threads,
+            report: pt.report,
+        })
         .collect();
-    let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<Point>> = Mutex::new(Vec::with_capacity(tasks.len()));
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(tasks.len().max(1));
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(&(per_pe, h)) = tasks.get(i) else {
-                    break;
-                };
-                let point = run_one(w, p, per_pe, h);
-                results.lock().push(point);
-            });
-        }
-    })
-    .expect("sweep workers do not panic");
-    let mut out = results.into_inner();
     out.sort_by_key(|pt| (pt.n, pt.h));
     out
 }
 
 /// Group a sweep's points into per-size series of (h, y) pairs using the
 /// given metric.
-pub fn series_by_size(points: &[Point], metric: impl Fn(&Point) -> f64) -> Vec<(usize, Vec<(usize, f64)>)> {
+pub fn series_by_size(
+    points: &[Point],
+    metric: impl Fn(&Point) -> f64,
+) -> Vec<(usize, Vec<(usize, f64)>)> {
     let mut sizes: Vec<usize> = points.iter().map(|p| p.n).collect();
     sizes.dedup();
     sizes
@@ -206,6 +209,7 @@ mod tests {
         assert_eq!(Scale::parse("quick"), Some(Scale::Quick));
         assert_eq!(Scale::parse("standard"), Some(Scale::Standard));
         assert_eq!(Scale::parse("bogus"), None);
+        assert_eq!(Scale::Full.name(), "full");
     }
 
     #[test]
@@ -228,5 +232,32 @@ mod tests {
         let series = series_by_size(&pts, |p| p.report.comm_sync_time_secs());
         assert_eq!(series.len(), 1);
         assert_eq!(series[0].1.len(), 2);
+    }
+
+    #[test]
+    fn run_one_equals_the_engine_path() {
+        // The bench shortcut and the cached engine path must agree bit
+        // for bit, or bench numbers could drift from figure numbers.
+        let direct = run_one(Workload::Sort, 4, 64, 2);
+        let via_engine = SweepEngine::new()
+            .cache(None)
+            .quiet(true)
+            .jobs(1)
+            .run(vec![RunSpec::new(Workload::Sort, 4, 64, 2)]);
+        assert_eq!(direct.report, via_engine.points[0].report);
+    }
+
+    #[test]
+    fn machine_cfg_matches_spec_expansion() {
+        let cfg = machine_cfg(16, 512);
+        assert_eq!(
+            cfg.local_memory_words,
+            (512usize * 6 + 256).next_power_of_two()
+        );
+        assert_eq!(cfg.num_pes, 16);
+        assert_eq!(
+            cfg,
+            RunSpec::new(Workload::Fft, 16, 512, 4).machine_config()
+        );
     }
 }

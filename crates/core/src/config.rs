@@ -27,8 +27,7 @@ pub enum ServiceMode {
 }
 
 /// Which network model routes packets.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub enum NetModelKind {
     /// The EM-X circular Omega network: `log2(P)` stages of 2x2 switches,
     /// virtual cut-through (a packet reaches a processor k hops away in k+1
@@ -48,7 +47,6 @@ pub enum NetModelKind {
     /// cross-topology ablations against the Omega fabric.
     Torus2D,
 }
-
 
 /// Network timing parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -285,24 +283,34 @@ mod tests {
 
     #[test]
     fn validation_rejects_degenerate_configs() {
-        let mut c = MachineConfig::default();
-        c.num_pes = 0;
+        let c = MachineConfig {
+            num_pes: 0,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
 
-        let mut c = MachineConfig::default();
-        c.num_pes = MAX_PES + 1;
+        let c = MachineConfig {
+            num_pes: MAX_PES + 1,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
 
-        let mut c = MachineConfig::default();
-        c.local_memory_words = 0;
+        let c = MachineConfig {
+            local_memory_words: 0,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
 
-        let mut c = MachineConfig::default();
-        c.ibu_fifo_capacity = 0;
+        let c = MachineConfig {
+            ibu_fifo_capacity: 0,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
 
-        let mut c = MachineConfig::default();
-        c.frames_per_pe = 0;
+        let c = MachineConfig {
+            frames_per_pe: 0,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
 
         let mut c = MachineConfig::default();

@@ -20,16 +20,28 @@ fn arb_cont() -> impl Strategy<Value = Continuation> {
 
 fn arb_packet() -> impl Strategy<Value = Packet> {
     prop_oneof![
-        (arb_gaddr(), arb_cont(), 0..MAX_PES as u16)
-            .prop_map(|(g, c, src)| Packet::read_req(PeId(src), g, c)),
+        (arb_gaddr(), arb_cont(), 0..MAX_PES as u16).prop_map(|(g, c, src)| Packet::read_req(
+            PeId(src),
+            g,
+            c
+        )),
         (arb_gaddr(), arb_cont(), 1u16..=4096, 0..MAX_PES as u16)
             .prop_map(|(g, c, n, src)| Packet::read_block_req(PeId(src), g, c, n).unwrap()),
-        (arb_cont(), any::<u32>(), 0..MAX_PES as u16)
-            .prop_map(|(c, v, src)| Packet::read_resp(PeId(src), c, v)),
-        (arb_gaddr(), any::<u32>(), 0..MAX_PES as u16)
-            .prop_map(|(g, v, src)| Packet::write(PeId(src), g, v)),
-        (arb_gaddr(), any::<u32>(), 0..MAX_PES as u16)
-            .prop_map(|(g, a, src)| Packet::spawn(PeId(src), g, a)),
+        (arb_cont(), any::<u32>(), 0..MAX_PES as u16).prop_map(|(c, v, src)| Packet::read_resp(
+            PeId(src),
+            c,
+            v
+        )),
+        (arb_gaddr(), any::<u32>(), 0..MAX_PES as u16).prop_map(|(g, v, src)| Packet::write(
+            PeId(src),
+            g,
+            v
+        )),
+        (arb_gaddr(), any::<u32>(), 0..MAX_PES as u16).prop_map(|(g, a, src)| Packet::spawn(
+            PeId(src),
+            g,
+            a
+        )),
     ]
 }
 

@@ -3,15 +3,24 @@
 //! ```text
 //! emx-cli sort    --pes 16 --n 16384 --threads 4 [--dist uniform] [--seed 1] [--block] [--em4] [--csv]
 //! emx-cli fft     --pes 16 --n 16384 --threads 4 [--comm-only] [--csv]
+//! emx-cli sweep   --workload sort --pes 16 --sizes 512,2048 --threads 1,2,4
+//!                 [--jobs N] [--no-cache] [--csv] [--out results/sweep.csv]
 //! emx-cli nullloop --pes 4 --threads 2 --packets 100
 //! emx-cli latency --pes 16 --readers 4 [--reads 64]
 //! emx-cli asm     <file.s>            # assemble and list a kernel
 //! emx-cli info    [--pes 80]          # dump the machine configuration
 //! ```
+//!
+//! `sweep` runs a (per-PE size × thread count) grid through the parallel
+//! cached sweep engine (`emx-sweep`): points fan out across host threads,
+//! output order is deterministic, and simulated points are cached under
+//! `results/cache/`. With `--out FILE.csv` it also writes the CSV plus a
+//! JSON provenance sidecar (see `docs/SWEEPS.md`).
 
 use std::process::ExitCode;
 
 use emx::prelude::*;
+use emx::sweep::{grid, provenance, SweepEngine, Workload};
 use emx::workloads::{run_null_loop, NullLoopParams};
 
 /// Minimal flag parser: `--name value` pairs plus boolean `--name` switches
@@ -57,14 +66,18 @@ impl Args {
     fn usize_or(&self, name: &str, default: usize) -> Result<usize, String> {
         match self.get(name) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("--{name} wants a number, got {v:?}")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{name} wants a number, got {v:?}")),
         }
     }
 
     fn u64_or(&self, name: &str, default: u64) -> Result<u64, String> {
         match self.get(name) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("--{name} wants a number, got {v:?}")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{name} wants a number, got {v:?}")),
         }
     }
 }
@@ -84,17 +97,35 @@ fn machine_cfg(args: &Args, default_pes: usize) -> Result<MachineConfig, String>
 
 fn print_report(report: &RunReport, csv: bool) {
     let mut t = Table::new(["metric", "value"]);
-    t.row(["elapsed (s)".to_string(), format!("{:.6e}", report.elapsed_secs())]);
-    t.row(["comm+sync (s)".to_string(), format!("{:.6e}", report.comm_sync_time_secs())]);
-    t.row(["pure idle (s)".to_string(), format!("{:.6e}", report.comm_time_secs())]);
+    t.row([
+        "elapsed (s)".to_string(),
+        format!("{:.6e}", report.elapsed_secs()),
+    ]);
+    t.row([
+        "comm+sync (s)".to_string(),
+        format!("{:.6e}", report.comm_sync_time_secs()),
+    ]);
+    t.row([
+        "pure idle (s)".to_string(),
+        format!("{:.6e}", report.comm_time_secs()),
+    ]);
     t.row(["remote reads".to_string(), report.total_reads().to_string()]);
     t.row(["packets".to_string(), report.total_packets().to_string()]);
     t.row(["net packets".to_string(), report.net_packets.to_string()]);
-    t.row(["mean utilization".to_string(), format!("{:.3}", report.mean_utilization())]);
+    t.row([
+        "mean utilization".to_string(),
+        format!("{:.3}", report.mean_utilization()),
+    ]);
     let s = report.mean_switches();
-    t.row(["switches/PE remote-read".to_string(), s.remote_read.to_string()]);
+    t.row([
+        "switches/PE remote-read".to_string(),
+        s.remote_read.to_string(),
+    ]);
     t.row(["switches/PE iter-sync".to_string(), s.iter_sync.to_string()]);
-    t.row(["switches/PE thread-sync".to_string(), s.thread_sync.to_string()]);
+    t.row([
+        "switches/PE thread-sync".to_string(),
+        s.thread_sync.to_string(),
+    ]);
     let f = report.mean_breakdown().fractions();
     for (i, label) in Breakdown::LABELS.iter().enumerate() {
         t.row([format!("{label} %"), format!("{:.1}", f[i] * 100.0)]);
@@ -153,6 +184,71 @@ fn cmd_fft(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn parse_list(name: &str, raw: &str) -> Result<Vec<usize>, String> {
+    let vals: Result<Vec<usize>, _> = raw.split(',').map(|v| v.trim().parse()).collect();
+    match vals {
+        Ok(v) if !v.is_empty() => Ok(v),
+        _ => Err(format!(
+            "--{name} wants a comma-separated list of numbers, got {raw:?}"
+        )),
+    }
+}
+
+fn cmd_sweep(args: &Args) -> Result<(), String> {
+    let workload = match args.get("workload") {
+        None => Workload::Sort,
+        Some(w) => Workload::parse(w).ok_or(format!("unknown workload {w:?} (sort|fft)"))?,
+    };
+    let pes = args.usize_or("pes", 16)?;
+    let sizes = parse_list("sizes", args.get("sizes").unwrap_or("512,2048"))?;
+    let threads = parse_list("threads", args.get("threads").unwrap_or("1,2,4,8"))?;
+
+    let mut engine = SweepEngine::new();
+    if let Some(j) = args.get("jobs") {
+        let j: usize = j
+            .parse()
+            .map_err(|_| format!("--jobs wants a number, got {j:?}"))?;
+        engine = engine.jobs(j);
+    }
+    if args.has("no-cache") {
+        engine = engine.cache(None);
+    }
+    let outcome = engine.run(grid(workload, pes, &sizes, &threads));
+
+    let mut t = Table::new(["n", "h", "elapsed (s)", "comm+sync (s)", "cached"]);
+    for pt in &outcome.points {
+        t.row([
+            pt.spec.n().to_string(),
+            pt.spec.threads.to_string(),
+            format!("{:.6e}", pt.report.elapsed_secs()),
+            format!("{:.6e}", pt.report.comm_sync_time_secs()),
+            pt.cached.to_string(),
+        ]);
+    }
+    if args.has("csv") {
+        print!("{}", t.to_csv());
+    } else {
+        print!("{}", t.render());
+    }
+
+    if let Some(out) = args.get("out") {
+        let path = std::path::Path::new(out);
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            std::fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+        }
+        std::fs::write(path, t.to_csv()).map_err(|e| format!("{out}: {e}"))?;
+        let side = provenance::write_sidecar(
+            path,
+            &format!("sweep_{}_p{pes}", workload.name()),
+            &outcome,
+            &[("source", "emx-cli sweep".to_string())],
+        )
+        .map_err(|e| format!("{out}: {e}"))?;
+        eprintln!("wrote {} and {}", path.display(), side.display());
+    }
+    Ok(())
+}
+
 fn cmd_nullloop(args: &Args) -> Result<(), String> {
     let cfg = machine_cfg(args, 4)?;
     let params = NullLoopParams::new(
@@ -181,7 +277,8 @@ fn cmd_latency(args: &Args) -> Result<(), String> {
     let target = (cfg.num_pes - 1) as u16;
     for r in 0..readers {
         let addr = GlobalAddr::new(PeId(target), 64).unwrap().pack();
-        m.spawn_at_start(PeId(r as u16), tmpl, addr).map_err(|e| e.to_string())?;
+        m.spawn_at_start(PeId(r as u16), tmpl, addr)
+            .map_err(|e| e.to_string())?;
     }
     let report = m.run().map_err(|e| e.to_string())?;
     // Round trip = idle waiting plus the suspend/resume switch machinery,
@@ -193,7 +290,10 @@ fn cmd_latency(args: &Args) -> Result<(), String> {
     let per_read = wait / report.total_reads() as f64;
     println!(
         "{} reader(s) on {} PEs: {:.1} cycles/read = {:.2} µs at 20 MHz (paper band: 20-40 cycles)",
-        readers, cfg.num_pes, per_read, per_read / 20.0
+        readers,
+        cfg.num_pes,
+        per_read,
+        per_read / 20.0
     );
     Ok(())
 }
@@ -221,14 +321,35 @@ fn cmd_info(args: &Args) -> Result<(), String> {
     let cfg = machine_cfg(args, 80)?;
     let mut t = Table::new(["parameter", "value"]);
     t.row(["processors".to_string(), cfg.num_pes.to_string()]);
-    t.row(["clock (MHz)".to_string(), (cfg.clock_hz / 1_000_000).to_string()]);
-    t.row(["memory words/PE".to_string(), cfg.local_memory_words.to_string()]);
-    t.row(["IBU FIFO capacity".to_string(), cfg.ibu_fifo_capacity.to_string()]);
+    t.row([
+        "clock (MHz)".to_string(),
+        (cfg.clock_hz / 1_000_000).to_string(),
+    ]);
+    t.row([
+        "memory words/PE".to_string(),
+        cfg.local_memory_words.to_string(),
+    ]);
+    t.row([
+        "IBU FIFO capacity".to_string(),
+        cfg.ibu_fifo_capacity.to_string(),
+    ]);
     t.row(["frames/PE".to_string(), cfg.frames_per_pe.to_string()]);
-    t.row(["service mode".to_string(), format!("{:?}", cfg.service_mode)]);
-    t.row(["context switch (cy)".to_string(), cfg.costs.context_switch.to_string()]);
-    t.row(["DMA service (cy)".to_string(), cfg.costs.dma_service.to_string()]);
-    t.row(["barrier poll interval (cy)".to_string(), cfg.costs.barrier_poll_interval.to_string()]);
+    t.row([
+        "service mode".to_string(),
+        format!("{:?}", cfg.service_mode),
+    ]);
+    t.row([
+        "context switch (cy)".to_string(),
+        cfg.costs.context_switch.to_string(),
+    ]);
+    t.row([
+        "DMA service (cy)".to_string(),
+        cfg.costs.dma_service.to_string(),
+    ]);
+    t.row([
+        "barrier poll interval (cy)".to_string(),
+        cfg.costs.barrier_poll_interval.to_string(),
+    ]);
     t.row(["network".to_string(), format!("{:?}", cfg.net.model)]);
     print!("{}", t.render());
     Ok(())
@@ -237,13 +358,14 @@ fn cmd_info(args: &Args) -> Result<(), String> {
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = raw.first().cloned() else {
-        eprintln!("usage: emx-cli <sort|fft|nullloop|latency|asm|info> [options]");
+        eprintln!("usage: emx-cli <sort|fft|sweep|nullloop|latency|asm|info> [options]");
         return ExitCode::from(2);
     };
     let args = Args::parse(&raw[1..]);
     let result = match cmd.as_str() {
         "sort" => cmd_sort(&args),
         "fft" => cmd_fft(&args),
+        "sweep" => cmd_sweep(&args),
         "nullloop" => cmd_nullloop(&args),
         "latency" => cmd_latency(&args),
         "asm" => cmd_asm(&args),

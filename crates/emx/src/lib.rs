@@ -20,7 +20,8 @@
 //! | [`runtime`] | threads, scheduling, barriers, the [`Machine`] |
 //! | [`workloads`] | multithreaded bitonic sorting and FFT drivers |
 //! | [`model`] | the Saavedra-Barrera analytic multithreading model |
-//! | [`stats`] | breakdowns, switch censuses, reporters |
+//! | [`stats`] | breakdowns, switch censuses, reporters, stable digests |
+//! | [`sweep`] | parallel deterministic cached sweep engine + provenance |
 //!
 //! ## Quick start
 //!
@@ -49,6 +50,7 @@ pub use emx_net as net;
 pub use emx_proc as proc;
 pub use emx_runtime as runtime;
 pub use emx_stats as stats;
+pub use emx_sweep as sweep;
 pub use emx_workloads as workloads;
 
 /// The most commonly used items, for glob import.
@@ -65,9 +67,9 @@ pub mod prelude {
         WorkKind,
     };
     pub use emx_stats::{
-        ascii_chart, overlap_efficiency, Breakdown, PeStats, RunReport, Series, SwitchCensus,
-        Table,
+        ascii_chart, overlap_efficiency, Breakdown, PeStats, RunReport, Series, SwitchCensus, Table,
     };
+    pub use emx_sweep::{RunCache, RunSpec, SweepEngine};
     pub use emx_workloads::gen::{dft, keys, signal, KeyDist, Signal};
     pub use emx_workloads::{
         run_bitonic, run_fft, run_null_loop, FftOutcome, FftParams, NullLoopOutcome,

@@ -128,7 +128,8 @@ impl Assembler {
 
     fn imm_u32(&self, s: &str) -> Result<u32, SimError> {
         let v = self.imm_i64(s)?;
-        u32::try_from(v & 0xFFFF_FFFF).map_err(|_| self.err(format!("constant {v} exceeds 32 bits")))
+        u32::try_from(v & 0xFFFF_FFFF)
+            .map_err(|_| self.err(format!("constant {v} exceeds 32 bits")))
     }
 
     fn want(&self, ops: &[&str], n: usize, m: &str) -> Result<(), SimError> {
@@ -303,11 +304,7 @@ mod tests {
 
     #[test]
     fn label_on_its_own_line_and_inline() {
-        let p = assemble(
-            "t",
-            "start:\n  nop\nmid: nop\n  j start\n",
-        )
-        .unwrap();
+        let p = assemble("t", "start:\n  nop\nmid: nop\n  j start\n").unwrap();
         assert_eq!(p.fetch(2).unwrap(), Instr::J { target: 0 });
     }
 
@@ -316,11 +313,19 @@ mod tests {
         let p = assemble("t", "addi r5, zero, -42\naddi r6, zero, 0x1f\nend\n").unwrap();
         assert_eq!(
             p.fetch(0).unwrap(),
-            Instr::Addi { rd: Reg::r(5), rs: Reg::ZERO, imm: -42 }
+            Instr::Addi {
+                rd: Reg::r(5),
+                rs: Reg::ZERO,
+                imm: -42
+            }
         );
         assert_eq!(
             p.fetch(1).unwrap(),
-            Instr::Addi { rd: Reg::r(6), rs: Reg::ZERO, imm: 31 }
+            Instr::Addi {
+                rd: Reg::r(6),
+                rs: Reg::ZERO,
+                imm: 31
+            }
         );
     }
 
@@ -329,7 +334,11 @@ mod tests {
         let p = assemble("t", "add r5, pe, npes\nsw r5, fp, 0\nend\n").unwrap();
         assert_eq!(
             p.fetch(0).unwrap(),
-            Instr::Add { rd: Reg::r(5), rs: Reg::PE, rt: Reg::NPES }
+            Instr::Add {
+                rd: Reg::r(5),
+                rs: Reg::PE,
+                rt: Reg::NPES
+            }
         );
     }
 
@@ -365,14 +374,21 @@ mod tests {
 
     #[test]
     fn comments_and_blank_lines_ignored() {
-        let p = assemble("t", "\n\n; full comment\n# hash comment\nnop ; trailing\nend\n").unwrap();
+        let p = assemble(
+            "t",
+            "\n\n; full comment\n# hash comment\nnop ; trailing\nend\n",
+        )
+        .unwrap();
         assert_eq!(p.len(), 2);
     }
 
     #[test]
     fn li32_pseudo_expands() {
         let p = assemble("t", "li32 r5, 0xdeadbeef\nend\n").unwrap();
-        assert!(p.len() > 2, "li32 of a large constant needs several instructions");
+        assert!(
+            p.len() > 2,
+            "li32 of a large constant needs several instructions"
+        );
         let mut st = ThreadState::at_entry(0, 1, 0, 0);
         let mut mem = VecMemory::zeroed(1);
         run_until_suspend(&p, &mut st, &mut mem, &CostModel::default(), 100).unwrap();

@@ -73,9 +73,9 @@ impl Opcode {
     pub fn from_code(code: u8) -> Result<Opcode, SimError> {
         use Opcode::*;
         const TABLE: [Opcode; 42] = [
-            Nop, Add, Sub, Mul, Div, And, Or, Xor, Sll, Srl, Sra, Slt, Sltu, Addi, Andi, Ori,
-            Xori, Slti, Slli, Srli, Srai, Lui, FAdd, FSub, FMul, FDiv, Itof, Ftoi, Lw, Sw, Exch,
-            Beq, Bne, Blt, Bge, J, Rread, Rreadb, Rwrite, Spawn, End, Yield,
+            Nop, Add, Sub, Mul, Div, And, Or, Xor, Sll, Srl, Sra, Slt, Sltu, Addi, Andi, Ori, Xori,
+            Slti, Slli, Srli, Srai, Lui, FAdd, FSub, FMul, FDiv, Itof, Ftoi, Lw, Sw, Exch, Beq,
+            Bne, Blt, Bge, J, Rread, Rreadb, Rwrite, Spawn, End, Yield,
         ];
         TABLE
             .get(code as usize)
@@ -97,74 +97,221 @@ pub enum Instr {
     /// No operation (one clock).
     Nop,
     // ---- integer register ALU (one clock each) ----
-    Add { rd: Reg, rs: Reg, rt: Reg },
-    Sub { rd: Reg, rs: Reg, rt: Reg },
-    Mul { rd: Reg, rs: Reg, rt: Reg },
+    Add {
+        rd: Reg,
+        rs: Reg,
+        rt: Reg,
+    },
+    Sub {
+        rd: Reg,
+        rs: Reg,
+        rt: Reg,
+    },
+    Mul {
+        rd: Reg,
+        rs: Reg,
+        rt: Reg,
+    },
     /// Signed division; divide-by-zero produces 0 (the EMC-Y traps; the
     /// simulator's kernels never divide by zero and a defined result keeps
     /// the interpreter total).
-    Div { rd: Reg, rs: Reg, rt: Reg },
-    And { rd: Reg, rs: Reg, rt: Reg },
-    Or { rd: Reg, rs: Reg, rt: Reg },
-    Xor { rd: Reg, rs: Reg, rt: Reg },
+    Div {
+        rd: Reg,
+        rs: Reg,
+        rt: Reg,
+    },
+    And {
+        rd: Reg,
+        rs: Reg,
+        rt: Reg,
+    },
+    Or {
+        rd: Reg,
+        rs: Reg,
+        rt: Reg,
+    },
+    Xor {
+        rd: Reg,
+        rs: Reg,
+        rt: Reg,
+    },
     /// Shift left logical by `rt & 31`.
-    Sll { rd: Reg, rs: Reg, rt: Reg },
-    Srl { rd: Reg, rs: Reg, rt: Reg },
-    Sra { rd: Reg, rs: Reg, rt: Reg },
+    Sll {
+        rd: Reg,
+        rs: Reg,
+        rt: Reg,
+    },
+    Srl {
+        rd: Reg,
+        rs: Reg,
+        rt: Reg,
+    },
+    Sra {
+        rd: Reg,
+        rs: Reg,
+        rt: Reg,
+    },
     /// Set `rd` to 1 if `rs < rt` signed, else 0.
-    Slt { rd: Reg, rs: Reg, rt: Reg },
-    Sltu { rd: Reg, rs: Reg, rt: Reg },
+    Slt {
+        rd: Reg,
+        rs: Reg,
+        rt: Reg,
+    },
+    Sltu {
+        rd: Reg,
+        rs: Reg,
+        rt: Reg,
+    },
     // ---- integer immediate ALU (one clock each) ----
-    Addi { rd: Reg, rs: Reg, imm: i16 },
-    Andi { rd: Reg, rs: Reg, imm: i16 },
-    Ori { rd: Reg, rs: Reg, imm: i16 },
-    Xori { rd: Reg, rs: Reg, imm: i16 },
-    Slti { rd: Reg, rs: Reg, imm: i16 },
+    Addi {
+        rd: Reg,
+        rs: Reg,
+        imm: i16,
+    },
+    Andi {
+        rd: Reg,
+        rs: Reg,
+        imm: i16,
+    },
+    Ori {
+        rd: Reg,
+        rs: Reg,
+        imm: i16,
+    },
+    Xori {
+        rd: Reg,
+        rs: Reg,
+        imm: i16,
+    },
+    Slti {
+        rd: Reg,
+        rs: Reg,
+        imm: i16,
+    },
     /// Shift left logical by `imm & 31`.
-    Slli { rd: Reg, rs: Reg, imm: i16 },
-    Srli { rd: Reg, rs: Reg, imm: i16 },
-    Srai { rd: Reg, rs: Reg, imm: i16 },
+    Slli {
+        rd: Reg,
+        rs: Reg,
+        imm: i16,
+    },
+    Srli {
+        rd: Reg,
+        rs: Reg,
+        imm: i16,
+    },
+    Srai {
+        rd: Reg,
+        rs: Reg,
+        imm: i16,
+    },
     /// `rd = (imm as u32) << 16`.
-    Lui { rd: Reg, imm: i16 },
+    Lui {
+        rd: Reg,
+        imm: i16,
+    },
     // ---- single-precision floating point (one clock, except divide) ----
-    FAdd { rd: Reg, rs: Reg, rt: Reg },
-    FSub { rd: Reg, rs: Reg, rt: Reg },
-    FMul { rd: Reg, rs: Reg, rt: Reg },
+    FAdd {
+        rd: Reg,
+        rs: Reg,
+        rt: Reg,
+    },
+    FSub {
+        rd: Reg,
+        rs: Reg,
+        rt: Reg,
+    },
+    FMul {
+        rd: Reg,
+        rs: Reg,
+        rt: Reg,
+    },
     /// The one multi-cycle FP instruction (`CostModel::fdiv`).
-    FDiv { rd: Reg, rs: Reg, rt: Reg },
+    FDiv {
+        rd: Reg,
+        rs: Reg,
+        rt: Reg,
+    },
     /// Convert signed integer in `rs` to f32 bits in `rd`.
-    Itof { rd: Reg, rs: Reg },
+    Itof {
+        rd: Reg,
+        rs: Reg,
+    },
     /// Convert f32 bits in `rs` to a (truncated) signed integer in `rd`.
-    Ftoi { rd: Reg, rs: Reg },
+    Ftoi {
+        rd: Reg,
+        rs: Reg,
+    },
     // ---- local memory ----
     /// `rd = mem[rs + imm]` (word offset).
-    Lw { rd: Reg, base: Reg, imm: i16 },
+    Lw {
+        rd: Reg,
+        base: Reg,
+        imm: i16,
+    },
     /// `mem[base + imm] = src`.
-    Sw { src: Reg, base: Reg, imm: i16 },
+    Sw {
+        src: Reg,
+        base: Reg,
+        imm: i16,
+    },
     /// Atomically exchange `rd` with `mem[rs]` — the one multi-cycle integer
     /// instruction (`CostModel::mem_exchange`).
-    Exch { rd: Reg, addr: Reg },
+    Exch {
+        rd: Reg,
+        addr: Reg,
+    },
     // ---- control flow (targets are absolute instruction indices) ----
-    Beq { rs: Reg, rt: Reg, target: u16 },
-    Bne { rs: Reg, rt: Reg, target: u16 },
+    Beq {
+        rs: Reg,
+        rt: Reg,
+        target: u16,
+    },
+    Bne {
+        rs: Reg,
+        rt: Reg,
+        target: u16,
+    },
     /// Branch if `rs < rt` signed.
-    Blt { rs: Reg, rt: Reg, target: u16 },
-    Bge { rs: Reg, rt: Reg, target: u16 },
-    J { target: u32 },
+    Blt {
+        rs: Reg,
+        rt: Reg,
+        target: u16,
+    },
+    Bge {
+        rs: Reg,
+        rt: Reg,
+        target: u16,
+    },
+    J {
+        target: u32,
+    },
     // ---- the four send instructions (one clock each, §2.2) ----
     /// Split-phase remote read: request the word at the global address in
     /// `gaddr`; the thread suspends and the value arrives in `rd`.
-    Rread { rd: Reg, gaddr: Reg },
+    Rread {
+        rd: Reg,
+        gaddr: Reg,
+    },
     /// Block remote read: request `len` consecutive words starting at the
     /// global address in `gaddr`, deposited into local memory starting at
     /// the word offset in `local`; the thread suspends until all arrive.
-    Rreadb { gaddr: Reg, local: Reg, len: u16 },
+    Rreadb {
+        gaddr: Reg,
+        local: Reg,
+        len: u16,
+    },
     /// Remote write of `val` to the global address in `gaddr`; the thread
     /// continues (remote writes do not suspend, §2.3).
-    Rwrite { gaddr: Reg, val: Reg },
+    Rwrite {
+        gaddr: Reg,
+        val: Reg,
+    },
     /// Spawn a thread: send an invocation packet to the entry global address
     /// in `entry` with argument `arg`.
-    Spawn { entry: Reg, arg: Reg },
+    Spawn {
+        entry: Reg,
+        arg: Reg,
+    },
     // ---- thread control ----
     /// Thread completes; the processor dequeues the next packet.
     End,
@@ -345,15 +492,41 @@ impl Instr {
             Opcode::Itof => Itof { rd, rs },
             Opcode::Ftoi => Ftoi { rd, rs },
             Opcode::Lw => Lw { rd, base: rs, imm },
-            Opcode::Sw => Sw { src: rd, base: rs, imm },
+            Opcode::Sw => Sw {
+                src: rd,
+                base: rs,
+                imm,
+            },
             Opcode::Exch => Exch { rd, addr: rs },
-            Opcode::Beq => Beq { rs: rd, rt: rs, target: imm as u16 },
-            Opcode::Bne => Bne { rs: rd, rt: rs, target: imm as u16 },
-            Opcode::Blt => Blt { rs: rd, rt: rs, target: imm as u16 },
-            Opcode::Bge => Bge { rs: rd, rt: rs, target: imm as u16 },
-            Opcode::J => J { target: word & 0x03FF_FFFF },
+            Opcode::Beq => Beq {
+                rs: rd,
+                rt: rs,
+                target: imm as u16,
+            },
+            Opcode::Bne => Bne {
+                rs: rd,
+                rt: rs,
+                target: imm as u16,
+            },
+            Opcode::Blt => Blt {
+                rs: rd,
+                rt: rs,
+                target: imm as u16,
+            },
+            Opcode::Bge => Bge {
+                rs: rd,
+                rt: rs,
+                target: imm as u16,
+            },
+            Opcode::J => J {
+                target: word & 0x03FF_FFFF,
+            },
             Opcode::Rread => Rread { rd, gaddr: rs },
-            Opcode::Rreadb => Rreadb { gaddr: rs, local: rd, len: imm as u16 },
+            Opcode::Rreadb => Rreadb {
+                gaddr: rs,
+                local: rd,
+                len: imm as u16,
+            },
             Opcode::Rwrite => Rwrite { gaddr: rs, val: rt },
             Opcode::Spawn => Spawn { entry: rs, arg: rt },
             Opcode::End => End,
@@ -428,45 +601,186 @@ mod tests {
         use Instr::*;
         vec![
             Nop,
-            Add { rd: r(5), rs: r(6), rt: r(7) },
-            Sub { rd: r(31), rs: r(0), rt: r(1) },
-            Mul { rd: r(8), rs: r(8), rt: r(8) },
-            Div { rd: r(9), rs: r(10), rt: r(11) },
-            And { rd: r(5), rs: r(6), rt: r(7) },
-            Or { rd: r(5), rs: r(6), rt: r(7) },
-            Xor { rd: r(5), rs: r(6), rt: r(7) },
-            Sll { rd: r(5), rs: r(6), rt: r(7) },
-            Srl { rd: r(5), rs: r(6), rt: r(7) },
-            Sra { rd: r(5), rs: r(6), rt: r(7) },
-            Slt { rd: r(5), rs: r(6), rt: r(7) },
-            Sltu { rd: r(5), rs: r(6), rt: r(7) },
-            Addi { rd: r(5), rs: r(6), imm: -32768 },
-            Andi { rd: r(5), rs: r(6), imm: 32767 },
-            Ori { rd: r(5), rs: r(6), imm: 255 },
-            Xori { rd: r(5), rs: r(6), imm: -1 },
-            Slti { rd: r(5), rs: r(6), imm: 0 },
-            Slli { rd: r(5), rs: r(6), imm: 31 },
-            Srli { rd: r(5), rs: r(6), imm: 1 },
-            Srai { rd: r(5), rs: r(6), imm: 2 },
-            Lui { rd: r(5), imm: 0x7FFF },
-            FAdd { rd: r(5), rs: r(6), rt: r(7) },
-            FSub { rd: r(5), rs: r(6), rt: r(7) },
-            FMul { rd: r(5), rs: r(6), rt: r(7) },
-            FDiv { rd: r(5), rs: r(6), rt: r(7) },
+            Add {
+                rd: r(5),
+                rs: r(6),
+                rt: r(7),
+            },
+            Sub {
+                rd: r(31),
+                rs: r(0),
+                rt: r(1),
+            },
+            Mul {
+                rd: r(8),
+                rs: r(8),
+                rt: r(8),
+            },
+            Div {
+                rd: r(9),
+                rs: r(10),
+                rt: r(11),
+            },
+            And {
+                rd: r(5),
+                rs: r(6),
+                rt: r(7),
+            },
+            Or {
+                rd: r(5),
+                rs: r(6),
+                rt: r(7),
+            },
+            Xor {
+                rd: r(5),
+                rs: r(6),
+                rt: r(7),
+            },
+            Sll {
+                rd: r(5),
+                rs: r(6),
+                rt: r(7),
+            },
+            Srl {
+                rd: r(5),
+                rs: r(6),
+                rt: r(7),
+            },
+            Sra {
+                rd: r(5),
+                rs: r(6),
+                rt: r(7),
+            },
+            Slt {
+                rd: r(5),
+                rs: r(6),
+                rt: r(7),
+            },
+            Sltu {
+                rd: r(5),
+                rs: r(6),
+                rt: r(7),
+            },
+            Addi {
+                rd: r(5),
+                rs: r(6),
+                imm: -32768,
+            },
+            Andi {
+                rd: r(5),
+                rs: r(6),
+                imm: 32767,
+            },
+            Ori {
+                rd: r(5),
+                rs: r(6),
+                imm: 255,
+            },
+            Xori {
+                rd: r(5),
+                rs: r(6),
+                imm: -1,
+            },
+            Slti {
+                rd: r(5),
+                rs: r(6),
+                imm: 0,
+            },
+            Slli {
+                rd: r(5),
+                rs: r(6),
+                imm: 31,
+            },
+            Srli {
+                rd: r(5),
+                rs: r(6),
+                imm: 1,
+            },
+            Srai {
+                rd: r(5),
+                rs: r(6),
+                imm: 2,
+            },
+            Lui {
+                rd: r(5),
+                imm: 0x7FFF,
+            },
+            FAdd {
+                rd: r(5),
+                rs: r(6),
+                rt: r(7),
+            },
+            FSub {
+                rd: r(5),
+                rs: r(6),
+                rt: r(7),
+            },
+            FMul {
+                rd: r(5),
+                rs: r(6),
+                rt: r(7),
+            },
+            FDiv {
+                rd: r(5),
+                rs: r(6),
+                rt: r(7),
+            },
             Itof { rd: r(5), rs: r(6) },
             Ftoi { rd: r(5), rs: r(6) },
-            Lw { rd: r(5), base: r(3), imm: 12 },
-            Sw { src: r(5), base: r(3), imm: -4 },
-            Exch { rd: r(5), addr: r(6) },
-            Beq { rs: r(5), rt: r(6), target: 100 },
-            Bne { rs: r(5), rt: r(6), target: 0 },
-            Blt { rs: r(5), rt: r(6), target: 65535 },
-            Bge { rs: r(5), rt: r(6), target: 7 },
-            J { target: 0x03FF_FFFF },
-            Rread { rd: r(5), gaddr: r(6) },
-            Rreadb { gaddr: r(6), local: r(7), len: 64 },
-            Rwrite { gaddr: r(6), val: r(7) },
-            Spawn { entry: r(6), arg: r(7) },
+            Lw {
+                rd: r(5),
+                base: r(3),
+                imm: 12,
+            },
+            Sw {
+                src: r(5),
+                base: r(3),
+                imm: -4,
+            },
+            Exch {
+                rd: r(5),
+                addr: r(6),
+            },
+            Beq {
+                rs: r(5),
+                rt: r(6),
+                target: 100,
+            },
+            Bne {
+                rs: r(5),
+                rt: r(6),
+                target: 0,
+            },
+            Blt {
+                rs: r(5),
+                rt: r(6),
+                target: 65535,
+            },
+            Bge {
+                rs: r(5),
+                rt: r(6),
+                target: 7,
+            },
+            J {
+                target: 0x03FF_FFFF,
+            },
+            Rread {
+                rd: r(5),
+                gaddr: r(6),
+            },
+            Rreadb {
+                gaddr: r(6),
+                local: r(7),
+                len: 64,
+            },
+            Rwrite {
+                gaddr: r(6),
+                val: r(7),
+            },
+            Spawn {
+                entry: r(6),
+                arg: r(7),
+            },
             End,
             Yield,
         ]
@@ -499,18 +813,71 @@ mod tests {
     fn costs_follow_the_paper() {
         let cm = CostModel::default();
         // "All integer instructions take one clock cycle" ...
-        assert_eq!(Instr::Add { rd: r(5), rs: r(6), rt: r(7) }.cost(&cm), 1);
-        assert_eq!(Instr::Mul { rd: r(5), rs: r(6), rt: r(7) }.cost(&cm), 1);
+        assert_eq!(
+            Instr::Add {
+                rd: r(5),
+                rs: r(6),
+                rt: r(7)
+            }
+            .cost(&cm),
+            1
+        );
+        assert_eq!(
+            Instr::Mul {
+                rd: r(5),
+                rs: r(6),
+                rt: r(7)
+            }
+            .cost(&cm),
+            1
+        );
         // ... "with the exception of an instruction which exchanges the
         // content of a register with the content of memory."
-        assert_eq!(Instr::Exch { rd: r(5), addr: r(6) }.cost(&cm), cm.mem_exchange);
+        assert_eq!(
+            Instr::Exch {
+                rd: r(5),
+                addr: r(6)
+            }
+            .cost(&cm),
+            cm.mem_exchange
+        );
         // "Single precision floating point instructions are also executed in
         // one clock, except floating point division."
-        assert_eq!(Instr::FMul { rd: r(5), rs: r(6), rt: r(7) }.cost(&cm), 1);
-        assert_eq!(Instr::FDiv { rd: r(5), rs: r(6), rt: r(7) }.cost(&cm), cm.fdiv);
+        assert_eq!(
+            Instr::FMul {
+                rd: r(5),
+                rs: r(6),
+                rt: r(7)
+            }
+            .cost(&cm),
+            1
+        );
+        assert_eq!(
+            Instr::FDiv {
+                rd: r(5),
+                rs: r(6),
+                rt: r(7)
+            }
+            .cost(&cm),
+            cm.fdiv
+        );
         // "Packet generation ... takes one clock."
-        assert_eq!(Instr::Rread { rd: r(5), gaddr: r(6) }.cost(&cm), 1);
-        assert_eq!(Instr::Spawn { entry: r(5), arg: r(6) }.cost(&cm), 1);
+        assert_eq!(
+            Instr::Rread {
+                rd: r(5),
+                gaddr: r(6)
+            }
+            .cost(&cm),
+            1
+        );
+        assert_eq!(
+            Instr::Spawn {
+                entry: r(5),
+                arg: r(6)
+            }
+            .cost(&cm),
+            1
+        );
     }
 
     #[test]

@@ -98,7 +98,11 @@ impl MemoryBus for VecMemory {
         *self
             .0
             .get_mut(offset as usize)
-            .ok_or(SimError::MemoryFault { pe: 0, offset, size })? = value;
+            .ok_or(SimError::MemoryFault {
+                pe: 0,
+                offset,
+                size,
+            })? = value;
         Ok(())
     }
 }
@@ -405,7 +409,16 @@ mod tests {
 
     #[test]
     fn li32_materializes_arbitrary_constants() {
-        for val in [0u32, 1, 0x7FFF, 0x8000, 0xFFFF, 0x1_0000, 0xDEAD_BEEF, u32::MAX] {
+        for val in [
+            0u32,
+            1,
+            0x7FFF,
+            0x8000,
+            0xFFFF,
+            0x1_0000,
+            0xDEAD_BEEF,
+            u32::MAX,
+        ] {
             let r5 = Reg::r(5);
             let mut b = ProgramBuilder::new("li");
             b.li32(r5, val);
@@ -449,7 +462,11 @@ mod tests {
         let (x, y) = (Reg::r(5), Reg::r(6));
         let mut b = ProgramBuilder::new("div0");
         b.addi(x, Reg::ZERO, 9);
-        b.push(Instr::Div { rd: y, rs: x, rt: Reg::ZERO });
+        b.push(Instr::Div {
+            rd: y,
+            rs: x,
+            rt: Reg::ZERO,
+        });
         b.end();
         let p = b.build().unwrap();
         let (st, _, _) = run(&p);
@@ -485,7 +502,10 @@ mod tests {
         let (_, eff) = run_until_suspend(&p, &mut st, &mut mem, &cm(), 100).unwrap();
         assert_eq!(
             eff,
-            Effect::RemoteRead { gaddr: 0x0040_0010, dst: d }
+            Effect::RemoteRead {
+                gaddr: 0x0040_0010,
+                dst: d
+            }
         );
         // pc points past the read: the thread resumes at the next instruction.
         assert_eq!(p.fetch(st.pc).unwrap(), Instr::End);

@@ -320,7 +320,11 @@ mod tests {
             run_until_suspend(&p, &mut st, &mut mem, &CostModel::default(), 1000).unwrap();
         assert_eq!(
             eff,
-            Effect::RemoteReadBlock { gaddr: 0x0040_0020, local: 100, len: 16 }
+            Effect::RemoteReadBlock {
+                gaddr: 0x0040_0020,
+                local: 100,
+                len: 16
+            }
         );
     }
 
@@ -333,7 +337,9 @@ mod tests {
             let mut x = seed;
             let mut expect = Vec::new();
             for i in 0..20 {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let v = (x >> 33) as u32 & 0xFFFF;
                 mem.0[32 + i] = v;
                 expect.push(v);

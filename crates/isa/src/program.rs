@@ -189,7 +189,9 @@ impl ProgramBuilder {
     /// Resolve labels and produce the [`Program`].
     pub fn build(self) -> Result<Program, SimError> {
         if let Some(dup) = self.labels.keys().find(|k| k.starts_with('\u{0}')) {
-            let pretty = dup.trim_start_matches('\u{0}').trim_start_matches("dup\u{0}");
+            let pretty = dup
+                .trim_start_matches('\u{0}')
+                .trim_start_matches("dup\u{0}");
             return Err(SimError::IsaFault {
                 reason: format!("label {pretty:?} defined twice in {:?}", self.name),
             });
@@ -213,11 +215,29 @@ impl ProgramBuilder {
         for p in &self.pending {
             instrs.push(match p {
                 Pending::Ready(i) => *i,
-                Pending::Beq(rs, rt, t) => Instr::Beq { rs: *rs, rt: *rt, target: branch_target(t)? },
-                Pending::Bne(rs, rt, t) => Instr::Bne { rs: *rs, rt: *rt, target: branch_target(t)? },
-                Pending::Blt(rs, rt, t) => Instr::Blt { rs: *rs, rt: *rt, target: branch_target(t)? },
-                Pending::Bge(rs, rt, t) => Instr::Bge { rs: *rs, rt: *rt, target: branch_target(t)? },
-                Pending::Jmp(t) => Instr::J { target: resolve(t)? },
+                Pending::Beq(rs, rt, t) => Instr::Beq {
+                    rs: *rs,
+                    rt: *rt,
+                    target: branch_target(t)?,
+                },
+                Pending::Bne(rs, rt, t) => Instr::Bne {
+                    rs: *rs,
+                    rt: *rt,
+                    target: branch_target(t)?,
+                },
+                Pending::Blt(rs, rt, t) => Instr::Blt {
+                    rs: *rs,
+                    rt: *rt,
+                    target: branch_target(t)?,
+                },
+                Pending::Bge(rs, rt, t) => Instr::Bge {
+                    rs: *rs,
+                    rt: *rt,
+                    target: branch_target(t)?,
+                },
+                Pending::Jmp(t) => Instr::J {
+                    target: resolve(t)?,
+                },
             });
         }
         Ok(Program::new(self.name, instrs))
@@ -358,25 +378,29 @@ impl ProgramBuilder {
 
     /// Branch to `label` if `rs == rt`.
     pub fn beq(&mut self, rs: Reg, rt: Reg, label: impl Into<String>) -> &mut Self {
-        self.pending.push(Pending::Beq(rs, rt, Target::Label(label.into())));
+        self.pending
+            .push(Pending::Beq(rs, rt, Target::Label(label.into())));
         self
     }
 
     /// Branch to `label` if `rs != rt`.
     pub fn bne(&mut self, rs: Reg, rt: Reg, label: impl Into<String>) -> &mut Self {
-        self.pending.push(Pending::Bne(rs, rt, Target::Label(label.into())));
+        self.pending
+            .push(Pending::Bne(rs, rt, Target::Label(label.into())));
         self
     }
 
     /// Branch to `label` if `rs < rt` (signed).
     pub fn blt(&mut self, rs: Reg, rt: Reg, label: impl Into<String>) -> &mut Self {
-        self.pending.push(Pending::Blt(rs, rt, Target::Label(label.into())));
+        self.pending
+            .push(Pending::Blt(rs, rt, Target::Label(label.into())));
         self
     }
 
     /// Branch to `label` if `rs >= rt` (signed).
     pub fn bge(&mut self, rs: Reg, rt: Reg, label: impl Into<String>) -> &mut Self {
-        self.pending.push(Pending::Bge(rs, rt, Target::Label(label.into())));
+        self.pending
+            .push(Pending::Bge(rs, rt, Target::Label(label.into())));
         self
     }
 
@@ -441,7 +465,11 @@ mod tests {
         assert_eq!(p.fetch(0).unwrap(), Instr::J { target: 2 });
         assert_eq!(
             p.fetch(2).unwrap(),
-            Instr::Bne { rs: r5, rt: Reg::ZERO, target: 1 }
+            Instr::Bne {
+                rs: r5,
+                rt: Reg::ZERO,
+                target: 1
+            }
         );
     }
 

@@ -29,11 +29,7 @@ fn arb_instr() -> impl Strategy<Value = Instr> {
         (r(), r(), any::<u16>()).prop_map(|(rs, rt, target)| Instr::Blt { rs, rt, target }),
         (0u32..1 << 26).prop_map(|target| Instr::J { target }),
         (r(), r()).prop_map(|(rd, gaddr)| Instr::Rread { rd, gaddr }),
-        (r(), r(), 1u16..=1024).prop_map(|(gaddr, local, len)| Instr::Rreadb {
-            gaddr,
-            local,
-            len
-        }),
+        (r(), r(), 1u16..=1024).prop_map(|(gaddr, local, len)| Instr::Rreadb { gaddr, local, len }),
         (r(), r()).prop_map(|(gaddr, val)| Instr::Rwrite { gaddr, val }),
         (r(), r()).prop_map(|(entry, arg)| Instr::Spawn { entry, arg }),
         Just(Instr::End),

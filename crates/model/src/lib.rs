@@ -362,7 +362,10 @@ mod tests {
             "stochastic {stoch:.3} should undershoot deterministic {det:.3}"
         );
         // But not absurdly: within 40% of it.
-        assert!(stoch > det * 0.6, "stochastic {stoch:.3} too low vs {det:.3}");
+        assert!(
+            stoch > det * 0.6,
+            "stochastic {stoch:.3} too low vs {det:.3}"
+        );
     }
 
     #[test]

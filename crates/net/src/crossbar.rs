@@ -40,8 +40,7 @@ impl Network for CrossbarNetwork {
         let ready = head.max(free);
         let waited = ready - head;
         self.next_free[dst.index()] = ready + u64::from(self.cfg.port_service);
-        self.stats
-            .record(1, if src == dst { 0 } else { 1 }, waited);
+        self.stats.record(1, if src == dst { 0 } else { 1 }, waited);
         ready + hop
     }
 

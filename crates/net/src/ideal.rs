@@ -38,7 +38,8 @@ impl Network for IdealNetwork {
     fn route(&mut self, now: Cycle, src: PeId, dst: PeId) -> Cycle {
         debug_assert!(src.index() < self.num_pes);
         debug_assert!(dst.index() < self.num_pes);
-        self.stats.record(1, if src == dst { 0 } else { 1 }, Cycle::ZERO);
+        self.stats
+            .record(1, if src == dst { 0 } else { 1 }, Cycle::ZERO);
         now + u64::from(self.latency)
     }
 

@@ -52,7 +52,11 @@ pub fn route_ports(src: usize, dst: usize, stages: u32) -> Vec<PortId> {
         // switch index is pos >> 1 and the output within the switch is bit.
         ports.push(PortId((stage << n) | pos as u32));
     }
-    debug_assert_eq!(pos, dst & mask, "destination-tag routing must terminate at dst");
+    debug_assert_eq!(
+        pos,
+        dst & mask,
+        "destination-tag routing must terminate at dst"
+    );
     ports
 }
 
@@ -120,7 +124,10 @@ impl OmegaNetwork {
 impl Network for OmegaNetwork {
     fn route(&mut self, now: Cycle, src: PeId, dst: PeId) -> Cycle {
         debug_assert!(src.index() < self.num_pes, "source {src} outside machine");
-        debug_assert!(dst.index() < self.num_pes, "destination {dst} outside machine");
+        debug_assert!(
+            dst.index() < self.num_pes,
+            "destination {dst} outside machine"
+        );
 
         if src == dst {
             // Local delivery through the switch box: the paper's k+1 formula
@@ -246,7 +253,11 @@ mod tests {
         let mut last = Cycle::ZERO;
         for i in 0..200u64 {
             // Cross traffic from other sources...
-            n.route(Cycle::new(i), PeId((i % 64) as u16), PeId(((i * 7) % 64) as u16));
+            n.route(
+                Cycle::new(i),
+                PeId((i % 64) as u16),
+                PeId(((i * 7) % 64) as u16),
+            );
             // ...must never reorder the monitored pair 3 -> 42.
             let arr = n.route(Cycle::new(i), PeId(3), PeId(42));
             assert!(arr >= last, "packet {i} overtook its predecessor");

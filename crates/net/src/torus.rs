@@ -185,7 +185,7 @@ mod tests {
     #[test]
     fn uncontended_latency_is_hops_plus_one() {
         let mut n = net(16); // 4x4
-        // (0,0) -> (2,2): 2 + 2 = 4 hops, latency 5.
+                             // (0,0) -> (2,2): 2 + 2 = 4 hops, latency 5.
         let dst = PeId(2 * 4 + 2);
         assert_eq!(n.hops(PeId(0), dst), 4);
         assert_eq!(n.route(Cycle::new(10), PeId(0), dst), Cycle::new(15));
@@ -194,7 +194,7 @@ mod tests {
     #[test]
     fn wraparound_takes_the_short_way() {
         let n = net(16); // 4x4
-        // (0,0) -> (3,0): one hop backwards around the X ring.
+                         // (0,0) -> (3,0): one hop backwards around the X ring.
         assert_eq!(n.hops(PeId(0), PeId(3)), 1);
         // (0,0) -> (0,3): one hop backwards around the Y ring.
         assert_eq!(n.hops(PeId(0), PeId(12)), 1);
@@ -216,7 +216,11 @@ mod tests {
         let mut n = net(64);
         let mut last = Cycle::ZERO;
         for i in 0..100u64 {
-            n.route(Cycle::new(i), PeId((i % 64) as u16), PeId(((i * 11) % 64) as u16));
+            n.route(
+                Cycle::new(i),
+                PeId((i % 64) as u16),
+                PeId(((i * 11) % 64) as u16),
+            );
             let arr = n.route(Cycle::new(i), PeId(5), PeId(50));
             assert!(arr >= last);
             last = arr;

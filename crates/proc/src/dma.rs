@@ -183,7 +183,11 @@ mod tests {
         let a = dma.service(Cycle::new(0), &req, &mut mem).unwrap();
         let b = dma.service(Cycle::new(0), &req, &mut mem).unwrap();
         assert_eq!(a.ibu_done, Cycle::new(4));
-        assert_eq!(b.ibu_done, Cycle::new(8), "second request waits for the first");
+        assert_eq!(
+            b.ibu_done,
+            Cycle::new(8),
+            "second request waits for the first"
+        );
     }
 
     #[test]

@@ -51,7 +51,10 @@ impl<T> FrameTable<T> {
 
     /// Allocate a frame holding `payload`.
     pub fn alloc(&mut self, payload: T) -> Result<FrameId, SimError> {
-        let idx = self.free.pop().ok_or(SimError::OutOfFrames { pe: self.pe })?;
+        let idx = self
+            .free
+            .pop()
+            .ok_or(SimError::OutOfFrames { pe: self.pe })?;
         debug_assert!(self.slots[idx as usize].is_none());
         self.slots[idx as usize] = Some(payload);
         self.live += 1;

@@ -114,7 +114,11 @@ mod tests {
     fn faults_carry_pe_and_size() {
         let mut m = LocalMemory::new(7, 8);
         match m.read(8) {
-            Err(SimError::MemoryFault { pe: 7, offset: 8, size: 8 }) => {}
+            Err(SimError::MemoryFault {
+                pe: 7,
+                offset: 8,
+                size: 8,
+            }) => {}
             other => panic!("unexpected: {other:?}"),
         }
         assert!(m.write(100, 0).is_err());

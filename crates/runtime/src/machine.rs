@@ -84,7 +84,11 @@ enum Wait {
     Value { isa_dst: Option<Reg> },
     /// Block read in flight: `received` of `len` words deposited at
     /// `local_dst`.
-    Block { local_dst: u32, len: u16, received: u16 },
+    Block {
+        local_dst: u32,
+        len: u16,
+        received: u16,
+    },
     /// Waiting for barrier `id`'s release number to reach `target`.
     Barrier { id: u32, target: u64 },
     /// Waiting for sequence cell `cell` to reach `threshold`.
@@ -168,6 +172,17 @@ pub struct Machine {
     ran: bool,
 }
 
+/// `Machine` must stay [`Send`]: the sweep engine (`emx-sweep`) builds and
+/// runs machines on worker threads. `Network` and `ThreadBody` carry
+/// explicit `Send` bounds for the same reason — adding a non-`Send` field
+/// (an `Rc`, a raw pointer, a thread-local handle) breaks parallel figure
+/// regeneration, and this guard turns that mistake into a compile error
+/// here rather than a trait-bound error three crates away.
+const _: fn() = || {
+    fn assert_send<T: Send>() {}
+    assert_send::<Machine>();
+};
+
 impl Machine {
     /// Build a machine from a validated configuration.
     pub fn new(cfg: MachineConfig) -> Result<Self, SimError> {
@@ -178,11 +193,7 @@ impl Machine {
                 mem: LocalMemory::new(i, cfg.local_memory_words),
                 queue: PacketQueue::new(cfg.ibu_fifo_capacity),
                 frames: FrameTable::new(i, cfg.frames_per_pe),
-                dma: BypassDma::new(
-                    PeId(i as u16),
-                    cfg.costs.dma_service,
-                    cfg.costs.obu_forward,
-                ),
+                dma: BypassDma::new(PeId(i as u16), cfg.costs.dma_service, cfg.costs.obu_forward),
                 busy_until: Cycle::ZERO,
                 dispatch_scheduled: false,
                 live_threads: 0,
@@ -408,12 +419,21 @@ impl Machine {
                 if is_block {
                     let done = pe.dma.ibu_deposit(t);
                     let frame = pe.frames.get_mut(cont.frame).expect("checked above");
-                    let Wait::Block { local_dst, len, received } = frame.wait else {
+                    let Wait::Block {
+                        local_dst,
+                        len,
+                        received,
+                    } = frame.wait
+                    else {
                         unreachable!()
                     };
                     pe.mem.write(local_dst + u32::from(received), pkt.data)?;
                     let received = received + 1;
-                    frame.wait = Wait::Block { local_dst, len, received };
+                    frame.wait = Wait::Block {
+                        local_dst,
+                        len,
+                        received,
+                    };
                     if received == len {
                         let resume = Packet::read_resp(pe_id, cont, u32::from(len));
                         self.enqueue(done, pe_id, resume)?;
@@ -543,7 +563,11 @@ impl Machine {
                                 Wait::Block { len, received, .. } if received == len => {
                                     frame.inbox = Some(u32::from(len));
                                 }
-                                Wait::Block { local_dst, len, received } => {
+                                Wait::Block {
+                                    local_dst,
+                                    len,
+                                    received,
+                                } => {
                                     debug_assert_eq!(
                                         self.cfg.service_mode,
                                         ServiceMode::ExuThread,
@@ -555,9 +579,17 @@ impl Machine {
                                     let received = received + 1;
                                     if received == len {
                                         frame.inbox = Some(u32::from(len));
-                                        frame.wait = Wait::Block { local_dst, len, received };
+                                        frame.wait = Wait::Block {
+                                            local_dst,
+                                            len,
+                                            received,
+                                        };
                                     } else {
-                                        frame.wait = Wait::Block { local_dst, len, received };
+                                        frame.wait = Wait::Block {
+                                            local_dst,
+                                            len,
+                                            received,
+                                        };
                                         resume = false;
                                     }
                                 }
@@ -863,10 +895,7 @@ impl Machine {
                                 *now += cost;
                                 ch.overhead += cost;
                                 let ga = GlobalAddr::unpack(gaddr);
-                                translated = Some((
-                                    Action::Write { addr: ga, value },
-                                    None,
-                                ));
+                                translated = Some((Action::Write { addr: ga, value }, None));
                             }
                             Effect::Spawn { entry, arg } => {
                                 *now += cost;
@@ -945,7 +974,11 @@ impl Machine {
                         pkt: Packet::write(pe_id, addr, value),
                     });
                 }
-                Action::Spawn { pe: target, entry, arg } => {
+                Action::Spawn {
+                    pe: target,
+                    entry,
+                    arg,
+                } => {
                     if !is_isa {
                         *now += u64::from(costs.send_packet);
                         ch.overhead += u64::from(costs.send_packet);
@@ -1003,7 +1036,11 @@ impl Machine {
                     ch.switch += u64::from(costs.context_switch);
                     return Ok(());
                 }
-                Action::ReadBlock { addr, len, local_dst } => {
+                Action::ReadBlock {
+                    addr,
+                    len,
+                    local_dst,
+                } => {
                     if !is_isa {
                         *now += u64::from(costs.send_packet);
                         ch.overhead += u64::from(costs.send_packet);

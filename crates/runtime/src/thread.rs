@@ -167,12 +167,25 @@ mod tests {
     fn suspending_actions_are_exactly_the_blocking_ones() {
         let ga = GlobalAddr::new(PeId(0), 0).unwrap();
         assert!(Action::Read { addr: ga }.suspends());
-        assert!(Action::ReadBlock { addr: ga, len: 4, local_dst: 0 }.suspends());
+        assert!(Action::ReadBlock {
+            addr: ga,
+            len: 4,
+            local_dst: 0
+        }
+        .suspends());
         assert!(Action::Barrier { id: BarrierId(0) }.suspends());
-        assert!(Action::WaitSeq { cell: 0, threshold: 1 }.suspends());
+        assert!(Action::WaitSeq {
+            cell: 0,
+            threshold: 1
+        }
+        .suspends());
         assert!(Action::Yield.suspends());
         assert!(Action::End.suspends());
-        assert!(!Action::Work { cycles: 1, kind: WorkKind::Compute }.suspends());
+        assert!(!Action::Work {
+            cycles: 1,
+            kind: WorkKind::Compute
+        }
+        .suspends());
         assert!(!Action::Write { addr: ga, value: 0 }.suspends());
         assert!(!Action::SignalSeq { cell: 0 }.suspends());
     }

@@ -127,7 +127,9 @@ mod tests {
             tr.record(
                 Cycle::new(i),
                 PeId(0),
-                TraceKind::Dispatch { pkt: PacketKind::Spawn },
+                TraceKind::Dispatch {
+                    pkt: PacketKind::Spawn,
+                },
             );
         }
         assert_eq!(tr.len(), 2);
@@ -137,11 +139,20 @@ mod tests {
     #[test]
     fn filters_by_pe_and_renders() {
         let mut tr = Trace::new(8);
-        tr.record(Cycle::new(1), PeId(0), TraceKind::Dispatch { pkt: PacketKind::Spawn });
+        tr.record(
+            Cycle::new(1),
+            PeId(0),
+            TraceKind::Dispatch {
+                pkt: PacketKind::Spawn,
+            },
+        );
         tr.record(
             Cycle::new(2),
             PeId(1),
-            TraceKind::Send { pkt: PacketKind::ReadReq, dst: PeId(0) },
+            TraceKind::Send {
+                pkt: PacketKind::ReadReq,
+                dst: PeId(0),
+            },
         );
         assert_eq!(tr.for_pe(PeId(1)).count(), 1);
         let rendered = tr.to_table().render();

@@ -59,7 +59,11 @@ fn remote_read_round_trip_within_paper_band() {
         "read round trip {elapsed} cycles, expected within the 20–40 band plus dispatch costs"
     );
     assert_eq!(report.total_reads(), 1);
-    assert_eq!(report.mean_switches().remote_read, 0, "mean over 16 PEs rounds to 0");
+    assert_eq!(
+        report.mean_switches().remote_read,
+        0,
+        "mean over 16 PEs rounds to 0"
+    );
     assert_eq!(report.total_switches().remote_read, 1);
 }
 
@@ -71,7 +75,10 @@ fn read_delivers_the_remote_value() {
         Box::new(Scripted::new(vec![
             Action::Read { addr: ga(2, 7) },
             // Store what we read, so the test can see it after the run.
-            Action::Work { cycles: 1, kind: WorkKind::Compute },
+            Action::Work {
+                cycles: 1,
+                kind: WorkKind::Compute,
+            },
         ]))
     });
     m.spawn_at_start(PeId(0), entry, 0).unwrap();
@@ -101,9 +108,18 @@ fn remote_write_lands_without_suspending() {
     let mut m = Machine::new(MachineConfig::with_pes(4)).unwrap();
     let entry = m.register_entry("writer", |_, _| {
         Box::new(Scripted::new(vec![
-            Action::Write { addr: ga(3, 11), value: 42 },
-            Action::Write { addr: ga(3, 12), value: 43 },
-            Action::Work { cycles: 5, kind: WorkKind::Compute },
+            Action::Write {
+                addr: ga(3, 11),
+                value: 42,
+            },
+            Action::Write {
+                addr: ga(3, 12),
+                value: 43,
+            },
+            Action::Work {
+                cycles: 5,
+                kind: WorkKind::Compute,
+            },
         ]))
     });
     m.spawn_at_start(PeId(0), entry, 0).unwrap();
@@ -125,7 +141,11 @@ fn block_read_deposits_into_local_buffer() {
     impl ThreadBody for BlockReader {
         fn step(&mut self, ctx: &mut ThreadCtx<'_>) -> Action {
             match ctx.value {
-                None => Action::ReadBlock { addr: ga(1, 100), len: 32, local_dst: 200 },
+                None => Action::ReadBlock {
+                    addr: ga(1, 100),
+                    len: 32,
+                    local_dst: 200,
+                },
                 Some(n) => {
                     assert_eq!(n, 32, "completion reports the word count");
                     Action::End
@@ -136,7 +156,10 @@ fn block_read_deposits_into_local_buffer() {
     let entry = m.register_entry("blockreader", |_, _| Box::new(BlockReader));
     m.spawn_at_start(PeId(0), entry, 0).unwrap();
     let report = m.run().unwrap();
-    assert_eq!(m.mem(PeId(0)).unwrap().read_slice(200, 32).unwrap(), &data[..]);
+    assert_eq!(
+        m.mem(PeId(0)).unwrap().read_slice(200, 32).unwrap(),
+        &data[..]
+    );
     // One request packet, 32 reads issued, one remote-read switch.
     assert_eq!(report.total_reads(), 32);
     assert_eq!(report.total_switches().remote_read, 1);
@@ -156,7 +179,11 @@ fn block_read_works_in_em4_mode_too() {
     impl ThreadBody for BlockReader {
         fn step(&mut self, ctx: &mut ThreadCtx<'_>) -> Action {
             match ctx.value {
-                None => Action::ReadBlock { addr: ga(1, 100), len: 16, local_dst: 300 },
+                None => Action::ReadBlock {
+                    addr: ga(1, 100),
+                    len: 16,
+                    local_dst: 300,
+                },
                 Some(n) => {
                     assert_eq!(n, 16);
                     Action::End
@@ -167,7 +194,10 @@ fn block_read_works_in_em4_mode_too() {
     let entry = m.register_entry("blockreader", |_, _| Box::new(BlockReader));
     m.spawn_at_start(PeId(0), entry, 0).unwrap();
     let report = m.run().unwrap();
-    assert_eq!(m.mem(PeId(0)).unwrap().read_slice(300, 16).unwrap(), &data[..]);
+    assert_eq!(
+        m.mem(PeId(0)).unwrap().read_slice(300, 16).unwrap(),
+        &data[..]
+    );
     // Both the remote PE (servicing) and the local PE (deposits) burned EXU
     // cycles on overhead in EM-4 mode.
     assert!(report.per_pe[1].breakdown.overhead.get() > 0);
@@ -224,7 +254,10 @@ fn barrier_synchronizes_all_processors() {
     for pe in 0..p {
         assert_eq!(m.mem(PeId(pe as u16)).unwrap().read(1).unwrap(), 1);
     }
-    assert!(report.total_switches().iter_sync >= p as u64, "each thread suspends at least once");
+    assert!(
+        report.total_switches().iter_sync >= p as u64,
+        "each thread suspends at least once"
+    );
 }
 
 #[test]
@@ -284,7 +317,10 @@ fn seq_cells_order_local_threads() {
         fn step(&mut self, ctx: &mut ThreadCtx<'_>) -> Action {
             self.phase += 1;
             match self.phase {
-                1 => Action::WaitSeq { cell: 0, threshold: u64::from(self.rank) },
+                1 => Action::WaitSeq {
+                    cell: 0,
+                    threshold: u64::from(self.rank),
+                },
                 2 => {
                     // Append rank to the log at mem[10 + len], len at mem[9].
                     let len = ctx.mem.read(9).unwrap();
@@ -297,7 +333,10 @@ fn seq_cells_order_local_threads() {
         }
     }
     let entry = m.register_entry("ordered", |_, arg| {
-        Box::new(Ordered { rank: arg, phase: 0 })
+        Box::new(Ordered {
+            rank: arg,
+            phase: 0,
+        })
     });
     // Spawn in reverse order to prove ordering comes from seq cells.
     for rank in [2u32, 1, 0] {
@@ -340,7 +379,10 @@ fn yield_requeues_behind_other_work() {
         fn step(&mut self, ctx: &mut ThreadCtx<'_>) -> Action {
             if ctx.mem.read(1).unwrap() == 0 {
                 ctx.mem.write(1, 1).unwrap();
-                Action::Work { cycles: 2, kind: WorkKind::Compute }
+                Action::Work {
+                    cycles: 2,
+                    kind: WorkKind::Compute,
+                }
             } else {
                 Action::End
             }
@@ -380,7 +422,11 @@ fn multithreading_overlaps_communication() {
         }
         let per_thread = total_reads / h;
         let entry = m.register_entry("readloop", move |_, arg| {
-            Box::new(ReadLoop { base: arg * per_thread, remaining: per_thread, issued: 0 })
+            Box::new(ReadLoop {
+                base: arg * per_thread,
+                remaining: per_thread,
+                issued: 0,
+            })
         });
         for t in 0..h {
             m.spawn_at_start(PeId(0), entry, t).unwrap();
@@ -414,7 +460,9 @@ fn bypass_dma_keeps_remote_exu_free() {
                     return Action::End;
                 }
                 self.remaining -= 1;
-                Action::Read { addr: ga(1, self.remaining) }
+                Action::Read {
+                    addr: ga(1, self.remaining),
+                }
             }
         }
         let entry = m.register_entry("hammer", |_, _| Box::new(Hammer { remaining: 50 }));
@@ -422,8 +470,15 @@ fn bypass_dma_keeps_remote_exu_free() {
         let report = m.run().unwrap();
         report.per_pe[1].breakdown.total().get()
     }
-    assert_eq!(victim_busy(ServiceMode::BypassDma), 0, "by-pass must not touch the EXU");
-    assert!(victim_busy(ServiceMode::ExuThread) > 0, "EM-4 mode must consume EXU cycles");
+    assert_eq!(
+        victim_busy(ServiceMode::BypassDma),
+        0,
+        "by-pass must not touch the EXU"
+    );
+    assert!(
+        victim_busy(ServiceMode::ExuThread) > 0,
+        "EM-4 mode must consume EXU cycles"
+    );
 }
 
 #[test]
@@ -439,13 +494,18 @@ fn runs_are_deterministic() {
             fn step(&mut self, ctx: &mut ThreadCtx<'_>) -> Action {
                 self.phase += 1;
                 match self.phase {
-                    1 => Action::Read { addr: ga((ctx.pe.0 + 3) % 8, u32::from(ctx.pe.0)) },
+                    1 => Action::Read {
+                        addr: ga((ctx.pe.0 + 3) % 8, u32::from(ctx.pe.0)),
+                    },
                     2 => Action::Write {
                         addr: ga((ctx.pe.0 + 5) % 8, 40 + u32::from(ctx.pe.0)),
                         value: ctx.value.unwrap_or(0),
                     },
                     3 => Action::Barrier { id: self.barrier },
-                    4 => Action::Work { cycles: 17, kind: WorkKind::Compute },
+                    4 => Action::Work {
+                        cycles: 17,
+                        kind: WorkKind::Compute,
+                    },
                     _ => Action::End,
                 }
             }
@@ -459,7 +519,11 @@ fn runs_are_deterministic() {
         let r = m.run().unwrap();
         (r.elapsed, r.total_packets(), r.total_switches().total())
     }
-    assert_eq!(run_once(), run_once(), "identical runs must agree cycle-for-cycle");
+    assert_eq!(
+        run_once(),
+        run_once(),
+        "identical runs must agree cycle-for-cycle"
+    );
 }
 
 #[test]
@@ -467,7 +531,10 @@ fn deadlock_is_detected_not_hung() {
     let mut m = Machine::new(MachineConfig::with_pes(1)).unwrap();
     m.define_seq_cells(1);
     let entry = m.register_entry("stuck", |_, _| {
-        Box::new(Scripted::new(vec![Action::WaitSeq { cell: 0, threshold: 99 }]))
+        Box::new(Scripted::new(vec![Action::WaitSeq {
+            cell: 0,
+            threshold: 99,
+        }]))
     });
     m.spawn_at_start(PeId(0), entry, 0).unwrap();
     match m.run() {
@@ -493,9 +560,16 @@ fn trace_records_the_scheduling_interleaving() {
     use emx_core::PacketKind;
     use emx_runtime::TraceKind;
     let kinds: Vec<_> = trace.events().iter().map(|e| e.kind).collect();
-    assert!(kinds.contains(&TraceKind::Dispatch { pkt: PacketKind::Spawn }));
-    assert!(kinds.contains(&TraceKind::Send { pkt: PacketKind::ReadReq, dst: PeId(1) }));
-    assert!(kinds.contains(&TraceKind::Dispatch { pkt: PacketKind::ReadResp }));
+    assert!(kinds.contains(&TraceKind::Dispatch {
+        pkt: PacketKind::Spawn
+    }));
+    assert!(kinds.contains(&TraceKind::Send {
+        pkt: PacketKind::ReadReq,
+        dst: PeId(1)
+    }));
+    assert!(kinds.contains(&TraceKind::Dispatch {
+        pkt: PacketKind::ReadResp
+    }));
     // Time-ordered.
     let times: Vec<_> = trace.events().iter().map(|e| e.at).collect();
     assert!(times.windows(2).all(|w| w[0] <= w[1]));
@@ -579,10 +653,19 @@ fn breakdown_components_sum_to_busy_time() {
     let mut m = Machine::new(MachineConfig::with_pes(2)).unwrap();
     let entry = m.register_entry("worker", |_, _| {
         Box::new(Scripted::new(vec![
-            Action::Work { cycles: 100, kind: WorkKind::Compute },
-            Action::Work { cycles: 10, kind: WorkKind::Overhead },
+            Action::Work {
+                cycles: 100,
+                kind: WorkKind::Compute,
+            },
+            Action::Work {
+                cycles: 10,
+                kind: WorkKind::Overhead,
+            },
             Action::Read { addr: ga(1, 0) },
-            Action::Work { cycles: 50, kind: WorkKind::Compute },
+            Action::Work {
+                cycles: 50,
+                kind: WorkKind::Compute,
+            },
         ]))
     });
     m.spawn_at_start(PeId(0), entry, 0).unwrap();

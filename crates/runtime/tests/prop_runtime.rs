@@ -13,9 +13,21 @@ use proptest::prelude::*;
 enum Op {
     Work(u16),
     OverheadWork(u16),
-    Read { pe_off: u16, addr: u16 },
-    Write { pe_off: u16, addr: u16, value: u32 },
-    Block { pe_off: u16, addr: u8, len: u8, dst: u16 },
+    Read {
+        pe_off: u16,
+        addr: u16,
+    },
+    Write {
+        pe_off: u16,
+        addr: u16,
+        value: u32,
+    },
+    Block {
+        pe_off: u16,
+        addr: u8,
+        len: u8,
+        dst: u16,
+    },
     Yield,
 }
 
@@ -24,10 +36,17 @@ fn arb_op() -> impl Strategy<Value = Op> {
         (1u16..200).prop_map(Op::Work),
         (1u16..50).prop_map(Op::OverheadWork),
         (0u16..64, 0u16..512).prop_map(|(pe_off, addr)| Op::Read { pe_off, addr }),
-        (0u16..64, 0u16..512, any::<u32>())
-            .prop_map(|(pe_off, addr, value)| Op::Write { pe_off, addr, value }),
-        (0u16..64, 0u8..64, 1u8..32, 512u16..900)
-            .prop_map(|(pe_off, addr, len, dst)| Op::Block { pe_off, addr, len, dst }),
+        (0u16..64, 0u16..512, any::<u32>()).prop_map(|(pe_off, addr, value)| Op::Write {
+            pe_off,
+            addr,
+            value
+        }),
+        (0u16..64, 0u8..64, 1u8..32, 512u16..900).prop_map(|(pe_off, addr, len, dst)| Op::Block {
+            pe_off,
+            addr,
+            len,
+            dst
+        }),
         Just(Op::Yield),
     ]
 }
@@ -45,16 +64,31 @@ impl ThreadBody for ScriptThread {
         self.at += 1;
         let pe = |off: u16| PeId((ctx.pe.0 + off % ctx.npes as u16) % ctx.npes as u16);
         match op {
-            Op::Work(c) => Action::Work { cycles: u32::from(c), kind: WorkKind::Compute },
-            Op::OverheadWork(c) => Action::Work { cycles: u32::from(c), kind: WorkKind::Overhead },
+            Op::Work(c) => Action::Work {
+                cycles: u32::from(c),
+                kind: WorkKind::Compute,
+            },
+            Op::OverheadWork(c) => Action::Work {
+                cycles: u32::from(c),
+                kind: WorkKind::Overhead,
+            },
             Op::Read { pe_off, addr } => Action::Read {
                 addr: GlobalAddr::new(pe(pe_off), u32::from(addr)).unwrap(),
             },
-            Op::Write { pe_off, addr, value } => Action::Write {
+            Op::Write {
+                pe_off,
+                addr,
+                value,
+            } => Action::Write {
                 addr: GlobalAddr::new(pe(pe_off), u32::from(addr)).unwrap(),
                 value,
             },
-            Op::Block { pe_off, addr, len, dst } => Action::ReadBlock {
+            Op::Block {
+                pe_off,
+                addr,
+                len,
+                dst,
+            } => Action::ReadBlock {
                 addr: GlobalAddr::new(pe(pe_off), u32::from(addr)).unwrap(),
                 len: u16::from(len),
                 local_dst: u32::from(dst),
@@ -75,10 +109,14 @@ fn run_population(
     let mut m = Machine::new(cfg).unwrap();
     let all = scripts.to_vec();
     let entry = m.register_entry("script", move |_, arg| {
-        Box::new(ScriptThread { ops: all[arg as usize].clone(), at: 0 })
+        Box::new(ScriptThread {
+            ops: all[arg as usize].clone(),
+            at: 0,
+        })
     });
     for (i, _) in scripts.iter().enumerate() {
-        m.spawn_at_start(PeId((i % pes) as u16), entry, i as u32).unwrap();
+        m.spawn_at_start(PeId((i % pes) as u16), entry, i as u32)
+            .unwrap();
     }
     let report = m.run().unwrap();
     // Fingerprint the final memory of PE0 so replays can be compared.

@@ -1,0 +1,162 @@
+//! Stable content digests for provenance and run caching.
+//!
+//! The sweep engine (crate `emx-sweep`) addresses cached simulation results
+//! by a content hash of the run specification and machine configuration,
+//! and stamps every results CSV with a digest of the reports behind it.
+//! Those hashes must be *stable*: identical across processes, platforms,
+//! and compiler versions, unlike [`std::hash::DefaultHasher`] which is
+//! documented to be seed- and version-dependent. This module provides a
+//! fixed-parameter FNV-1a implementation (64-bit and a doubled 128-bit
+//! variant) plus a canonical text rendering of [`RunReport`] so callers
+//! hash bytes with a defined layout rather than in-memory representations.
+
+use crate::report::RunReport;
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// One-shot FNV-1a 64-bit hash of `bytes`.
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// An incremental 128-bit digest built from two independent FNV-1a 64-bit
+/// lanes (the second lane is offset by a distinct basis and consumes each
+/// byte bit-rotated), giving collision resistance adequate for cache
+/// addressing — this is a content address, not a cryptographic commitment.
+#[derive(Debug, Clone)]
+pub struct Digest128 {
+    lo: u64,
+    hi: u64,
+}
+
+impl Default for Digest128 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Digest128 {
+    /// A fresh digest.
+    pub fn new() -> Self {
+        Digest128 {
+            lo: FNV_OFFSET,
+            // The 64-bit offset basis XOR-folded with an arbitrary odd
+            // constant, so the two lanes never agree on input position.
+            hi: FNV_OFFSET ^ 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    /// Absorb raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.lo ^= u64::from(b);
+            self.lo = self.lo.wrapping_mul(FNV_PRIME);
+            self.hi ^= u64::from(b.rotate_left(3));
+            self.hi = self.hi.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Absorb a string.
+    pub fn write_str(&mut self, s: &str) {
+        self.write(s.as_bytes());
+    }
+
+    /// The 32-hex-digit content address.
+    pub fn hex(&self) -> String {
+        format!("{:016x}{:016x}", self.hi, self.lo)
+    }
+}
+
+/// One-shot 128-bit digest of a string, as 32 hex digits.
+pub fn digest_hex(s: &str) -> String {
+    let mut d = Digest128::new();
+    d.write_str(s);
+    d.hex()
+}
+
+/// Canonical, versioned text rendering of a [`RunReport`].
+///
+/// Every measured field appears exactly once in a defined order; the layout
+/// is versioned by the leading tag so a report digest can never silently
+/// collide across format revisions. This is the byte stream behind
+/// [`report_digest`], and the run cache stores exactly these lines.
+pub fn report_canonical_text(r: &RunReport) -> String {
+    let mut out = String::with_capacity(64 + 96 * r.per_pe.len());
+    out.push_str("emx-report v1\n");
+    out.push_str(&format!(
+        "elapsed={} clock_hz={} net_packets={} net_contention={}\n",
+        r.elapsed.get(),
+        r.clock_hz,
+        r.net_packets,
+        r.net_contention.get()
+    ));
+    for p in &r.per_pe {
+        out.push_str(&format!(
+            "pe {} {} {} {} {} {} {} {} {} {} {} {}\n",
+            p.breakdown.compute.get(),
+            p.breakdown.overhead.get(),
+            p.breakdown.comm.get(),
+            p.breakdown.switch.get(),
+            p.switches.remote_read,
+            p.switches.iter_sync,
+            p.switches.thread_sync,
+            p.packets_sent,
+            p.reads_issued,
+            p.dispatches,
+            p.max_queue_depth,
+            p.ibu_spills
+        ));
+    }
+    out
+}
+
+/// Stable 128-bit digest of a [`RunReport`], as 32 hex digits — the
+/// provenance sidecars record this per run so a regenerated figure can be
+/// checked against the cached simulation that produced it.
+pub fn report_digest(r: &RunReport) -> String {
+    digest_hex(&report_canonical_text(r))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::PeStats;
+    use emx_core::Cycle;
+
+    #[test]
+    fn fnv_vectors() {
+        // Standard FNV-1a 64 test vectors.
+        assert_eq!(fnv1a_64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a_64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a_64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn digest_is_stable_and_input_sensitive() {
+        assert_eq!(digest_hex("abc"), digest_hex("abc"));
+        assert_ne!(digest_hex("abc"), digest_hex("abd"));
+        assert_eq!(digest_hex("").len(), 32);
+    }
+
+    #[test]
+    fn report_digest_tracks_content() {
+        let mut r = RunReport {
+            per_pe: vec![PeStats::default(); 2],
+            elapsed: Cycle::new(100),
+            clock_hz: 20_000_000,
+            ..RunReport::default()
+        };
+        let d0 = report_digest(&r);
+        assert_eq!(d0, report_digest(&r.clone()));
+        r.per_pe[1].reads_issued = 1;
+        assert_ne!(d0, report_digest(&r));
+    }
+}

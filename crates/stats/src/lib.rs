@@ -12,7 +12,10 @@
 //!   including the overlap efficiency `E = (Tcomm,1 − Tcomm,h)/Tcomm,1` of
 //!   Figure 7;
 //! * [`Table`] and [`ascii_chart`] — plain-text reporters used by the
-//!   examples and the figure-regeneration harness.
+//!   examples and the figure-regeneration harness;
+//! * [`digest`] — stable (platform- and process-independent) content
+//!   digests of runs and reports, the provenance hooks behind `emx-sweep`'s
+//!   run cache and the `results/*.json` sidecars.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -20,11 +23,13 @@
 mod breakdown;
 mod census;
 mod chart;
+pub mod digest;
 mod report;
 mod table;
 
 pub use breakdown::Breakdown;
 pub use census::SwitchCensus;
 pub use chart::{ascii_chart, bar, Series};
+pub use digest::{report_digest, Digest128};
 pub use report::{overlap_efficiency, PeStats, RunReport};
 pub use table::Table;

@@ -1,0 +1,266 @@
+//! Content-addressed run cache.
+//!
+//! Re-running `figures` only simulates points whose inputs changed: each
+//! run's result is stored under `results/cache/<key>.run`, where `<key>`
+//! is a stable 128-bit digest of the [`RunSpec`], the expanded
+//! [`MachineConfig`] (including the whole cost model and network timing),
+//! and the engine's cache-format/crate version. Any change to a knob, a
+//! cost, or the format yields a different address, so stale entries are
+//! never *read* — they are simply orphaned (delete `results/cache/` to
+//! reclaim the space).
+//!
+//! Entries are versioned plain text (the canonical report rendering from
+//! [`emx_stats::digest`]) so they diff and review like the CSVs they feed.
+//! A corrupt or truncated entry is treated as a miss, never an error.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use emx_core::Cycle;
+use emx_stats::digest::{report_canonical_text, Digest128};
+use emx_stats::{PeStats, RunReport};
+
+use crate::spec::{config_canonical, RunSpec};
+
+/// Bumped whenever the entry layout or key derivation changes; part of
+/// every cache address.
+pub const CACHE_FORMAT: u32 = 1;
+
+/// The default cache location, relative to the working directory.
+pub const DEFAULT_CACHE_DIR: &str = "results/cache";
+
+/// A stable content address for one run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheKey(String);
+
+impl CacheKey {
+    /// Derive the address of `spec` under `cfg`.
+    ///
+    /// `cfg` is passed separately (rather than re-expanded from the spec)
+    /// so callers can verify that editing the cost model moves the
+    /// address; the engine always passes `spec.machine_config()`.
+    pub fn for_run(spec: &RunSpec, cfg: &emx_core::MachineConfig) -> CacheKey {
+        let mut d = Digest128::new();
+        d.write_str("emx-sweep cache v");
+        d.write_str(&CACHE_FORMAT.to_string());
+        d.write_str(" engine ");
+        d.write_str(env!("CARGO_PKG_VERSION"));
+        d.write_str("\n");
+        d.write_str(&spec.canonical());
+        d.write_str(&config_canonical(cfg));
+        CacheKey(d.hex())
+    }
+
+    /// The 32-hex-digit address.
+    pub fn hex(&self) -> &str {
+        &self.0
+    }
+
+    /// Abbreviated form for progress lines.
+    pub fn short(&self) -> &str {
+        &self.0[..12]
+    }
+}
+
+/// A directory of content-addressed run results.
+#[derive(Debug, Clone)]
+pub struct RunCache {
+    dir: PathBuf,
+}
+
+impl RunCache {
+    /// A cache rooted at `dir` (created lazily on first store).
+    pub fn new(dir: impl Into<PathBuf>) -> RunCache {
+        RunCache { dir: dir.into() }
+    }
+
+    /// The conventional `results/cache/` location.
+    pub fn default_location() -> RunCache {
+        RunCache::new(DEFAULT_CACHE_DIR)
+    }
+
+    /// Where this cache lives.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Path of the entry for `key`.
+    pub fn entry_path(&self, key: &CacheKey) -> PathBuf {
+        self.dir.join(format!("{}.run", key.hex()))
+    }
+
+    /// Load the report cached under `key`, if a valid entry exists.
+    /// Corrupt entries are treated as misses.
+    pub fn load(&self, key: &CacheKey) -> Option<RunReport> {
+        let text = fs::read_to_string(self.entry_path(key)).ok()?;
+        parse_entry(&text, key)
+    }
+
+    /// Store `report` under `key`. The entry records the spec and config
+    /// canonically for human inspection; only the report section is read
+    /// back. Writes go through a temp file + rename so a crashed run
+    /// never leaves a truncated entry behind.
+    pub fn store(&self, key: &CacheKey, spec: &RunSpec, report: &RunReport) -> io::Result<()> {
+        fs::create_dir_all(&self.dir)?;
+        let mut text = String::new();
+        text.push_str(&format!("emx-cache v{CACHE_FORMAT}\n"));
+        text.push_str(&format!("key {}\n", key.hex()));
+        text.push_str(&spec.canonical());
+        text.push_str(&config_canonical(&spec.machine_config()));
+        text.push_str(&report_canonical_text(report));
+        let tmp = self
+            .dir
+            .join(format!("{}.tmp.{}", key.hex(), std::process::id()));
+        fs::write(&tmp, &text)?;
+        fs::rename(&tmp, self.entry_path(key))
+    }
+}
+
+/// Parse a cache entry; `None` on any structural mismatch.
+fn parse_entry(text: &str, key: &CacheKey) -> Option<RunReport> {
+    let mut lines = text.lines();
+    if lines.next()? != format!("emx-cache v{CACHE_FORMAT}") {
+        return None;
+    }
+    if lines.next()? != format!("key {}", key.hex()) {
+        return None;
+    }
+    // Skip the human-readable spec/config sections down to the report tag.
+    let mut lines = lines.skip_while(|l| *l != "emx-report v1");
+    if lines.next()? != "emx-report v1" {
+        return None;
+    }
+
+    // "elapsed=E clock_hz=C net_packets=P net_contention=N"
+    let header = lines.next()?;
+    let mut elapsed = None;
+    let mut clock_hz = None;
+    let mut net_packets = None;
+    let mut net_contention = None;
+    for field in header.split_whitespace() {
+        let (name, value) = field.split_once('=')?;
+        let value: u64 = value.parse().ok()?;
+        match name {
+            "elapsed" => elapsed = Some(value),
+            "clock_hz" => clock_hz = Some(value),
+            "net_packets" => net_packets = Some(value),
+            "net_contention" => net_contention = Some(value),
+            _ => return None,
+        }
+    }
+
+    let mut per_pe = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        if it.next()? != "pe" {
+            return None;
+        }
+        let mut next = || -> Option<u64> { it.next()?.parse().ok() };
+        let stats = PeStats {
+            breakdown: emx_stats::Breakdown {
+                compute: Cycle::new(next()?),
+                overhead: Cycle::new(next()?),
+                comm: Cycle::new(next()?),
+                switch: Cycle::new(next()?),
+            },
+            switches: emx_stats::SwitchCensus {
+                remote_read: next()?,
+                iter_sync: next()?,
+                thread_sync: next()?,
+            },
+            packets_sent: next()?,
+            reads_issued: next()?,
+            dispatches: next()?,
+            max_queue_depth: next()? as usize,
+            ibu_spills: next()?,
+        };
+        per_pe.push(stats);
+    }
+
+    Some(RunReport {
+        per_pe,
+        elapsed: Cycle::new(elapsed?),
+        clock_hz: clock_hz?,
+        net_packets: net_packets?,
+        net_contention: Cycle::new(net_contention?),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::Workload;
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("emx-sweep-cache-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample_report(pes: usize) -> RunReport {
+        let mut r = RunReport {
+            per_pe: vec![PeStats::default(); pes],
+            elapsed: Cycle::new(12_345),
+            clock_hz: 20_000_000,
+            net_packets: 77,
+            net_contention: Cycle::new(9),
+        };
+        for (i, p) in r.per_pe.iter_mut().enumerate() {
+            p.breakdown.compute = Cycle::new(100 + i as u64);
+            p.breakdown.comm = Cycle::new(50 + i as u64);
+            p.switches.remote_read = 3 * i as u64;
+            p.packets_sent = 10 + i as u64;
+            p.reads_issued = i as u64;
+            p.dispatches = 2;
+            p.max_queue_depth = 4;
+            p.ibu_spills = 1;
+        }
+        r
+    }
+
+    #[test]
+    fn roundtrip_preserves_the_report_exactly() {
+        let cache = RunCache::new(scratch_dir("roundtrip"));
+        let spec = RunSpec::new(Workload::Sort, 4, 64, 2);
+        let key = CacheKey::for_run(&spec, &spec.machine_config());
+        let report = sample_report(4);
+        assert!(cache.load(&key).is_none());
+        cache.store(&key, &spec, &report).unwrap();
+        assert_eq!(cache.load(&key), Some(report));
+        let _ = fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn corrupt_entries_are_misses() {
+        let cache = RunCache::new(scratch_dir("corrupt"));
+        let spec = RunSpec::new(Workload::Fft, 4, 64, 2);
+        let key = CacheKey::for_run(&spec, &spec.machine_config());
+        fs::create_dir_all(cache.dir()).unwrap();
+        fs::write(cache.entry_path(&key), "not a cache entry").unwrap();
+        assert!(cache.load(&key).is_none());
+        let _ = fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn key_depends_on_spec_and_cost_model() {
+        let spec = RunSpec::new(Workload::Sort, 4, 64, 2);
+        let cfg = spec.machine_config();
+        let base = CacheKey::for_run(&spec, &cfg);
+
+        let mut other = spec.clone();
+        other.threads = 4;
+        assert_ne!(base, CacheKey::for_run(&other, &other.machine_config()));
+
+        let mut costlier = cfg.clone();
+        costlier.costs.context_switch += 1;
+        assert_ne!(base, CacheKey::for_run(&spec, &costlier));
+
+        assert_eq!(base, CacheKey::for_run(&spec, &spec.machine_config()));
+        assert_eq!(base.hex().len(), 32);
+    }
+}

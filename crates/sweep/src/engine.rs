@@ -1,0 +1,284 @@
+//! [`SweepEngine`]: parallel, deterministic, cached execution of a list of
+//! [`RunSpec`]s.
+//!
+//! Independent simulation runs are embarrassingly parallel, and every run
+//! is a pure function of its spec (the simulator is seeded and its event
+//! queue tie-broken — see DESIGN.md §5). The engine therefore fans specs
+//! out over a crossbeam scoped worker pool and reassembles results **by
+//! input index**, so the output order — and every CSV derived from it —
+//! is byte-identical whatever the worker count. `--jobs 1` is the serial
+//! path; `--jobs N` is the same computation, faster.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use emx_stats::RunReport;
+use parking_lot::Mutex;
+
+use crate::cache::{CacheKey, RunCache};
+use crate::spec::RunSpec;
+
+/// Environment variable overriding the default worker count (the CLI
+/// `--jobs` flag wins over it).
+pub const JOBS_ENV: &str = "EMX_JOBS";
+
+/// One executed (or cache-restored) sweep point, in input order.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// The spec that produced this point.
+    pub spec: RunSpec,
+    /// Content address of the run (always derived, even with the cache
+    /// disabled, so provenance sidecars can record it).
+    pub key: CacheKey,
+    /// The run's measurements.
+    pub report: RunReport,
+    /// Whether the report was restored from the cache.
+    pub cached: bool,
+}
+
+/// The result of one engine invocation.
+#[derive(Debug, Clone)]
+pub struct SweepOutcome {
+    /// Points, in exactly the order of the submitted specs.
+    pub points: Vec<SweepPoint>,
+    /// Worker threads used.
+    pub jobs: usize,
+    /// Points actually simulated this invocation.
+    pub simulated: usize,
+    /// Points restored from the run cache.
+    pub cache_hits: usize,
+    /// Host wall-clock time of the whole sweep.
+    pub wall: Duration,
+}
+
+impl SweepOutcome {
+    /// Summary string for logs: `"24 runs (12 simulated, 12 cached) in 3.2 s on 8 workers"`.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} runs ({} simulated, {} cached) in {:.1} s on {} worker{}",
+            self.points.len(),
+            self.simulated,
+            self.cache_hits,
+            self.wall.as_secs_f64(),
+            self.jobs,
+            if self.jobs == 1 { "" } else { "s" },
+        )
+    }
+}
+
+/// Parallel deterministic sweep executor with an optional run cache.
+///
+/// ```
+/// use emx_sweep::{grid, SweepEngine, Workload};
+///
+/// let engine = SweepEngine::new().quiet(true).cache(None);
+/// let outcome = engine.run(grid(Workload::Sort, 4, &[64], &[1, 2]));
+/// assert_eq!(outcome.points.len(), 2);
+/// // Results come back in grid order regardless of worker count.
+/// assert_eq!(outcome.points[0].spec.threads, 1);
+/// assert_eq!(outcome.points[1].spec.threads, 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SweepEngine {
+    jobs: usize,
+    cache: Option<RunCache>,
+    quiet: bool,
+}
+
+impl Default for SweepEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SweepEngine {
+    /// An engine with the default worker count — `EMX_JOBS` if set,
+    /// otherwise [`std::thread::available_parallelism`] — and the cache at
+    /// its conventional `results/cache/` location.
+    pub fn new() -> SweepEngine {
+        let jobs = std::env::var(JOBS_ENV)
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(4)
+            });
+        SweepEngine {
+            jobs,
+            cache: Some(RunCache::default_location()),
+            quiet: false,
+        }
+    }
+
+    /// Set the worker count (clamped to at least 1). The CLI `--jobs`
+    /// flag lands here.
+    pub fn jobs(mut self, jobs: usize) -> SweepEngine {
+        self.jobs = jobs.max(1);
+        self
+    }
+
+    /// The configured worker count.
+    pub fn jobs_configured(&self) -> usize {
+        self.jobs
+    }
+
+    /// Replace the run cache (`None` disables caching — the CLI
+    /// `--no-cache` flag).
+    pub fn cache(mut self, cache: Option<RunCache>) -> SweepEngine {
+        self.cache = cache;
+        self
+    }
+
+    /// Suppress per-run progress lines on stderr.
+    pub fn quiet(mut self, quiet: bool) -> SweepEngine {
+        self.quiet = quiet;
+        self
+    }
+
+    /// Execute `specs`, returning points in input order.
+    ///
+    /// Each worker claims the next unclaimed index, consults the cache,
+    /// simulates on a miss, stores the result, and writes it into the
+    /// slot for that index. Determinism: simulation is a pure function of
+    /// the spec, and assembly is by index, so neither the worker count
+    /// nor scheduling order can influence the returned values or their
+    /// order. A simulation error panics (it indicates an impossible
+    /// configuration in a figure grid, exactly as the pre-engine serial
+    /// path did).
+    pub fn run(&self, specs: Vec<RunSpec>) -> SweepOutcome {
+        let started = Instant::now();
+        let total = specs.len();
+        let keys: Vec<CacheKey> = specs
+            .iter()
+            .map(|s| CacheKey::for_run(s, &s.machine_config()))
+            .collect();
+
+        let slots: Mutex<Vec<Option<(RunReport, bool)>>> =
+            Mutex::new((0..total).map(|_| None).collect());
+        let next = AtomicUsize::new(0);
+        let done = AtomicUsize::new(0);
+        let workers = self.jobs.min(total.max(1));
+
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|_| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= total {
+                        break;
+                    }
+                    let spec = &specs[i];
+                    let key = &keys[i];
+                    let run_started = Instant::now();
+                    let (report, cached) = match self.cache.as_ref().and_then(|c| c.load(key)) {
+                        Some(report) => (report, true),
+                        None => {
+                            let report = spec.execute().unwrap_or_else(|e| {
+                                panic!("sweep point {} failed: {e}", spec.label())
+                            });
+                            if let Some(cache) = &self.cache {
+                                // A failed store only costs future cache
+                                // hits; the sweep itself proceeds.
+                                let _ = cache.store(key, spec, &report);
+                            }
+                            (report, false)
+                        }
+                    };
+                    let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+                    if !self.quiet {
+                        eprintln!(
+                            "[sweep {finished}/{total}] {} ({}): {}",
+                            spec.label(),
+                            key.short(),
+                            if cached {
+                                "cache hit".to_string()
+                            } else {
+                                format!("simulated in {:.2} s", run_started.elapsed().as_secs_f64())
+                            }
+                        );
+                    }
+                    slots.lock()[i] = Some((report, cached));
+                });
+            }
+        })
+        .expect("sweep workers do not panic");
+
+        let mut simulated = 0;
+        let mut cache_hits = 0;
+        let points: Vec<SweepPoint> = slots
+            .into_inner()
+            .into_iter()
+            .zip(specs)
+            .zip(keys)
+            .map(|((slot, spec), key)| {
+                let (report, cached) = slot.expect("every claimed slot is filled");
+                if cached {
+                    cache_hits += 1;
+                } else {
+                    simulated += 1;
+                }
+                SweepPoint {
+                    spec,
+                    key,
+                    report,
+                    cached,
+                }
+            })
+            .collect();
+
+        let outcome = SweepOutcome {
+            points,
+            jobs: workers,
+            simulated,
+            cache_hits,
+            wall: started.elapsed(),
+        };
+        if !self.quiet {
+            eprintln!("[sweep] {}", outcome.summary());
+        }
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{grid, Workload};
+
+    fn quiet_engine() -> SweepEngine {
+        SweepEngine::new().cache(None).quiet(true)
+    }
+
+    #[test]
+    fn results_come_back_in_input_order() {
+        let specs = grid(Workload::Sort, 4, &[64, 128], &[2, 1]);
+        let outcome = quiet_engine().jobs(3).run(specs.clone());
+        let got: Vec<(usize, usize)> = outcome
+            .points
+            .iter()
+            .map(|p| (p.spec.per_pe, p.spec.threads))
+            .collect();
+        let want: Vec<(usize, usize)> = specs.iter().map(|s| (s.per_pe, s.threads)).collect();
+        assert_eq!(got, want);
+        assert_eq!(outcome.simulated, 4);
+        assert_eq!(outcome.cache_hits, 0);
+    }
+
+    #[test]
+    fn jobs_are_clamped_and_counted() {
+        let outcome = quiet_engine()
+            .jobs(64)
+            .run(grid(Workload::Fft, 4, &[64], &[1]));
+        // One spec -> one worker actually used.
+        assert_eq!(outcome.jobs, 1);
+        assert_eq!(outcome.points.len(), 1);
+    }
+
+    #[test]
+    fn empty_sweep_is_fine() {
+        let outcome = quiet_engine().run(Vec::new());
+        assert!(outcome.points.is_empty());
+        assert_eq!(outcome.simulated, 0);
+    }
+}

@@ -1,0 +1,166 @@
+//! The sweep engine's three contracts (docs/SWEEPS.md):
+//!
+//! 1. **Determinism under parallelism** — a parallel sweep produces
+//!    byte-identical CSV series to the serial sweep.
+//! 2. **Cache transparency** — a cache hit returns the identical
+//!    `RunReport` a fresh simulation of the same spec would.
+//! 3. **Cache soundness** — the cache key moves when the cost model
+//!    moves, so edited costs can never serve stale results.
+
+use std::fs;
+use std::path::PathBuf;
+
+use emx_sweep::{grid, CacheKey, RunCache, RunSpec, SweepEngine, Workload};
+
+fn scratch_cache(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "emx-sweep-determinism-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Render a sweep outcome the way the figure harness renders Figure 6
+/// rows: one CSV line per point, with the comm+sync metric formatted
+/// exactly as `figures` formats it.
+fn fig6_style_csv(outcome: &emx_sweep::SweepOutcome) -> String {
+    let mut csv = String::from("n,h,comm (s)\n");
+    for pt in &outcome.points {
+        csv.push_str(&format!(
+            "{},{},{:.6e}\n",
+            pt.spec.n(),
+            pt.spec.threads,
+            pt.report.comm_sync_time_secs()
+        ));
+    }
+    csv
+}
+
+#[test]
+fn parallel_sweep_is_byte_identical_to_serial() {
+    for workload in [Workload::Sort, Workload::Fft] {
+        let specs = grid(workload, 4, &[64, 128], &[1, 2, 4]);
+        let serial = SweepEngine::new()
+            .jobs(1)
+            .cache(None)
+            .quiet(true)
+            .run(specs.clone());
+        let parallel = SweepEngine::new()
+            .jobs(4)
+            .cache(None)
+            .quiet(true)
+            .run(specs);
+
+        // Byte-identical CSV is the user-visible contract...
+        assert_eq!(
+            fig6_style_csv(&serial),
+            fig6_style_csv(&parallel),
+            "{workload:?}: parallel CSV differs from serial"
+        );
+        // ...and the reports agree exactly, not just the printed metric.
+        for (s, p) in serial.points.iter().zip(&parallel.points) {
+            assert_eq!(s.spec, p.spec);
+            assert_eq!(
+                s.report,
+                p.report,
+                "{workload:?} {} differs",
+                s.spec.label()
+            );
+        }
+        assert_eq!(serial.jobs, 1);
+        assert!(parallel.jobs > 1, "4 workers requested for 6 specs");
+    }
+}
+
+#[test]
+fn cache_hit_returns_the_identical_report() {
+    let dir = scratch_cache("hit");
+    let specs = grid(Workload::Sort, 4, &[64], &[1, 2]);
+
+    let engine = SweepEngine::new()
+        .jobs(2)
+        .cache(Some(RunCache::new(&dir)))
+        .quiet(true);
+    let fresh = engine.run(specs.clone());
+    assert_eq!(fresh.simulated, 2);
+    assert_eq!(fresh.cache_hits, 0);
+
+    let replay = engine.run(specs.clone());
+    assert_eq!(
+        replay.simulated, 0,
+        "second invocation must be all cache hits"
+    );
+    assert_eq!(replay.cache_hits, 2);
+    for (a, b) in fresh.points.iter().zip(&replay.points) {
+        assert_eq!(
+            a.report,
+            b.report,
+            "cached report differs for {}",
+            a.spec.label()
+        );
+        assert_eq!(a.key, b.key);
+        assert!(b.cached);
+    }
+
+    // And the cache-restored reports equal an uncached rerun.
+    let uncached = SweepEngine::new()
+        .jobs(1)
+        .cache(None)
+        .quiet(true)
+        .run(specs);
+    for (a, b) in uncached.points.iter().zip(&replay.points) {
+        assert_eq!(a.report, b.report);
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cache_key_moves_when_the_cost_model_moves() {
+    let spec = RunSpec::new(Workload::Fft, 4, 64, 2);
+    let base_cfg = spec.machine_config();
+    let base = CacheKey::for_run(&spec, &base_cfg);
+
+    // Every cost-model field participates in the address.
+    let mut cfg = base_cfg.clone();
+    cfg.costs.context_switch += 1;
+    assert_ne!(base, CacheKey::for_run(&spec, &cfg));
+
+    let mut cfg = base_cfg.clone();
+    cfg.costs.barrier_poll_interval += 1;
+    assert_ne!(base, CacheKey::for_run(&spec, &cfg));
+
+    let mut cfg = base_cfg.clone();
+    cfg.net.port_service += 1;
+    assert_ne!(base, CacheKey::for_run(&spec, &cfg));
+
+    // While an unchanged config reproduces the address exactly.
+    assert_eq!(base, CacheKey::for_run(&spec, &spec.machine_config()));
+}
+
+#[test]
+fn stale_cost_model_never_serves_a_cached_result() {
+    // End to end: populate a cache, then sweep the same specs "after a
+    // cost-model edit" (modelled by a spec knob that changes the derived
+    // config) and observe a fresh simulation, not a hit.
+    let dir = scratch_cache("stale");
+    let cache = Some(RunCache::new(&dir));
+    let mut spec = RunSpec::new(Workload::Sort, 4, 64, 2);
+
+    let first = SweepEngine::new()
+        .jobs(1)
+        .cache(cache.clone())
+        .quiet(true)
+        .run(vec![spec.clone()]);
+    assert_eq!(first.simulated, 1);
+
+    spec.priority_read_responses = true; // changes the derived MachineConfig
+    let second = SweepEngine::new()
+        .jobs(1)
+        .cache(cache)
+        .quiet(true)
+        .run(vec![spec]);
+    assert_eq!(second.simulated, 1, "changed config must miss the cache");
+    assert_eq!(second.cache_hits, 0);
+    let _ = fs::remove_dir_all(&dir);
+}

@@ -212,7 +212,9 @@ impl SortWorker {
             // The receive buffer is indexed by mate-list position, so both
             // per-element and block transfers share one layout; the merge
             // consumes positions in read order.
-            let rv = ctx.mem.read(recv + self.mate_index(keep_low, ri as usize))?;
+            let rv = ctx
+                .mem
+                .read(recv + self.mate_index(keep_low, ri as usize))?;
             if keep_low {
                 let lv = ctx.mem.read(src + li)?;
                 if lv <= rv {
@@ -293,7 +295,10 @@ impl ThreadBody for SortWorker {
                         let cycles = self
                             .local_sort(ctx)
                             .expect("local sort within configured memory");
-                        return Action::Work { cycles, kind: WorkKind::Compute };
+                        return Action::Work {
+                            cycles,
+                            kind: WorkKind::Compute,
+                        };
                     }
                     // Other threads go straight to the post-sort barrier.
                     continue;
@@ -391,7 +396,10 @@ impl ThreadBody for SortWorker {
                             .merge_upto(ctx, keep_low, limit, false)
                             .expect("merge within configured memory");
                         if cycles > 0 {
-                            return Action::Work { cycles, kind: WorkKind::Compute };
+                            return Action::Work {
+                                cycles,
+                                kind: WorkKind::Compute,
+                            };
                         }
                     }
                     continue;
@@ -414,7 +422,10 @@ impl ThreadBody for SortWorker {
                         .expect("merge within configured memory");
                     self.phase = Phase::Signalled;
                     if cycles > 0 {
-                        return Action::Work { cycles, kind: WorkKind::Compute };
+                        return Action::Work {
+                            cycles,
+                            kind: WorkKind::Compute,
+                        };
                     }
                     continue;
                 }
@@ -439,7 +450,9 @@ fn validate(cfg: &MachineConfig, params: &SortParams) -> Result<usize, SimError>
     let p = cfg.num_pes;
     let fail = |reason: String| Err(SimError::Workload { reason });
     if !p.is_power_of_two() {
-        return fail(format!("bitonic sorting needs a power-of-two machine, got {p} PEs"));
+        return fail(format!(
+            "bitonic sorting needs a power-of-two machine, got {p} PEs"
+        ));
     }
     if params.n == 0 || params.n % p != 0 {
         return fail(format!("n={} not divisible by P={p}", params.n));
@@ -548,8 +561,8 @@ mod tests {
         for p in [2usize, 4, 8] {
             for h in [1usize, 2, 4] {
                 let params = SortParams::new(p * 64, h);
-                let out = run_bitonic(&cfg(p), &params)
-                    .unwrap_or_else(|e| panic!("P={p} h={h}: {e}"));
+                let out =
+                    run_bitonic(&cfg(p), &params).unwrap_or_else(|e| panic!("P={p} h={h}: {e}"));
                 assert_eq!(out.output.len(), p * 64);
             }
         }
@@ -574,7 +587,11 @@ mod tests {
     fn single_pe_machine_is_a_local_sort() {
         let params = SortParams::new(128, 2);
         let out = run_bitonic(&cfg(1), &params).unwrap();
-        assert_eq!(out.report.total_reads(), 0, "no merge steps, no remote reads");
+        assert_eq!(
+            out.report.total_reads(),
+            0,
+            "no merge steps, no remote reads"
+        );
     }
 
     #[test]
@@ -644,13 +661,25 @@ mod tests {
 
     #[test]
     fn rejects_bad_parameters() {
-        assert!(run_bitonic(&cfg(3), &SortParams::new(96, 1)).is_err(), "non-pow2 P");
-        assert!(run_bitonic(&cfg(4), &SortParams::new(101, 1)).is_err(), "n % P != 0");
-        assert!(run_bitonic(&cfg(4), &SortParams::new(256, 65)).is_err(), "h > m");
+        assert!(
+            run_bitonic(&cfg(3), &SortParams::new(96, 1)).is_err(),
+            "non-pow2 P"
+        );
+        assert!(
+            run_bitonic(&cfg(4), &SortParams::new(101, 1)).is_err(),
+            "n % P != 0"
+        );
+        assert!(
+            run_bitonic(&cfg(4), &SortParams::new(256, 65)).is_err(),
+            "h > m"
+        );
         run_bitonic(&cfg(4), &SortParams::new(256, 3)).expect("uneven chunks are fine");
         let mut small = cfg(4);
         small.local_memory_words = 80;
-        assert!(run_bitonic(&small, &SortParams::new(256, 1)).is_err(), "memory");
+        assert!(
+            run_bitonic(&small, &SortParams::new(256, 1)).is_err(),
+            "memory"
+        );
     }
 
     #[test]

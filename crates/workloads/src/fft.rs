@@ -349,10 +349,18 @@ impl ThreadBody for FftWorker {
                         let angle = -std::f64::consts::PI * (i % s) as f64 / s as f64;
                         let (sv, cv) = angle.sin_cos();
                         let tw = ((dr * cv - di * sv) as f32, (dr * sv + di * cv) as f32);
-                        ctx.mem.write(layout::re(par, m) + lo, sum.0.to_bits()).unwrap();
-                        ctx.mem.write(layout::im(par, m) + lo, sum.1.to_bits()).unwrap();
-                        ctx.mem.write(layout::re(par, m) + hi, tw.0.to_bits()).unwrap();
-                        ctx.mem.write(layout::im(par, m) + hi, tw.1.to_bits()).unwrap();
+                        ctx.mem
+                            .write(layout::re(par, m) + lo, sum.0.to_bits())
+                            .unwrap();
+                        ctx.mem
+                            .write(layout::im(par, m) + lo, sum.1.to_bits())
+                            .unwrap();
+                        ctx.mem
+                            .write(layout::re(par, m) + hi, tw.0.to_bits())
+                            .unwrap();
+                        ctx.mem
+                            .write(layout::im(par, m) + hi, tw.1.to_bits())
+                            .unwrap();
                     }
                     // Keep parity unchanged for in-place local stages: copy
                     // is avoided by leaving data where it is. Charge the

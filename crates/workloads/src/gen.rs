@@ -113,8 +113,14 @@ mod tests {
 
     #[test]
     fn keys_are_reproducible_per_seed() {
-        assert_eq!(keys(100, KeyDist::Uniform, 7), keys(100, KeyDist::Uniform, 7));
-        assert_ne!(keys(100, KeyDist::Uniform, 7), keys(100, KeyDist::Uniform, 8));
+        assert_eq!(
+            keys(100, KeyDist::Uniform, 7),
+            keys(100, KeyDist::Uniform, 7)
+        );
+        assert_ne!(
+            keys(100, KeyDist::Uniform, 7),
+            keys(100, KeyDist::Uniform, 8)
+        );
     }
 
     #[test]
@@ -162,8 +168,8 @@ mod tests {
         let x = vec![(1.0f32, 0.0f32); 16];
         let f = dft(&x);
         assert!((f[0].0 - 16.0).abs() < 1e-9);
-        for k in 1..16 {
-            assert!(f[k].0.abs() < 1e-9 && f[k].1.abs() < 1e-9);
+        for (re, im) in &f[1..] {
+            assert!(re.abs() < 1e-9 && im.abs() < 1e-9);
         }
     }
 }

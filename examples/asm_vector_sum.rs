@@ -48,17 +48,29 @@ fn main() {
     // Load a different vector on every PE and spawn the worker.
     let mut expected = Vec::new();
     for pe in 0..pes {
-        let values: Vec<u32> = (0..VEC_LEN as u32).map(|i| (pe as u32 + 1) * (i + 1)).collect();
+        let values: Vec<u32> = (0..VEC_LEN as u32)
+            .map(|i| (pe as u32 + 1) * (i + 1))
+            .collect();
         expected.push(values.iter().sum::<u32>());
-        m.mem_mut(PeId(pe as u16)).unwrap().write_slice(VEC_BASE, &values).unwrap();
-        let slot = GlobalAddr::new(PeId(0), RESULT_BASE + pe as u32).unwrap().pack();
+        m.mem_mut(PeId(pe as u16))
+            .unwrap()
+            .write_slice(VEC_BASE, &values)
+            .unwrap();
+        let slot = GlobalAddr::new(PeId(0), RESULT_BASE + pe as u32)
+            .unwrap()
+            .pack();
         m.spawn_at_start(PeId(pe as u16), entry, slot).unwrap();
     }
 
     let report = m.run().expect("program quiesces");
 
     let mut t = Table::new(["PE", "partial sum", "expected"]);
-    let results = m.mem(PeId(0)).unwrap().read_slice(RESULT_BASE, pes).unwrap().to_vec();
+    let results = m
+        .mem(PeId(0))
+        .unwrap()
+        .read_slice(RESULT_BASE, pes)
+        .unwrap()
+        .to_vec();
     for (pe, (&got, &want)) in results.iter().zip(expected.iter()).enumerate() {
         assert_eq!(got, want, "PE{pe} sum mismatch");
         t.row([pe.to_string(), got.to_string(), want.to_string()]);

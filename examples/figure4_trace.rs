@@ -25,8 +25,14 @@ fn main() {
     let barrier = m.define_barrier(2);
 
     // Load the paper's values (already locally sorted).
-    m.mem_mut(PeId(0)).unwrap().write_slice(64, &[2, 5, 6, 7]).unwrap();
-    m.mem_mut(PeId(1)).unwrap().write_slice(64, &[1, 3, 4, 8]).unwrap();
+    m.mem_mut(PeId(0))
+        .unwrap()
+        .write_slice(64, &[2, 5, 6, 7])
+        .unwrap();
+    m.mem_mut(PeId(1))
+        .unwrap()
+        .write_slice(64, &[1, 3, 4, 8])
+        .unwrap();
 
     /// One thread of the paper's example: read its two mate elements one at
     /// a time (suspending on each, as RRn in the figure), wait its merge
@@ -55,19 +61,27 @@ fn main() {
                     }
                     if self.k == 2 {
                         self.phase = 1;
-                        return Action::WaitSeq { cell: 0, threshold: self.t };
+                        return Action::WaitSeq {
+                            cell: 0,
+                            threshold: self.t,
+                        };
                     }
                     let pos = 2 * self.t as u32 + self.k;
                     self.k += 1;
                     let idx = if keep_low { pos } else { 3 - pos };
-                    Action::Read { addr: GlobalAddr::new(mate, 64 + idx).unwrap() }
+                    Action::Read {
+                        addr: GlobalAddr::new(mate, 64 + idx).unwrap(),
+                    }
                 }
                 // Merge my chunk in turn (simplified: real merging logic
                 // lives in the workload crate; here we only need the
                 // schedule shape).
                 1 => {
                     self.phase = 2;
-                    Action::Work { cycles: 20, kind: WorkKind::Compute }
+                    Action::Work {
+                        cycles: 20,
+                        kind: WorkKind::Compute,
+                    }
                 }
                 2 => {
                     self.phase = 3;
@@ -83,7 +97,12 @@ fn main() {
     }
 
     let entry = m.register_entry("fig4", move |_, arg| {
-        Box::new(Fig4Thread { t: u64::from(arg), phase: 0, k: 0, barrier })
+        Box::new(Fig4Thread {
+            t: u64::from(arg),
+            phase: 0,
+            k: 0,
+            barrier,
+        })
     });
     for pe in 0..2u16 {
         for t in 0..2u32 {

@@ -52,7 +52,14 @@ fn measure(pes: usize, readers: usize, reads: i16) -> (f64, f64) {
 fn main() {
     println!("remote read latency probe (interpreted EMC-Y kernel)\n");
     let mut t = Table::new(["PEs", "concurrent readers", "cycles/read", "µs/read"]);
-    for (pes, readers) in [(16usize, 1usize), (16, 4), (16, 8), (64, 1), (64, 16), (64, 32)] {
+    for (pes, readers) in [
+        (16usize, 1usize),
+        (16, 4),
+        (16, 8),
+        (64, 1),
+        (64, 16),
+        (64, 32),
+    ] {
         let (cycles, micros) = measure(pes, readers, 64);
         t.row([
             pes.to_string(),

@@ -22,8 +22,14 @@ fn main() {
     // --- Bitonic sorting, 16K keys, 4 threads per processor -------------
     let sort = run_bitonic(&cfg, &SortParams::new(16_384, 4)).expect("sort runs");
     println!("bitonic sort, n=16384, h=4");
-    println!("  simulated time     {:>10.3} ms", sort.report.elapsed_secs() * 1e3);
-    println!("  mean comm time     {:>10.3} ms", sort.report.comm_time_secs() * 1e3);
+    println!(
+        "  simulated time     {:>10.3} ms",
+        sort.report.elapsed_secs() * 1e3
+    );
+    println!(
+        "  mean comm time     {:>10.3} ms",
+        sort.report.comm_time_secs() * 1e3
+    );
     println!("  remote reads       {:>10}", sort.report.total_reads());
     println!("  packets routed     {:>10}", sort.report.net_packets);
     let sw = sort.report.mean_switches();
@@ -31,13 +37,22 @@ fn main() {
         "  switches/PE        remote-read {} / iter-sync {} / thread-sync {}",
         sw.remote_read, sw.iter_sync, sw.thread_sync
     );
-    println!("  mean utilization   {:>10.3}", sort.report.mean_utilization());
+    println!(
+        "  mean utilization   {:>10.3}",
+        sort.report.mean_utilization()
+    );
 
     // --- FFT, 16K points, 4 threads per processor -----------------------
     let fft = run_fft(&cfg, &FftParams::new(16_384, 4)).expect("fft runs");
     println!("\nFFT, n=16384, h=4 (full transform, verified against the DFT reference)");
-    println!("  simulated time     {:>10.3} ms", fft.report.elapsed_secs() * 1e3);
-    println!("  mean comm time     {:>10.3} ms", fft.report.comm_time_secs() * 1e3);
+    println!(
+        "  simulated time     {:>10.3} ms",
+        fft.report.elapsed_secs() * 1e3
+    );
+    println!(
+        "  mean comm time     {:>10.3} ms",
+        fft.report.comm_time_secs() * 1e3
+    );
     println!("  remote reads       {:>10}", fft.report.total_reads());
 
     // --- The four-component execution-time breakdown (Figure 8) ---------

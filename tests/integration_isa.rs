@@ -48,7 +48,10 @@ fn assembled_text_kernel_runs_distributed() {
     let entry = m.register_template(assemble("sum", src).unwrap());
     for pe in 0..pes {
         let vals: Vec<u32> = (1..=50).map(|i| i * (pe as u32 + 1)).collect();
-        m.mem_mut(PeId(pe as u16)).unwrap().write_slice(256, &vals).unwrap();
+        m.mem_mut(PeId(pe as u16))
+            .unwrap()
+            .write_slice(256, &vals)
+            .unwrap();
         let slot = GlobalAddr::new(PeId(0), 128 + pe as u32).unwrap().pack();
         m.spawn_at_start(PeId(pe as u16), entry, slot).unwrap();
     }
@@ -76,9 +79,16 @@ fn isa_block_read_transfers_a_vector() {
     let entry = m.register_template(b.build().unwrap());
     m.spawn_at_start(PeId(0), entry, 0).unwrap();
     let report = m.run().unwrap();
-    assert_eq!(m.mem(PeId(0)).unwrap().read_slice(256, 32).unwrap(), &data[..]);
+    assert_eq!(
+        m.mem(PeId(0)).unwrap().read_slice(256, 32).unwrap(),
+        &data[..]
+    );
     assert_eq!(report.total_reads(), 32);
-    assert_eq!(report.total_switches().remote_read, 1, "one suspension for the block");
+    assert_eq!(
+        report.total_switches().remote_read,
+        1,
+        "one suspension for the block"
+    );
 }
 
 #[test]
@@ -92,7 +102,10 @@ fn interpreted_and_native_threads_coexist() {
         fn step(&mut self, ctx: &mut ThreadCtx<'_>) -> Action {
             if ctx.mem.read(3).unwrap() == 0 {
                 ctx.mem.write(3, 99).unwrap();
-                Action::Work { cycles: 5, kind: WorkKind::Compute }
+                Action::Work {
+                    cycles: 5,
+                    kind: WorkKind::Compute,
+                }
             } else {
                 Action::End
             }

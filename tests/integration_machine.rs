@@ -19,7 +19,10 @@ fn bypass_dma_beats_em4_servicing_on_real_workloads() {
     let run = |mode: ServiceMode| {
         let mut c = cfg(16);
         c.service_mode = mode;
-        run_bitonic(&c, &SortParams::new(n, 4)).unwrap().report.elapsed_secs()
+        run_bitonic(&c, &SortParams::new(n, 4))
+            .unwrap()
+            .report
+            .elapsed_secs()
     };
     let emx = run(ServiceMode::BypassDma);
     let em4 = run(ServiceMode::ExuThread);
@@ -38,7 +41,10 @@ fn network_models_order_sanely() {
     let run = |model: NetModelKind| {
         let mut c = cfg(16);
         c.net.model = model;
-        run_fft(&c, &FftParams::comm_only(n, 2)).unwrap().report.elapsed_secs()
+        run_fft(&c, &FftParams::comm_only(n, 2))
+            .unwrap()
+            .report
+            .elapsed_secs()
     };
     let omega = run(NetModelKind::CircularOmega);
     let ideal = run(NetModelKind::Ideal { latency: 2 });
@@ -61,7 +67,10 @@ fn priority_scheduling_changes_timing_but_not_results() {
     };
     let plain = run(false);
     let prioritized = run(true);
-    assert_eq!(plain.output, prioritized.output, "scheduling must not change the sort");
+    assert_eq!(
+        plain.output, prioritized.output,
+        "scheduling must not change the sort"
+    );
     assert_ne!(
         plain.report.elapsed, prioritized.report.elapsed,
         "the scheduling knob should actually reschedule something"
@@ -97,7 +106,10 @@ fn queue_pressure_spills_to_memory_at_high_thread_counts() {
             .map(|p| p.ibu_spills)
             .sum::<u64>()
     };
-    assert!(spills(16) > spills(1), "h=16 must overflow the 8-deep FIFO more than h=1");
+    assert!(
+        spills(16) > spills(1),
+        "h=16 must overflow the 8-deep FIFO more than h=1"
+    );
 }
 
 #[test]
@@ -120,8 +132,10 @@ fn eighty_pe_prototype_configuration_works() {
     // The real machine has 80 processors (non-power-of-two): the runtime
     // and network must handle it for direct Machine programs even though
     // the power-of-two workload drivers don't use it.
-    let mut c = MachineConfig::default();
-    c.local_memory_words = 1 << 12;
+    let c = MachineConfig {
+        local_memory_words: 1 << 12,
+        ..Default::default()
+    };
     let mut m = Machine::new(c).unwrap();
     struct Relay;
     impl ThreadBody for Relay {
@@ -139,7 +153,10 @@ fn eighty_pe_prototype_configuration_works() {
     }
     let entry = m.register_entry("relay", |_, _| Box::new(Relay));
     for pe in 0..80u16 {
-        m.mem_mut(PeId(pe)).unwrap().write(0, u32::from(pe)).unwrap();
+        m.mem_mut(PeId(pe))
+            .unwrap()
+            .write(0, u32::from(pe))
+            .unwrap();
         m.spawn_at_start(PeId(pe), entry, 0).unwrap();
     }
     let report = m.run().unwrap();

@@ -18,7 +18,10 @@ fn sim_idle_per_read(h: usize) -> f64 {
             }
             if !self.work_phase {
                 self.work_phase = true;
-                return Action::Work { cycles: 11, kind: WorkKind::Overhead };
+                return Action::Work {
+                    cycles: 11,
+                    kind: WorkKind::Overhead,
+                };
             }
             self.work_phase = false;
             self.remaining -= 1;
@@ -33,7 +36,11 @@ fn sim_idle_per_read(h: usize) -> f64 {
     cfg.local_memory_words = 1 << 12;
     let mut m = Machine::new(cfg).unwrap();
     let entry = m.register_entry("readloop", |_, _| {
-        Box::new(ReadLoop { remaining: 200, cursor: 0, work_phase: false })
+        Box::new(ReadLoop {
+            remaining: 200,
+            cursor: 0,
+            work_phase: false,
+        })
     });
     for pe in 0..16u16 {
         for _ in 0..h {
@@ -41,7 +48,11 @@ fn sim_idle_per_read(h: usize) -> f64 {
         }
     }
     let report = m.run().unwrap();
-    let idle: f64 = report.per_pe.iter().map(|p| p.breakdown.comm.get() as f64).sum();
+    let idle: f64 = report
+        .per_pe
+        .iter()
+        .map(|p| p.breakdown.comm.get() as f64)
+        .sum();
     idle / report.total_reads() as f64
 }
 
@@ -51,7 +62,10 @@ fn model_and_simulation_agree_on_the_masking_trend() {
     // check the model predicts the simulated idle within a factor at every
     // h (the model is deterministic; the simulator adds queueing noise).
     let l = sim_idle_per_read(1);
-    assert!(l > 5.0, "baseline idle per read should be noticeable, got {l:.1}");
+    assert!(
+        l > 5.0,
+        "baseline idle per read should be noticeable, got {l:.1}"
+    );
     let m = ModelParams::sorting(&MachineConfig::paper_p16().costs, l);
     for h in [2u32, 3, 4] {
         let sim = sim_idle_per_read(h as usize);
@@ -68,7 +82,10 @@ fn saturation_region_has_negligible_idle() {
     let l = sim_idle_per_read(1);
     let m = ModelParams::sorting(&MachineConfig::paper_p16().costs, l);
     let h_sat = m.optimal_threads();
-    assert!(h_sat <= 4, "paper: 2-4 threads mask the latency, model says {h_sat}");
+    assert!(
+        h_sat <= 4,
+        "paper: 2-4 threads mask the latency, model says {h_sat}"
+    );
     let sim = sim_idle_per_read((h_sat + 2) as usize);
     assert!(
         sim < l * 0.25,
@@ -83,5 +100,8 @@ fn model_matches_paper_parameters_exactly() {
     assert_eq!(m.optimal_threads(), 3);
     assert_eq!(m.region(1), Region::Linear);
     assert_eq!(m.region(8), Region::Saturation);
-    assert!((m.utilization(16.0) - 0.75).abs() < 1e-12, "saturation U = R/(R+S)");
+    assert!(
+        (m.utilization(16.0) - 0.75).abs() < 1e-12,
+        "saturation U = R/(R+S)"
+    );
 }

@@ -13,8 +13,8 @@ fn cfg(p: usize) -> MachineConfig {
 fn paper_p16_sort_is_correct_at_every_thread_count() {
     for h in [1usize, 2, 3, 4, 6, 8, 16] {
         let n = 16 * 48 * 16; // m = 768, divisible by every h above
-        let out = run_bitonic(&cfg(16), &SortParams::new(n, h))
-            .unwrap_or_else(|e| panic!("h={h}: {e}"));
+        let out =
+            run_bitonic(&cfg(16), &SortParams::new(n, h)).unwrap_or_else(|e| panic!("h={h}: {e}"));
         assert!(out.output.windows(2).all(|w| w[0] <= w[1]));
     }
 }
@@ -42,7 +42,10 @@ fn communication_valley_sits_at_small_thread_counts() {
         "comm minimum at h={h_min}, paper says 2..4 (series {series:?})"
     );
     assert!(t_min < t1 * 0.8, "minimum must clearly beat h=1");
-    assert!(t16 > t_min, "h=16 must pay for its switches (series {series:?})");
+    assert!(
+        t16 > t_min,
+        "h=16 must pay for its switches (series {series:?})"
+    );
 }
 
 #[test]
@@ -129,7 +132,12 @@ fn p64_machine_runs_and_sorts() {
 
 #[test]
 fn distributions_do_not_break_the_machine() {
-    for dist in [KeyDist::Sorted, KeyDist::Reverse, KeyDist::Constant, KeyDist::Gaussian] {
+    for dist in [
+        KeyDist::Sorted,
+        KeyDist::Reverse,
+        KeyDist::Constant,
+        KeyDist::Gaussian,
+    ] {
         let mut p = SortParams::new(16 * 512, 4);
         p.dist = dist;
         run_bitonic(&cfg(16), &p).unwrap_or_else(|e| panic!("{dist:?}: {e}"));
