@@ -112,7 +112,9 @@ fn sizes_for(w: Workload, scale: Scale) -> Vec<usize> {
 /// workload on `p` processors, through the engine.
 fn panel_sweep(w: Workload, p: usize, opts: &Opts) -> SweepOutcome {
     let sizes = sizes_for(w, opts.scale);
-    opts.engine().run(grid(w, p, &sizes, &opts.scale.threads()))
+    opts.engine()
+        .run(grid(w, p, &sizes, &opts.scale.threads()))
+        .expect_complete()
 }
 
 /// Figure 6: communication time (seconds) vs number of threads, four
@@ -203,7 +205,8 @@ fn fig8(opts: &Opts) {
         for &per_pe in [sizes.first().unwrap(), sizes.last().unwrap()].iter() {
             let outcome = opts
                 .engine()
-                .run(grid(w, p, &[*per_pe], &opts.scale.threads()));
+                .run(grid(w, p, &[*per_pe], &opts.scale.threads()))
+                .expect_complete();
             let mut table = Table::new(["h", "compute %", "overhead %", "comm %", "switch %"]);
             for pt in &outcome.points {
                 let f = pt.report.mean_breakdown().fractions();
@@ -243,7 +246,8 @@ fn fig9(opts: &Opts) {
         for &per_pe in [sizes.first().unwrap(), sizes.last().unwrap()].iter() {
             let outcome = opts
                 .engine()
-                .run(grid(w, p, &[*per_pe], &opts.scale.threads()));
+                .run(grid(w, p, &[*per_pe], &opts.scale.threads()))
+                .expect_complete();
             let mut table = Table::new(["h", "remote-read", "iter-sync", "thread-sync"]);
             for pt in &outcome.points {
                 let s = pt.report.mean_switches();
@@ -420,7 +424,7 @@ fn ablation(opts: &Opts) {
             specs.push(spec);
         }
     }
-    let outcome = opts.engine().run(specs);
+    let outcome = opts.engine().run(specs).expect_complete();
     let mut table = Table::new(["workload", "mode", "elapsed (s)", "comm (s)"]);
     for pt in &outcome.points {
         table.row([
@@ -450,7 +454,7 @@ fn block(opts: &Opts) {
             specs.push(spec);
         }
     }
-    let outcome = opts.engine().run(specs);
+    let outcome = opts.engine().run(specs).expect_complete();
     let mut table = Table::new(["mode", "h", "elapsed (s)", "comm (s)", "packets"]);
     for pt in &outcome.points {
         table.row([
@@ -489,7 +493,7 @@ fn runlength(opts: &Opts) {
             specs.push(spec);
         }
     }
-    let outcome = opts.engine().run(specs);
+    let outcome = opts.engine().run(specs).expect_complete();
     let mut table = Table::new(["point cycles", "E(2) %", "E(4) %"]);
     for (i, &cycles) in CYCLES.iter().enumerate() {
         let row = &outcome.points[i * THREADS.len()..(i + 1) * THREADS.len()];
@@ -526,7 +530,7 @@ fn priority(opts: &Opts) {
             specs.push(spec);
         }
     }
-    let outcome = opts.engine().run(specs);
+    let outcome = opts.engine().run(specs).expect_complete();
     let mut table = Table::new(["priority responses", "h", "elapsed (s)", "comm (s)"]);
     for pt in &outcome.points {
         table.row([
@@ -556,7 +560,7 @@ fn topology(opts: &Opts) {
         spec.net_model = model;
         specs.push(spec);
     }
-    let outcome = opts.engine().run(specs);
+    let outcome = opts.engine().run(specs).expect_complete();
     let mut table = Table::new(["network", "elapsed (s)", "comm (s)", "net contention (cy)"]);
     for pt in &outcome.points {
         table.row([

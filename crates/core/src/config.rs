@@ -10,6 +10,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::addr::MAX_PES;
 use crate::error::SimError;
+use crate::faults::FaultSpec;
 use crate::time::EMX_CLOCK_HZ;
 
 /// How a processor services incoming remote-read requests.
@@ -153,6 +154,9 @@ pub struct MachineConfig {
     pub costs: CostModel,
     /// Network model and timing.
     pub net: NetConfig,
+    /// Deterministic fault-injection plan; `None` (the default) is the
+    /// paper's lossless machine with no fault machinery armed at all.
+    pub faults: Option<FaultSpec>,
 }
 
 impl Default for MachineConfig {
@@ -169,6 +173,7 @@ impl Default for MachineConfig {
             priority_read_responses: false,
             costs: CostModel::default(),
             net: NetConfig::default(),
+            faults: None,
         }
     }
 }
@@ -233,6 +238,9 @@ impl MachineConfig {
         }
         if self.net.port_service == 0 {
             return fail("network port service time must be at least one cycle".into());
+        }
+        if let Some(faults) = &self.faults {
+            faults.validate()?;
         }
         Ok(())
     }

@@ -69,6 +69,24 @@ pub enum SimError {
         /// Number of threads still suspended.
         suspended: usize,
     },
+    /// A split-phase read was re-issued up to the configured attempt limit
+    /// without a response arriving (fault injection with packet loss).
+    RetryExhausted {
+        /// Processor whose thread gave up.
+        pe: usize,
+        /// Activation frame of the suspended thread.
+        frame: usize,
+        /// Re-issues attempted before giving up.
+        attempts: u32,
+    },
+    /// A runtime invariant check failed (packet conservation, per-pair
+    /// non-overtaking, FIFO order within priority, or monotonic event
+    /// time). Carries the rendered fault report of the checker.
+    InvariantViolation {
+        /// Which invariant failed and the evidence, rendered by the
+        /// checker's structured fault report.
+        report: String,
+    },
     /// A machine configuration that cannot be built (e.g. zero processors,
     /// or a network that requires a power-of-two processor count).
     BadConfig {
@@ -114,6 +132,17 @@ impl fmt::Display for SimError {
                 f,
                 "deadlock at cycle {at}: {suspended} threads suspended with no pending events"
             ),
+            SimError::RetryExhausted {
+                pe,
+                frame,
+                attempts,
+            } => write!(
+                f,
+                "PE{pe} frame {frame}: read retry exhausted after {attempts} attempts"
+            ),
+            SimError::InvariantViolation { report } => {
+                write!(f, "invariant violation: {report}")
+            }
             SimError::BadConfig { reason } => write!(f, "bad machine configuration: {reason}"),
             SimError::IsaFault { reason } => write!(f, "ISA fault: {reason}"),
             SimError::Workload { reason } => write!(f, "workload error: {reason}"),

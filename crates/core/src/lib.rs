@@ -21,6 +21,8 @@
 //! * [`event`] — a deterministic time-ordered [`EventQueue`](event::EventQueue).
 //! * [`config`] — [`MachineConfig`](config::MachineConfig) and
 //!   [`CostModel`](config::CostModel).
+//! * [`faults`] — [`FaultSpec`](faults::FaultSpec), the deterministic
+//!   fault-injection plan threaded through network, processor and runtime.
 //! * [`error`] — [`SimError`](error::SimError).
 
 #![forbid(unsafe_code)]
@@ -30,6 +32,7 @@ pub mod addr;
 pub mod config;
 pub mod error;
 pub mod event;
+pub mod faults;
 pub mod packet;
 pub mod time;
 
@@ -37,5 +40,6 @@ pub use addr::{Continuation, FrameId, GlobalAddr, PeId, SlotId};
 pub use config::{CostModel, MachineConfig, NetConfig, NetModelKind, ServiceMode};
 pub use error::SimError;
 pub use event::EventQueue;
+pub use faults::{FaultSpec, PPM_SCALE};
 pub use packet::{Packet, PacketKind, Priority, WirePacket};
 pub use time::Cycle;

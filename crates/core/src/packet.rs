@@ -142,6 +142,17 @@ pub struct Packet {
     /// Number of words requested by a [`PacketKind::ReadBlockReq`]; 1 for
     /// every other kind. Carried in hardware framing, not the payload words.
     pub block_len: u16,
+    /// Request sequence number for the remote-read retry protocol: stamped
+    /// on read requests by the issuing frame and echoed on every response,
+    /// so a requester can match responses to its *current* outstanding read
+    /// and silently discard stale or duplicate responses. `0` when the
+    /// retry protocol is not armed.
+    pub seq: u16,
+    /// Word index within a block-read response (`0..block_len`), so a
+    /// requester can deposit words idempotently by position even when the
+    /// network reorders, drops, or duplicates them. `0` for every other
+    /// kind.
+    pub idx: u16,
     /// Issuing processor. Simulator bookkeeping only (the hardware recovers
     /// it from the continuation when it needs it); used for tracing and for
     /// network source routing.
@@ -157,6 +168,8 @@ impl Packet {
             addr: target.pack(),
             data: cont.pack(),
             block_len: 1,
+            seq: 0,
+            idx: 0,
             src,
         }
     }
@@ -177,6 +190,8 @@ impl Packet {
             addr: target.pack(),
             data: cont.pack(),
             block_len: len,
+            seq: 0,
+            idx: 0,
             src,
         })
     }
@@ -189,6 +204,8 @@ impl Packet {
             addr: cont.pack(),
             data: value,
             block_len: 1,
+            seq: 0,
+            idx: 0,
             src,
         }
     }
@@ -201,6 +218,8 @@ impl Packet {
             addr: target.pack(),
             data: value,
             block_len: 1,
+            seq: 0,
+            idx: 0,
             src,
         }
     }
@@ -213,6 +232,8 @@ impl Packet {
             addr: entry.pack(),
             data: arg,
             block_len: 1,
+            seq: 0,
+            idx: 0,
             src,
         }
     }
@@ -252,11 +273,33 @@ impl Packet {
         self
     }
 
-    /// Encode to the exact wire image.
+    /// Stamp the retry-protocol sequence number.
+    #[inline]
+    pub fn with_seq(mut self, seq: u16) -> Packet {
+        self.seq = seq;
+        self
+    }
+
+    /// Stamp the block-response word index.
+    #[inline]
+    pub fn with_idx(mut self, idx: u16) -> Packet {
+        self.idx = idx;
+        self
+    }
+
+    /// Encode to the exact wire image. The auxiliary half-word is
+    /// kind-dependent: block length for a block request, word index for a
+    /// response, unused otherwise.
     pub fn to_wire(&self) -> WirePacket {
+        let aux = match self.kind {
+            PacketKind::ReadBlockReq => self.block_len,
+            PacketKind::ReadResp => self.idx,
+            _ => 0,
+        };
         WirePacket {
             tag: (self.kind.code() << 1) | self.priority.bit(),
-            aux: self.block_len,
+            aux,
+            seq: self.seq,
             words: [self.addr, self.data],
         }
     }
@@ -276,6 +319,12 @@ impl Packet {
                 wire.aux
             } else {
                 1
+            },
+            seq: wire.seq,
+            idx: if kind == PacketKind::ReadResp {
+                wire.aux
+            } else {
+                0
             },
             src,
         })
@@ -297,26 +346,32 @@ impl fmt::Display for Packet {
 }
 
 /// The exact wire image of a packet: two 32-bit payload words (address part
-/// and data part, paper §2.2) plus the framing byte (kind and priority) and
-/// the auxiliary half-word (block length) the hardware carries alongside.
+/// and data part, paper §2.2) plus the framing byte (kind and priority), the
+/// kind-dependent auxiliary half-word (block length of a block request, word
+/// index of a response), and the retry-protocol sequence half-word the
+/// hardware carries alongside.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct WirePacket {
     /// Framing: `[kind:3 | priority:1]` in the low nibble.
     pub tag: u8,
-    /// Block length for block read requests; ignored otherwise.
+    /// Block length for block read requests, word index for responses;
+    /// unused otherwise.
     pub aux: u16,
+    /// Retry-protocol sequence number; `0` when retry is not armed.
+    pub seq: u16,
     /// The address word and the data word.
     pub words: [u32; 2],
 }
 
 /// Byte length of a serialized [`WirePacket`].
-pub const WIRE_PACKET_BYTES: usize = 1 + 2 + 8;
+pub const WIRE_PACKET_BYTES: usize = 1 + 2 + 2 + 8;
 
 impl WirePacket {
     /// Serialize into a byte buffer (big-endian, as a link would frame it).
     pub fn put(&self, buf: &mut impl BufMut) {
         buf.put_u8(self.tag);
         buf.put_u16(self.aux);
+        buf.put_u16(self.seq);
         buf.put_u32(self.words[0]);
         buf.put_u32(self.words[1]);
     }
@@ -331,6 +386,7 @@ impl WirePacket {
         Ok(WirePacket {
             tag: buf.get_u8(),
             aux: buf.get_u16(),
+            seq: buf.get_u16(),
             words: [buf.get_u32(), buf.get_u32()],
         })
     }
@@ -395,6 +451,22 @@ mod tests {
             let back = Packet::from_wire(p.to_wire(), p.src).unwrap();
             assert_eq!(back, p, "wire roundtrip mangled {p}");
         }
+    }
+
+    #[test]
+    fn wire_roundtrip_preserves_seq_and_idx() {
+        let req = Packet::read_req(PeId(3), gaddr(7, 0x10), cont(3, 2, 0)).with_seq(0xBEEF);
+        let back = Packet::from_wire(req.to_wire(), req.src).unwrap();
+        assert_eq!(back.seq, 0xBEEF);
+        assert_eq!(back, req);
+
+        let resp = Packet::read_resp(PeId(7), cont(3, 2, 0), 42)
+            .with_seq(0xBEEF)
+            .with_idx(17);
+        let back = Packet::from_wire(resp.to_wire(), resp.src).unwrap();
+        assert_eq!(back.seq, 0xBEEF);
+        assert_eq!(back.idx, 17);
+        assert_eq!(back, resp);
     }
 
     #[test]

@@ -5,6 +5,10 @@
 //! emx-cli fft     --pes 16 --n 16384 --threads 4 [--comm-only] [--csv]
 //! emx-cli sweep   --workload sort --pes 16 --sizes 512,2048 --threads 1,2,4
 //!                 [--jobs N] [--no-cache] [--csv] [--out results/sweep.csv]
+//! emx-cli faults  --workload sort --pes 16 --sizes 512 --threads 1,2,4
+//!                 --loss 0,1000,10000 [--seed 1] [--dup PPM] [--delay PPM --max-delay N]
+//!                 [--timeout N] [--backoff-cap N] [--max-attempts N] [--check-invariants]
+//!                 [--jobs N] [--no-cache] [--csv] [--out results/faults.csv]
 //! emx-cli nullloop --pes 4 --threads 2 --packets 100
 //! emx-cli latency --pes 16 --readers 4 [--reads 64]
 //! emx-cli asm     <file.s>            # assemble and list a kernel
@@ -16,6 +20,16 @@
 //! output order is deterministic, and simulated points are cached under
 //! `results/cache/`. With `--out FILE.csv` it also writes the CSV plus a
 //! JSON provenance sidecar (see `docs/SWEEPS.md`).
+//!
+//! `faults` runs the fault matrix: the same grid crossed with a list of
+//! packet-loss rates (ppm), each point under a deterministic per-point
+//! seed derived from `--seed`. Workloads complete under loss via the
+//! remote-read retry protocol; a row whose point still fails is omitted
+//! from the CSV and recorded in the sidecar's `failed_runs`. The final
+//! `fault-matrix digest` line is a stable content digest of every report
+//! — rerunning with the same seed must reproduce it byte-for-byte, and
+//! the `--loss 0` rows match a fault-free `sweep` exactly (see
+//! `docs/FAULTS.md`).
 
 use std::process::ExitCode;
 
@@ -249,6 +263,138 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Derive the per-point fault seed: a stable hash of the base seed and
+/// the point's coordinates, so every matrix point draws an independent
+/// fault stream and the whole matrix is reproducible from `--seed` alone.
+fn point_seed(base: u64, per_pe: usize, threads: usize, loss_ppm: u32) -> u64 {
+    emx::stats::digest::fnv1a_64(
+        format!("emx-faults {base} {per_pe} {threads} {loss_ppm}").as_bytes(),
+    )
+}
+
+fn cmd_faults(args: &Args) -> Result<(), String> {
+    let workload = match args.get("workload") {
+        None => Workload::Sort,
+        Some(w) => Workload::parse(w).ok_or(format!("unknown workload {w:?} (sort|fft)"))?,
+    };
+    let pes = args.usize_or("pes", 16)?;
+    let sizes = parse_list("sizes", args.get("sizes").unwrap_or("512"))?;
+    let threads = parse_list("threads", args.get("threads").unwrap_or("1,2,4"))?;
+    let losses = parse_list("loss", args.get("loss").unwrap_or("0,1000,10000"))?;
+    let seed = args.u64_or("seed", 1)?;
+    let dup = args.u64_or("dup", 0)? as u32;
+    let delay = args.u64_or("delay", 0)? as u32;
+    let max_delay = args.u64_or("max-delay", if delay > 0 { 16 } else { 0 })? as u32;
+    let timeout = args.u64_or("timeout", 128)? as u32;
+    let backoff_cap = args.u64_or("backoff-cap", 4096)? as u32;
+    let max_attempts = args.u64_or("max-attempts", 0)? as u32;
+    let check = args.has("check-invariants");
+
+    // Grid order: size-major, then threads, then loss — every loss column
+    // of one (n, h) row is adjacent in the CSV.
+    let mut specs = Vec::new();
+    for &per_pe in &sizes {
+        for &h in &threads {
+            for &loss in &losses {
+                let loss =
+                    u32::try_from(loss).map_err(|_| format!("--loss {loss} out of range"))?;
+                let mut spec = RunSpec::new(workload, pes, per_pe, h);
+                let mut fs = FaultSpec::new(point_seed(seed, per_pe, h, loss));
+                fs.drop_ppm = loss;
+                fs.dup_ppm = dup;
+                fs.delay_ppm = delay;
+                fs.max_delay = max_delay;
+                fs.retry_timeout = timeout;
+                fs.retry_backoff_cap = backoff_cap;
+                fs.max_attempts = max_attempts;
+                fs.check_invariants = check;
+                fs.validate().map_err(|e| e.to_string())?;
+                // A no-op plan is exactly the paper's lossless machine:
+                // leave the fault machinery unarmed so the run (and its
+                // digest and cache entry) is identical to a plain sweep.
+                spec.faults = (!fs.is_noop()).then_some(fs);
+                specs.push(spec);
+            }
+        }
+    }
+
+    let mut engine = SweepEngine::new();
+    if let Some(j) = args.get("jobs") {
+        let j: usize = j
+            .parse()
+            .map_err(|_| format!("--jobs wants a number, got {j:?}"))?;
+        engine = engine.jobs(j);
+    }
+    if args.has("no-cache") {
+        engine = engine.cache(None);
+    }
+    let outcome = engine.run(specs);
+
+    let mut t = Table::new([
+        "n",
+        "h",
+        "loss_ppm",
+        "elapsed (s)",
+        "comm+sync (s)",
+        "dropped",
+        "retries",
+        "stale",
+        "forced_spills",
+    ]);
+    let mut digest = emx::stats::Digest128::new();
+    for pt in &outcome.points {
+        let loss = pt.spec.faults.as_ref().map(|f| f.drop_ppm).unwrap_or(0);
+        let f = pt.report.faults.unwrap_or_default();
+        t.row([
+            pt.spec.n().to_string(),
+            pt.spec.threads.to_string(),
+            loss.to_string(),
+            format!("{:.6e}", pt.report.elapsed_secs()),
+            format!("{:.6e}", pt.report.comm_sync_time_secs()),
+            f.dropped.to_string(),
+            f.retries.to_string(),
+            f.stale_responses.to_string(),
+            f.forced_spills.to_string(),
+        ]);
+        digest.write_str(&emx::stats::digest::report_canonical_text(&pt.report));
+    }
+    if args.has("csv") {
+        print!("{}", t.to_csv());
+    } else {
+        print!("{}", t.render());
+    }
+    println!("fault-matrix digest: {}", digest.hex());
+    for f in &outcome.failed {
+        eprintln!(
+            "emx-cli: point {} FAILED after {} attempts: {}",
+            f.spec.label(),
+            f.attempts,
+            f.error
+        );
+    }
+
+    if let Some(out) = args.get("out") {
+        let path = std::path::Path::new(out);
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            std::fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+        }
+        std::fs::write(path, t.to_csv()).map_err(|e| format!("{out}: {e}"))?;
+        let side = provenance::write_sidecar(
+            path,
+            &format!("faults_{}_p{pes}", workload.name()),
+            &outcome,
+            &[
+                ("source", "emx-cli faults".to_string()),
+                ("seed", seed.to_string()),
+                ("matrix_digest", digest.hex()),
+            ],
+        )
+        .map_err(|e| format!("{out}: {e}"))?;
+        eprintln!("wrote {} and {}", path.display(), side.display());
+    }
+    Ok(())
+}
+
 fn cmd_nullloop(args: &Args) -> Result<(), String> {
     let cfg = machine_cfg(args, 4)?;
     let params = NullLoopParams::new(
@@ -358,7 +504,7 @@ fn cmd_info(args: &Args) -> Result<(), String> {
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = raw.first().cloned() else {
-        eprintln!("usage: emx-cli <sort|fft|sweep|nullloop|latency|asm|info> [options]");
+        eprintln!("usage: emx-cli <sort|fft|sweep|faults|nullloop|latency|asm|info> [options]");
         return ExitCode::from(2);
     };
     let args = Args::parse(&raw[1..]);
@@ -366,6 +512,7 @@ fn main() -> ExitCode {
         "sort" => cmd_sort(&args),
         "fft" => cmd_fft(&args),
         "sweep" => cmd_sweep(&args),
+        "faults" => cmd_faults(&args),
         "nullloop" => cmd_nullloop(&args),
         "latency" => cmd_latency(&args),
         "asm" => cmd_asm(&args),

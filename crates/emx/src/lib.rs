@@ -22,6 +22,7 @@
 //! | [`model`] | the Saavedra-Barrera analytic multithreading model |
 //! | [`stats`] | breakdowns, switch censuses, reporters, stable digests |
 //! | [`sweep`] | parallel deterministic cached sweep engine + provenance |
+//! | [`faults`] | deterministic fault injection, invariant checking |
 //!
 //! ## Quick start
 //!
@@ -44,6 +45,7 @@
 #![warn(missing_docs)]
 
 pub use emx_core as core;
+pub use emx_faults as faults;
 pub use emx_isa as isa;
 pub use emx_model as model;
 pub use emx_net as net;
@@ -56,9 +58,10 @@ pub use emx_workloads as workloads;
 /// The most commonly used items, for glob import.
 pub mod prelude {
     pub use emx_core::{
-        Cycle, GlobalAddr, MachineConfig, NetConfig, NetModelKind, Packet, PacketKind, PeId,
-        Priority, ServiceMode, SimError,
+        Cycle, FaultSpec, GlobalAddr, MachineConfig, NetConfig, NetModelKind, Packet, PacketKind,
+        PeId, Priority, ServiceMode, SimError, PPM_SCALE,
     };
+    pub use emx_faults::{FaultPlan, FaultReport, FaultyNetwork, InvariantChecker};
     pub use emx_isa::{assemble, kernels, Instr, Program, ProgramBuilder, Reg};
     pub use emx_model::{ModelParams, Region};
     pub use emx_net::{build_network, Network};
@@ -67,7 +70,8 @@ pub mod prelude {
         WorkKind,
     };
     pub use emx_stats::{
-        ascii_chart, overlap_efficiency, Breakdown, PeStats, RunReport, Series, SwitchCensus, Table,
+        ascii_chart, overlap_efficiency, Breakdown, FaultSummary, PeStats, RunReport, Series,
+        SwitchCensus, Table,
     };
     pub use emx_sweep::{RunCache, RunSpec, SweepEngine};
     pub use emx_workloads::gen::{dft, keys, signal, KeyDist, Signal};

@@ -36,6 +36,83 @@ pub use torus::TorusNetwork;
 
 use emx_core::{Cycle, NetConfig, NetModelKind, PeId, SimError};
 
+/// How a packet may be treated by a fault-injecting network layer.
+///
+/// The paper's network is lossless; the fault-injection layer relaxes that
+/// only where the runtime has a recovery protocol. Split-phase reads are
+/// covered by sequence-numbered retry with duplicate suppression, so their
+/// packets may be dropped or duplicated; everything else (spawns, writes,
+/// barrier traffic) has no acknowledgement path and is only ever *delayed*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeliveryClass {
+    /// Read requests and responses: drop/duplicate/delay eligible (the
+    /// retry protocol recovers losses, duplicate responses are suppressed).
+    Data,
+    /// Control traffic (spawn, write, barrier): delay-only.
+    Control,
+}
+
+/// The scheduled arrivals of one injected packet: zero (dropped), one, or
+/// two (duplicated) arrival cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Deliveries {
+    times: [Cycle; 2],
+    len: u8,
+}
+
+impl Deliveries {
+    /// The packet was dropped at injection.
+    pub fn none() -> Deliveries {
+        Deliveries {
+            times: [Cycle::ZERO; 2],
+            len: 0,
+        }
+    }
+
+    /// Normal delivery at `t`.
+    pub fn one(t: Cycle) -> Deliveries {
+        Deliveries {
+            times: [t, Cycle::ZERO],
+            len: 1,
+        }
+    }
+
+    /// Duplicated delivery at `a` and `b`.
+    pub fn two(a: Cycle, b: Cycle) -> Deliveries {
+        Deliveries {
+            times: [a, b],
+            len: 2,
+        }
+    }
+
+    /// The scheduled arrival cycles.
+    pub fn as_slice(&self) -> &[Cycle] {
+        &self.times[..usize::from(self.len)]
+    }
+
+    /// Number of scheduled arrivals (0, 1, or 2).
+    pub fn len(&self) -> usize {
+        usize::from(self.len)
+    }
+
+    /// Whether the packet was dropped.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// Counters of the faults a network layer actually injected. Returned by
+/// [`Network::fault_counters`]; `None` for fault-free models.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCounters {
+    /// Packets dropped at injection.
+    pub dropped: u64,
+    /// Packets duplicated at injection (each counts once).
+    pub duplicated: u64,
+    /// Packets whose arrival was artificially delayed.
+    pub delayed: u64,
+}
+
 /// A network model: maps packet injections to arrival times.
 pub trait Network: Send {
     /// A packet leaves `src`'s Output Buffer Unit at `now`; return the cycle
@@ -46,11 +123,32 @@ pub trait Network: Send {
     /// than B (message non-overtaking, paper §2.2).
     fn route(&mut self, now: Cycle, src: PeId, dst: PeId) -> Cycle;
 
+    /// Fault-aware routing: like [`route`](Network::route), but a
+    /// fault-injecting layer may return zero arrivals (packet dropped) or
+    /// two (packet duplicated) for [`DeliveryClass::Data`] traffic. The
+    /// default implementation — every fault-free model — is exactly one
+    /// arrival at the `route` time, so existing models are unaffected.
+    fn route_deliveries(
+        &mut self,
+        now: Cycle,
+        src: PeId,
+        dst: PeId,
+        class: DeliveryClass,
+    ) -> Deliveries {
+        let _ = class;
+        Deliveries::one(self.route(now, src, dst))
+    }
+
     /// The number of hops the route from `src` to `dst` traverses.
     fn hops(&self, src: PeId, dst: PeId) -> u32;
 
     /// Accumulated traffic statistics.
     fn stats(&self) -> &NetStats;
+
+    /// Counters of injected faults; `None` unless this is a fault layer.
+    fn fault_counters(&self) -> Option<FaultCounters> {
+        None
+    }
 
     /// Human-readable model name, for reports.
     fn name(&self) -> &'static str;
@@ -90,5 +188,31 @@ mod tests {
     #[test]
     fn factory_rejects_empty_machine() {
         assert!(build_network(&NetConfig::default(), 0).is_err());
+    }
+
+    #[test]
+    fn default_route_deliveries_matches_route() {
+        // Two identical deterministic networks: one driven through route(),
+        // one through the defaulted route_deliveries(). Must agree exactly.
+        let cfg = NetConfig::default();
+        let mut a = build_network(&cfg, 8).unwrap();
+        let mut b = build_network(&cfg, 8).unwrap();
+        for i in 0..50u64 {
+            let now = Cycle::new(i * 3);
+            let (src, dst) = (PeId((i % 8) as u16), PeId(((i * 5 + 1) % 8) as u16));
+            let t = a.route(now, src, dst);
+            let d = b.route_deliveries(now, src, dst, DeliveryClass::Data);
+            assert_eq!(d.as_slice(), &[t]);
+        }
+        assert_eq!(a.fault_counters(), None);
+    }
+
+    #[test]
+    fn deliveries_hold_zero_one_or_two_arrivals() {
+        assert!(Deliveries::none().is_empty());
+        assert_eq!(Deliveries::one(Cycle::new(5)).as_slice(), &[Cycle::new(5)]);
+        let two = Deliveries::two(Cycle::new(1), Cycle::new(9));
+        assert_eq!(two.len(), 2);
+        assert_eq!(two.as_slice(), &[Cycle::new(1), Cycle::new(9)]);
     }
 }

@@ -105,8 +105,11 @@ impl BypassDma {
                 let depart = fetched.max(self.obu_free) + u64::from(self.obu_forward);
                 self.obu_free = depart;
                 let cont = Continuation::unpack(pkt.data);
+                // Echo the request's retry sequence number so the requester
+                // can match the response against its current attempt.
+                let resp = Packet::read_resp(self.pe, cont, value).with_seq(pkt.seq);
                 Ok(DmaOutcome {
-                    responses: vec![(depart, Packet::read_resp(self.pe, cont, value))],
+                    responses: vec![(depart, resp)],
                     ibu_done: fetched,
                 })
             }
@@ -122,7 +125,13 @@ impl BypassDma {
                     self.serviced_words += 1;
                     let depart = t.max(self.obu_free) + u64::from(self.obu_forward);
                     self.obu_free = depart;
-                    responses.push((depart, Packet::read_resp(self.pe, cont, value)));
+                    // Each word carries its block index (the wire word
+                    // otherwise unused on responses) so a retried block read
+                    // can deposit duplicates idempotently.
+                    let resp = Packet::read_resp(self.pe, cont, value)
+                        .with_seq(pkt.seq)
+                        .with_idx(i as u16);
+                    responses.push((depart, resp));
                 }
                 self.ibu_free = t;
                 Ok(DmaOutcome {
@@ -188,6 +197,25 @@ mod tests {
             Cycle::new(8),
             "second request waits for the first"
         );
+    }
+
+    #[test]
+    fn responses_echo_seq_and_carry_word_index() {
+        let mut dma = BypassDma::new(PeId(0), 4, 1);
+        let mut mem = LocalMemory::new(0, 64);
+        let req = Packet::read_req(PeId(1), ga(0, 0), cont()).with_seq(7);
+        let out = dma.service(Cycle::ZERO, &req, &mut mem).unwrap();
+        assert_eq!(out.responses[0].1.seq, 7);
+        assert_eq!(out.responses[0].1.idx, 0);
+
+        let blk = Packet::read_block_req(PeId(1), ga(0, 0), cont(), 4)
+            .unwrap()
+            .with_seq(9);
+        let out = dma.service(Cycle::ZERO, &blk, &mut mem).unwrap();
+        for (i, (_, p)) in out.responses.iter().enumerate() {
+            assert_eq!(p.seq, 9);
+            assert_eq!(p.idx, i as u16);
+        }
     }
 
     #[test]

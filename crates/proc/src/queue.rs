@@ -28,6 +28,7 @@ pub enum Pushed {
 struct Slot {
     pkt: Packet,
     spilled: bool,
+    seq: u64,
 }
 
 /// Two-priority FIFO with bounded on-chip capacity and unbounded memory
@@ -37,10 +38,26 @@ pub struct PacketQueue {
     high: VecDeque<Slot>,
     low: VecDeque<Slot>,
     on_chip_capacity: usize,
-    /// Lifetime spill count.
+    /// Lifetime spill count across both priorities.
     pub spills: u64,
     /// High-water mark of total queued packets.
     pub max_depth: usize,
+    /// Spills from the high-priority FIFO.
+    pub high_spills: u64,
+    /// Spills from the low-priority FIFO.
+    pub low_spills: u64,
+    /// Spills forced by fault injection despite on-chip room.
+    pub forced_spills: u64,
+    /// High-water mark of the high-priority FIFO.
+    pub max_high_depth: usize,
+    /// High-water mark of the low-priority FIFO.
+    pub max_low_depth: usize,
+    /// Pops observed out of enqueue order within a priority class. The
+    /// VecDeque implementation keeps this at zero by construction; the
+    /// invariant checker asserts it, guarding future refactors.
+    pub fifo_violations: u64,
+    next_seq: u64,
+    last_popped: [u64; 2],
 }
 
 impl PacketQueue {
@@ -52,20 +69,36 @@ impl PacketQueue {
             on_chip_capacity,
             spills: 0,
             max_depth: 0,
+            high_spills: 0,
+            low_spills: 0,
+            forced_spills: 0,
+            max_high_depth: 0,
+            max_low_depth: 0,
+            fifo_violations: 0,
+            next_seq: 0,
+            last_popped: [0; 2],
         }
     }
 
-    /// Enqueue a packet into its priority class.
-    pub fn push(&mut self, pkt: Packet) -> Pushed {
-        let q = match pkt.priority {
+    fn enqueue(&mut self, pkt: Packet, forced: bool) -> Pushed {
+        let prio = pkt.priority;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let q = match prio {
             Priority::High => &mut self.high,
             Priority::Low => &mut self.low,
         };
-        let spilled = q.len() >= self.on_chip_capacity;
-        q.push_back(Slot { pkt, spilled });
+        let spilled = forced || q.len() >= self.on_chip_capacity;
+        q.push_back(Slot { pkt, spilled, seq });
         if spilled {
             self.spills += 1;
+            match prio {
+                Priority::High => self.high_spills += 1,
+                Priority::Low => self.low_spills += 1,
+            }
         }
+        self.max_high_depth = self.max_high_depth.max(self.high.len());
+        self.max_low_depth = self.max_low_depth.max(self.low.len());
         self.max_depth = self.max_depth.max(self.len());
         if spilled {
             Pushed::Spilled
@@ -74,13 +107,31 @@ impl PacketQueue {
         }
     }
 
+    /// Enqueue a packet into its priority class.
+    pub fn push(&mut self, pkt: Packet) -> Pushed {
+        self.enqueue(pkt, false)
+    }
+
+    /// Enqueue a packet forced to the on-memory buffer even if the on-chip
+    /// FIFO has room (fault injection). FIFO order is unaffected.
+    pub fn push_spilled(&mut self, pkt: Packet) -> Pushed {
+        self.forced_spills += 1;
+        self.enqueue(pkt, true)
+    }
+
     /// Dequeue the next packet — high priority first, FIFO within a class.
     /// The boolean reports whether the packet had spilled to memory.
     pub fn pop(&mut self) -> Option<(Packet, bool)> {
-        self.high
-            .pop_front()
-            .or_else(|| self.low.pop_front())
-            .map(|s| (s.pkt, s.spilled))
+        let (slot, class) = match self.high.pop_front() {
+            Some(s) => (s, 0),
+            None => (self.low.pop_front()?, 1),
+        };
+        if slot.seq < self.last_popped[class] {
+            self.fifo_violations += 1;
+        } else {
+            self.last_popped[class] = slot.seq;
+        }
+        Some((slot.pkt, slot.spilled))
     }
 
     /// Packets currently queued across both classes.
@@ -163,6 +214,50 @@ mod tests {
         assert_eq!(q.push(pkt(2, Priority::High)), Pushed::Spilled);
         // Low FIFO still has room.
         assert_eq!(q.push(pkt(3, Priority::Low)), Pushed::OnChip);
+    }
+
+    #[test]
+    fn forced_spill_ignores_on_chip_room() {
+        let mut q = PacketQueue::new(8);
+        assert_eq!(q.push_spilled(wr(0)), Pushed::Spilled);
+        assert_eq!(q.spills, 1);
+        assert_eq!(q.forced_spills, 1);
+        assert_eq!(q.low_spills, 1);
+        let (p, spilled) = q.pop().unwrap();
+        assert_eq!(p.data, 0);
+        assert!(spilled, "forced spill must charge the restore penalty");
+    }
+
+    #[test]
+    fn spills_and_depths_are_tracked_per_priority() {
+        let mut q = PacketQueue::new(2);
+        for i in 0..3 {
+            q.push(pkt(i, Priority::High));
+        }
+        q.push(pkt(9, Priority::Low));
+        assert_eq!(q.high_spills, 1);
+        assert_eq!(q.low_spills, 0);
+        assert_eq!(q.max_high_depth, 3);
+        assert_eq!(q.max_low_depth, 1);
+        assert_eq!(q.max_depth, 4);
+        assert_eq!(q.forced_spills, 0);
+    }
+
+    #[test]
+    fn fifo_violations_stay_zero_under_mixed_traffic() {
+        let mut q = PacketQueue::new(2);
+        for i in 0..20 {
+            if i % 3 == 0 {
+                q.push(pkt(i, Priority::High));
+            } else {
+                q.push(pkt(i, Priority::Low));
+            }
+            if i % 4 == 3 {
+                q.pop();
+            }
+        }
+        while q.pop().is_some() {}
+        assert_eq!(q.fifo_violations, 0);
     }
 
     #[test]

@@ -11,13 +11,14 @@
 //! the EM-X's predecessor.
 
 use emx_core::{
-    Continuation, Cycle, EventQueue, FrameId, GlobalAddr, MachineConfig, Packet, PacketKind, PeId,
-    Priority, ServiceMode, SimError, SlotId,
+    Continuation, Cycle, EventQueue, FaultSpec, FrameId, GlobalAddr, MachineConfig, Packet,
+    PacketKind, PeId, Priority, ServiceMode, SimError, SlotId,
 };
+use emx_faults::{FaultPlan, FaultReport, FaultyNetwork, InvariantChecker, Rng64};
 use emx_isa::{Effect, Program, Reg, ThreadState};
-use emx_net::{build_network, Network};
+use emx_net::{build_network, DeliveryClass, Network};
 use emx_proc::{BypassDma, FrameTable, LocalMemory, PacketQueue};
-use emx_stats::{PeStats, RunReport};
+use emx_stats::{FaultSummary, PeStats, RunReport};
 
 use crate::thread::{Action, BarrierId, ThreadBody, ThreadCtx, WorkKind};
 use crate::trace::{Trace, TraceKind};
@@ -103,6 +104,44 @@ struct Frame {
     arg: u32,
     /// Value delivered by the last read, consumed by the next step.
     inbox: Option<u32>,
+    /// Unique id across frame-slot reuse, so a stale retry timer can never
+    /// act on a later thread that recycled the slot.
+    uid: u64,
+    /// Sequence number of the thread's current split-phase read; stamped on
+    /// requests and matched against responses when the retry protocol is
+    /// armed.
+    cur_seq: u16,
+    /// Retry re-issues of the current read.
+    attempts: u32,
+    /// The in-flight request, kept for idempotent re-issue.
+    pending: Option<Packet>,
+    /// Bitmap of block-read word indices already deposited (duplicate
+    /// suppression under response duplication/retry).
+    seen: Vec<u64>,
+}
+
+impl Frame {
+    /// Mark word `idx` as deposited; returns whether it already was.
+    fn seen_test_and_set(&mut self, idx: u16) -> bool {
+        let (w, b) = (usize::from(idx) / 64, usize::from(idx) % 64);
+        if w >= self.seen.len() {
+            self.seen.resize(w + 1, 0);
+        }
+        let hit = self.seen[w] & (1 << b) != 0;
+        self.seen[w] |= 1 << b;
+        hit
+    }
+}
+
+/// Live fault-injection state: the seeded decision streams for the machine
+/// layers (the network layer draws inside [`FaultyNetwork`]), the recovery
+/// tallies, and the optional invariant checker.
+struct FaultState {
+    spec: FaultSpec,
+    spill_rng: Rng64,
+    dma_rng: Rng64,
+    summary: FaultSummary,
+    checker: Option<InvariantChecker>,
 }
 
 #[derive(Debug, Clone, Copy, Default)]
@@ -123,12 +162,19 @@ struct Pe {
     seq_waiters: Vec<(FrameId, u32, u64)>,
     barriers: Vec<LocalBarrier>,
     stats: PeStats,
+    /// Source of per-frame [`Frame::uid`] values.
+    next_uid: u64,
 }
 
 #[derive(Debug, Clone, Copy)]
 enum Ev {
-    Arrive(PeId, Packet),
+    /// Packet arrival; the flag records whether it travelled the network
+    /// (local scheduler wake-ups and loader spawns did not), which the
+    /// invariant checker's conservation ledger needs.
+    Arrive(PeId, Packet, bool),
     Dispatch(PeId),
+    /// Retry timer for frame `FrameId` (identified by uid) read `seq`.
+    Retry(PeId, FrameId, u64, u16),
 }
 
 /// Cycle charges accumulated during one dispatch, by breakdown class.
@@ -150,6 +196,13 @@ enum Outgoing {
     Net { depart: Cycle, pkt: Packet },
     /// Deliver locally (scheduler bookkeeping) at `at`.
     LocalAt { at: Cycle, pkt: Packet },
+    /// Arm a remote-read retry timer.
+    RetryAt {
+        at: Cycle,
+        fid: FrameId,
+        uid: u64,
+        seq: u16,
+    },
 }
 
 /// The EM-X machine: configuration, processors, network, and event loop.
@@ -170,6 +223,11 @@ pub struct Machine {
     barrier_counts: Vec<usize>,
     trace: Option<Trace>,
     ran: bool,
+    faults: Option<FaultState>,
+    /// Latest meaningful simulated time: advanced by arrivals, dispatches
+    /// and real retry re-issues, but *not* by stale retry timers popping
+    /// after the workload completed — those must not inflate `elapsed`.
+    progress: Cycle,
 }
 
 /// `Machine` must stay [`Send`]: the sweep engine (`emx-sweep`) builds and
@@ -187,20 +245,46 @@ impl Machine {
     /// Build a machine from a validated configuration.
     pub fn new(cfg: MachineConfig) -> Result<Self, SimError> {
         cfg.validate()?;
-        let net = build_network(&cfg.net, cfg.num_pes)?;
+        let mut net = build_network(&cfg.net, cfg.num_pes)?;
+        let faults = cfg.faults.as_ref().map(|spec| {
+            let plan = FaultPlan::new(spec.clone());
+            FaultState {
+                spill_rng: plan.spill_rng(),
+                dma_rng: plan.dma_rng(),
+                summary: FaultSummary::default(),
+                checker: spec.check_invariants.then(InvariantChecker::new),
+                spec: spec.clone(),
+            }
+        });
+        if let Some(spec) = &cfg.faults {
+            if spec.any_net_faults() {
+                net = Box::new(FaultyNetwork::new(net, &FaultPlan::new(spec.clone())));
+            }
+        }
         let pes = (0..cfg.num_pes)
-            .map(|i| Pe {
-                mem: LocalMemory::new(i, cfg.local_memory_words),
-                queue: PacketQueue::new(cfg.ibu_fifo_capacity),
-                frames: FrameTable::new(i, cfg.frames_per_pe),
-                dma: BypassDma::new(PeId(i as u16), cfg.costs.dma_service, cfg.costs.obu_forward),
-                busy_until: Cycle::ZERO,
-                dispatch_scheduled: false,
-                live_threads: 0,
-                seq_cells: Vec::new(),
-                seq_waiters: Vec::new(),
-                barriers: Vec::new(),
-                stats: PeStats::default(),
+            .map(|i| {
+                let frames = match cfg.faults.as_ref().and_then(|s| s.frame_cap_for(i)) {
+                    Some(cap) => (cap as usize).min(cfg.frames_per_pe),
+                    None => cfg.frames_per_pe,
+                };
+                Pe {
+                    mem: LocalMemory::new(i, cfg.local_memory_words),
+                    queue: PacketQueue::new(cfg.ibu_fifo_capacity),
+                    frames: FrameTable::new(i, frames),
+                    dma: BypassDma::new(
+                        PeId(i as u16),
+                        cfg.costs.dma_service,
+                        cfg.costs.obu_forward,
+                    ),
+                    busy_until: Cycle::ZERO,
+                    dispatch_scheduled: false,
+                    live_threads: 0,
+                    seq_cells: Vec::new(),
+                    seq_waiters: Vec::new(),
+                    barriers: Vec::new(),
+                    stats: PeStats::default(),
+                    next_uid: 0,
+                }
             })
             .collect();
         Ok(Machine {
@@ -213,7 +297,18 @@ impl Machine {
             barrier_counts: Vec::new(),
             trace: None,
             ran: false,
+            faults,
+            progress: Cycle::ZERO,
         })
+    }
+
+    /// Whether split-phase reads carry sequence numbers and retry timers:
+    /// only when network faults can actually lose or duplicate packets and
+    /// the retry protocol is switched on.
+    fn retry_armed(&self) -> bool {
+        self.faults
+            .as_ref()
+            .is_some_and(|f| f.spec.any_net_faults() && f.spec.retry_enabled())
     }
 
     /// The machine configuration.
@@ -311,7 +406,7 @@ impl Machine {
             });
         }
         let pkt = Packet::spawn(pe, GlobalAddr::new(pe, entry.0)?, arg);
-        self.events.push(Cycle::ZERO, Ev::Arrive(pe, pkt))
+        self.events.push(Cycle::ZERO, Ev::Arrive(pe, pkt, false))
     }
 
     /// Run to quiescence with a default cycle limit of 2^42 (~61 hours of
@@ -335,9 +430,24 @@ impl Machine {
                     reason: format!("simulation passed the cycle limit {limit}"),
                 });
             }
+            if let Some(ck) = self.faults.as_mut().and_then(|f| f.checker.as_mut()) {
+                ck.observe_event(t).map_err(FaultReport::into_error)?;
+            }
             match ev {
-                Ev::Arrive(pe, pkt) => self.on_arrive(t, pe, pkt)?,
-                Ev::Dispatch(pe) => self.on_dispatch(t, pe)?,
+                Ev::Arrive(pe, pkt, via_net) => {
+                    self.progress = self.progress.max(t);
+                    if via_net {
+                        if let Some(ck) = self.faults.as_mut().and_then(|f| f.checker.as_mut()) {
+                            ck.observe_arrival();
+                        }
+                    }
+                    self.on_arrive(t, pe, pkt)?;
+                }
+                Ev::Dispatch(pe) => {
+                    self.progress = self.progress.max(t);
+                    self.on_dispatch(t, pe)?;
+                }
+                Ev::Retry(pe, fid, uid, seq) => self.on_retry(t, pe, fid, uid, seq)?,
             }
         }
         let suspended: usize = self.pes.iter().map(|p| p.live_threads).sum();
@@ -347,7 +457,80 @@ impl Machine {
                 suspended,
             });
         }
+        if let Some(fs) = &self.faults {
+            if let Some(ck) = &fs.checker {
+                ck.final_check(self.net.fault_counters())
+                    .map_err(FaultReport::into_error)?;
+                let fifo: u64 = self.pes.iter().map(|p| p.queue.fifo_violations).sum();
+                if fifo > 0 {
+                    return Err(FaultReport::new(
+                        "fifo-within-priority",
+                        format!("{fifo} packet(s) popped out of enqueue order"),
+                    )
+                    .into_error());
+                }
+            }
+        }
         Ok(self.report())
+    }
+
+    /// A retry timer fired: if the read it guards is still outstanding,
+    /// re-issue the request idempotently and re-arm with exponential
+    /// backoff. Timers for completed, superseded, or recycled frames are
+    /// ignored without advancing `progress`.
+    fn on_retry(
+        &mut self,
+        t: Cycle,
+        pe_id: PeId,
+        fid: FrameId,
+        uid: u64,
+        seq: u16,
+    ) -> Result<(), SimError> {
+        let Some((timeout, backoff_cap, max_attempts)) = self.faults.as_ref().map(|f| {
+            (
+                f.spec.retry_timeout,
+                f.spec.retry_backoff_cap,
+                f.spec.max_attempts,
+            )
+        }) else {
+            return Ok(());
+        };
+        let pe_idx = pe_id.index();
+        let (pkt, attempts) = {
+            let pe = &mut self.pes[pe_idx];
+            let Some(frame) = pe.frames.get_mut(fid) else {
+                return Ok(());
+            };
+            if frame.uid != uid || frame.cur_seq != seq {
+                return Ok(());
+            }
+            if !matches!(frame.wait, Wait::Value { .. } | Wait::Block { .. }) {
+                return Ok(());
+            }
+            let Some(pkt) = frame.pending else {
+                return Ok(());
+            };
+            frame.attempts += 1;
+            if max_attempts > 0 && frame.attempts > max_attempts {
+                return Err(SimError::RetryExhausted {
+                    pe: pe_idx,
+                    frame: fid.index(),
+                    attempts: frame.attempts - 1,
+                });
+            }
+            pe.stats.packets_sent += 1;
+            (pkt, frame.attempts)
+        };
+        self.progress = self.progress.max(t);
+        if let Some(fs) = self.faults.as_mut() {
+            fs.summary.retries += 1;
+        }
+        let depart = self.pes[pe_idx].dma.obu_depart(t);
+        self.route(depart, pe_id, pkt)?;
+        let shift = attempts.min(16);
+        let delay = (u64::from(timeout) << shift).min(u64::from(backoff_cap.max(timeout)));
+        self.events
+            .push(depart + delay, Ev::Retry(pe_id, fid, uid, seq))
     }
 
     fn report(&self) -> RunReport {
@@ -358,7 +541,7 @@ impl Machine {
             .pes
             .iter()
             .map(|p| p.busy_until)
-            .fold(self.events.now(), Cycle::max);
+            .fold(self.progress, Cycle::max);
         RunReport {
             per_pe: self
                 .pes
@@ -367,6 +550,11 @@ impl Machine {
                     let mut s = p.stats.clone();
                     s.max_queue_depth = p.queue.max_depth;
                     s.ibu_spills = p.queue.spills;
+                    s.high_spills = p.queue.high_spills;
+                    s.low_spills = p.queue.low_spills;
+                    s.forced_spills = p.queue.forced_spills;
+                    s.max_high_depth = p.queue.max_high_depth;
+                    s.max_low_depth = p.queue.max_low_depth;
                     s
                 })
                 .collect(),
@@ -374,14 +562,34 @@ impl Machine {
             clock_hz: self.cfg.clock_hz,
             net_packets: net_stats.packets,
             net_contention: net_stats.contention_wait,
+            faults: self.faults.as_ref().map(|fs| {
+                let c = self.net.fault_counters().unwrap_or_default();
+                FaultSummary {
+                    dropped: c.dropped,
+                    duplicated: c.duplicated,
+                    delayed: c.delayed,
+                    forced_spills: self.pes.iter().map(|p| p.queue.forced_spills).sum(),
+                    dma_stalls: fs.summary.dma_stalls,
+                    retries: fs.summary.retries,
+                    stale_responses: fs.summary.stale_responses,
+                }
+            }),
         }
     }
 
     /// Enqueue `pkt` on `pe`'s packet queue at time `t` and make sure a
     /// dispatch is scheduled.
     fn enqueue(&mut self, t: Cycle, pe_id: PeId, pkt: Packet) -> Result<(), SimError> {
+        let force_spill = match self.faults.as_mut() {
+            Some(fs) => fs.spill_rng.chance_ppm(fs.spec.spill_ppm),
+            None => false,
+        };
         let pe = &mut self.pes[pe_id.index()];
-        pe.queue.push(pkt);
+        if force_spill {
+            pe.queue.push_spilled(pkt);
+        } else {
+            pe.queue.push(pkt);
+        }
         if !pe.dispatch_scheduled {
             let at = t.max(pe.busy_until);
             pe.dispatch_scheduled = true;
@@ -397,6 +605,19 @@ impl Machine {
             // touching the EXU — the EM-X's key feature. In the EM-4
             // ablation they fall through to the packet queue instead.
             PacketKind::ReadReq | PacketKind::ReadBlockReq | PacketKind::Write if bypass => {
+                // An injected DMA stall holds the request at the IBU before
+                // the by-pass path services it.
+                let t = match self.faults.as_mut() {
+                    Some(fs) => {
+                        if fs.dma_rng.chance_ppm(fs.spec.dma_stall_ppm) {
+                            fs.summary.dma_stalls += 1;
+                            t + u64::from(fs.spec.dma_stall_cycles)
+                        } else {
+                            t
+                        }
+                    }
+                    None => t,
+                };
                 let outcome = {
                     let pe = &mut self.pes[pe_id.index()];
                     pe.dma.service(t, &pkt, &mut pe.mem)?
@@ -411,23 +632,41 @@ impl Machine {
             // the queue.
             PacketKind::ReadResp if bypass && pkt.continuation().slot == SLOT_DATA => {
                 let cont = pkt.continuation();
+                let retry_armed = self.retry_armed();
                 let pe = &mut self.pes[pe_id.index()];
                 let is_block = matches!(
                     pe.frames.get(cont.frame).map(|f| f.wait),
                     Some(Wait::Block { .. })
                 );
                 if is_block {
-                    let done = pe.dma.ibu_deposit(t);
-                    let frame = pe.frames.get_mut(cont.frame).expect("checked above");
+                    let frame = pe
+                        .frames
+                        .get_mut(cont.frame)
+                        .ok_or(SimError::FrameOutOfRange {
+                            frame: cont.frame.index(),
+                        })?;
                     let Wait::Block {
                         local_dst,
                         len,
                         received,
                     } = frame.wait
                     else {
-                        unreachable!()
+                        return Err(SimError::Workload {
+                            reason: format!("block deposit for non-block frame {}", cont.frame),
+                        });
                     };
-                    pe.mem.write(local_dst + u32::from(received), pkt.data)?;
+                    // Response matching: a word from a superseded attempt,
+                    // or one already deposited, is discarded at the IBU.
+                    let idx = if retry_armed { pkt.idx } else { received };
+                    if retry_armed && (pkt.seq != frame.cur_seq || frame.seen_test_and_set(idx)) {
+                        if let Some(fs) = self.faults.as_mut() {
+                            fs.summary.stale_responses += 1;
+                        }
+                        return Ok(());
+                    }
+                    let done = pe.dma.ibu_deposit(t);
+                    let cur_seq = frame.cur_seq;
+                    pe.mem.write(local_dst + u32::from(idx), pkt.data)?;
                     let received = received + 1;
                     frame.wait = Wait::Block {
                         local_dst,
@@ -436,6 +675,11 @@ impl Machine {
                     };
                     if received == len {
                         let resume = Packet::read_resp(pe_id, cont, u32::from(len));
+                        let resume = if retry_armed {
+                            resume.with_seq(cur_seq)
+                        } else {
+                            resume
+                        };
                         self.enqueue(done, pe_id, resume)?;
                     }
                     return Ok(());
@@ -460,7 +704,10 @@ impl Machine {
         }
     }
 
-    /// Route a packet from `src` into the network and schedule its arrival.
+    /// Route a packet from `src` into the network and schedule its
+    /// arrival(s). Under fault injection a data-plane packet may arrive
+    /// zero times (dropped — the retry protocol recovers) or twice
+    /// (duplicated — sequence matching suppresses the extra copy).
     fn route(&mut self, depart: Cycle, src: PeId, pkt: Packet) -> Result<(), SimError> {
         let dst = pkt.dst();
         if dst.index() >= self.pes.len() {
@@ -469,8 +716,21 @@ impl Machine {
         if let Some(trace) = &mut self.trace {
             trace.record(depart, src, TraceKind::Send { pkt: pkt.kind, dst });
         }
-        let arrival = self.net.route(depart, src, dst);
-        self.events.push(arrival, Ev::Arrive(dst, pkt))
+        let class = match pkt.kind {
+            PacketKind::ReadReq | PacketKind::ReadBlockReq | PacketKind::ReadResp => {
+                DeliveryClass::Data
+            }
+            _ => DeliveryClass::Control,
+        };
+        let deliveries = self.net.route_deliveries(depart, src, dst, class);
+        if let Some(ck) = self.faults.as_mut().and_then(|f| f.checker.as_mut()) {
+            ck.observe_send(src, dst, deliveries.as_slice())
+                .map_err(FaultReport::into_error)?;
+        }
+        for &arrival in deliveries.as_slice() {
+            self.events.push(arrival, Ev::Arrive(dst, pkt, true))?;
+        }
+        Ok(())
     }
 
     fn on_dispatch(&mut self, t: Cycle, pe_id: PeId) -> Result<(), SimError> {
@@ -517,11 +777,17 @@ impl Machine {
                 let fid = {
                     let pe = &mut self.pes[pe_idx];
                     pe.live_threads += 1;
+                    pe.next_uid += 1;
                     let fid = pe.frames.alloc(Frame {
                         thread,
                         wait: Wait::Ready,
                         arg,
                         inbox: None,
+                        uid: pe.next_uid,
+                        cur_seq: 0,
+                        attempts: 0,
+                        pending: None,
+                        seen: Vec::new(),
                     })?;
                     // ISA threads address their operand segment through fp.
                     if let Some(Frame {
@@ -544,68 +810,92 @@ impl Machine {
                         // intercepted by the IBU; the EXU deposits each one
                         // (consuming cycles) and the thread resumes only
                         // after the last.
+                        //
+                        // With the retry protocol armed, a response whose
+                        // sequence number does not match the frame's current
+                        // read — or that lands on a dead, recycled, or
+                        // already-resumed frame — is a late duplicate of a
+                        // retried request and is discarded silently.
+                        let retry_armed = self.retry_armed();
                         let mut resume = true;
+                        let mut stale = false;
                         {
                             let pe = &mut self.pes[pe_idx];
-                            let frame =
-                                pe.frames.get_mut(fid).ok_or_else(|| SimError::Workload {
-                                    reason: format!("response for dead frame {fid} on {pe_id}"),
-                                })?;
-                            match frame.wait {
-                                Wait::Value { isa_dst } => {
-                                    frame.inbox = Some(pkt.data);
-                                    if let (Some(reg), ThreadKind::Isa { state, .. }) =
-                                        (isa_dst, &mut frame.thread)
-                                    {
-                                        state.set(reg, pkt.data);
-                                    }
-                                }
-                                Wait::Block { len, received, .. } if received == len => {
-                                    frame.inbox = Some(u32::from(len));
-                                }
-                                Wait::Block {
-                                    local_dst,
-                                    len,
-                                    received,
-                                } => {
-                                    debug_assert_eq!(
-                                        self.cfg.service_mode,
-                                        ServiceMode::ExuThread,
-                                        "partial block deposits reach the EXU only in EM-4 mode"
-                                    );
-                                    now += u64::from(costs.dma_service);
-                                    ch.overhead += u64::from(costs.dma_service);
-                                    pe.mem.write(local_dst + u32::from(received), pkt.data)?;
-                                    let received = received + 1;
-                                    if received == len {
-                                        frame.inbox = Some(u32::from(len));
-                                        frame.wait = Wait::Block {
-                                            local_dst,
-                                            len,
-                                            received,
-                                        };
-                                    } else {
-                                        frame.wait = Wait::Block {
-                                            local_dst,
-                                            len,
-                                            received,
-                                        };
-                                        resume = false;
-                                    }
-                                }
-                                other => {
+                            match pe.frames.get_mut(fid) {
+                                None if retry_armed => stale = true,
+                                None => {
                                     return Err(SimError::Workload {
-                                        reason: format!(
-                                            "data response for frame {fid} in state {other:?}"
-                                        ),
+                                        reason: format!("response for dead frame {fid} on {pe_id}"),
                                     })
                                 }
-                            }
-                            if resume {
-                                frame.wait = Wait::Ready;
+                                Some(frame) if retry_armed && pkt.seq != frame.cur_seq => {
+                                    stale = true;
+                                }
+                                Some(frame) => {
+                                    match frame.wait {
+                                        Wait::Value { isa_dst } => {
+                                            frame.inbox = Some(pkt.data);
+                                            if let (Some(reg), ThreadKind::Isa { state, .. }) =
+                                                (isa_dst, &mut frame.thread)
+                                            {
+                                                state.set(reg, pkt.data);
+                                            }
+                                        }
+                                        Wait::Block { len, received, .. } if received == len => {
+                                            frame.inbox = Some(u32::from(len));
+                                        }
+                                        Wait::Block {
+                                            local_dst,
+                                            len,
+                                            received,
+                                        } => {
+                                            debug_assert_eq!(
+                                                self.cfg.service_mode,
+                                                ServiceMode::ExuThread,
+                                                "partial block deposits reach the EXU only in EM-4 mode"
+                                            );
+                                            let idx = if retry_armed { pkt.idx } else { received };
+                                            if retry_armed && frame.seen_test_and_set(idx) {
+                                                stale = true;
+                                            } else {
+                                                now += u64::from(costs.dma_service);
+                                                ch.overhead += u64::from(costs.dma_service);
+                                                pe.mem
+                                                    .write(local_dst + u32::from(idx), pkt.data)?;
+                                                let received = received + 1;
+                                                frame.wait = Wait::Block {
+                                                    local_dst,
+                                                    len,
+                                                    received,
+                                                };
+                                                if received == len {
+                                                    frame.inbox = Some(u32::from(len));
+                                                } else {
+                                                    resume = false;
+                                                }
+                                            }
+                                        }
+                                        _ if retry_armed => stale = true,
+                                        other => {
+                                            return Err(SimError::Workload {
+                                                reason: format!(
+                                                "data response for frame {fid} in state {other:?}"
+                                            ),
+                                            })
+                                        }
+                                    }
+                                    if resume && !stale {
+                                        frame.wait = Wait::Ready;
+                                        frame.pending = None;
+                                    }
+                                }
                             }
                         }
-                        if resume {
+                        if stale {
+                            if let Some(fs) = self.faults.as_mut() {
+                                fs.summary.stale_responses += 1;
+                            }
+                        } else if resume {
                             now += u64::from(costs.context_switch);
                             ch.switch += u64::from(costs.context_switch);
                             self.run_burst(pe_idx, fid, &mut now, &mut ch, &mut out)?;
@@ -630,7 +920,7 @@ impl Machine {
                             self.pes[pe_idx]
                                 .frames
                                 .get_mut(fid)
-                                .expect("frame checked above")
+                                .ok_or(SimError::FrameOutOfRange { frame: fid.index() })?
                                 .wait = Wait::Ready;
                             self.run_burst(pe_idx, fid, &mut now, &mut ch, &mut out)?;
                         } else {
@@ -672,7 +962,7 @@ impl Machine {
                             self.pes[pe_idx]
                                 .frames
                                 .get_mut(fid)
-                                .expect("frame checked above")
+                                .ok_or(SimError::FrameOutOfRange { frame: fid.index() })?
                                 .wait = Wait::Ready;
                             self.run_burst(pe_idx, fid, &mut now, &mut ch, &mut out)?;
                         } else {
@@ -683,7 +973,10 @@ impl Machine {
                             ch.switch += 2;
                             let pe = &mut self.pes[pe_idx];
                             pe.stats.switches.thread_sync += 1;
-                            let frame = pe.frames.get(fid).expect("frame checked above");
+                            let frame = pe
+                                .frames
+                                .get(fid)
+                                .ok_or(SimError::FrameOutOfRange { frame: fid.index() })?;
                             if let Wait::Seq { cell, threshold } = frame.wait {
                                 pe.seq_waiters.push((fid, cell, threshold));
                             }
@@ -728,6 +1021,8 @@ impl Machine {
                             data: 0,
                             block_len: 1,
                             src: pe_id,
+                            seq: 0,
+                            idx: 0,
                         };
                         out.push(Outgoing::Net { depart, pkt: rel });
                         self.pes[pe_idx].stats.packets_sent += 1;
@@ -760,7 +1055,12 @@ impl Machine {
         for o in out {
             match o {
                 Outgoing::Net { depart, pkt } => self.route(depart, pe_id, pkt)?,
-                Outgoing::LocalAt { at, pkt } => self.events.push(at, Ev::Arrive(pe_id, pkt))?,
+                Outgoing::LocalAt { at, pkt } => {
+                    self.events.push(at, Ev::Arrive(pe_id, pkt, false))?
+                }
+                Outgoing::RetryAt { at, fid, uid, seq } => {
+                    self.events.push(at, Ev::Retry(pe_id, fid, uid, seq))?
+                }
             }
         }
         let pe = &mut self.pes[pe_idx];
@@ -795,7 +1095,8 @@ impl Machine {
                 let ga = pkt.global_addr();
                 let value = pe.mem.read(ga.offset)?;
                 let depart = pe.dma.obu_depart(*now);
-                let resp = Packet::read_resp(PeId(pe_idx as u16), pkt.continuation(), value);
+                let resp = Packet::read_resp(PeId(pe_idx as u16), pkt.continuation(), value)
+                    .with_seq(pkt.seq);
                 pe.stats.packets_sent += 1;
                 out.push(Outgoing::Net { depart, pkt: resp });
             }
@@ -806,7 +1107,9 @@ impl Machine {
                     ch.overhead += u64::from(costs.dma_service);
                     let value = pe.mem.read(ga.offset + i)?;
                     let depart = pe.dma.obu_depart(*now);
-                    let resp = Packet::read_resp(PeId(pe_idx as u16), pkt.continuation(), value);
+                    let resp = Packet::read_resp(PeId(pe_idx as u16), pkt.continuation(), value)
+                        .with_seq(pkt.seq)
+                        .with_idx(i as u16);
                     pe.stats.packets_sent += 1;
                     out.push(Outgoing::Net { depart, pkt: resp });
                 }
@@ -847,6 +1150,12 @@ impl Machine {
         let costs = self.cfg.costs;
         let npes = self.cfg.num_pes as u32;
         let pe_id = PeId(pe_idx as u16);
+        // Base retry timeout, when the protocol is armed for this run.
+        let retry_timeout = if self.retry_armed() {
+            self.faults.as_ref().map(|f| f.spec.retry_timeout)
+        } else {
+            None
+        };
         let barrier_defs = &self.barrier_defs;
         let entries = &self.entries;
         let pe = &mut self.pes[pe_idx];
@@ -1021,17 +1330,30 @@ impl Machine {
                         *now += u64::from(costs.send_packet);
                         ch.overhead += u64::from(costs.send_packet);
                     }
-                    let frame = pe.frames.get_mut(fid).expect("frame live in burst");
+                    let frame = pe
+                        .frames
+                        .get_mut(fid)
+                        .ok_or(SimError::FrameOutOfRange { frame: fid.index() })?;
                     frame.wait = Wait::Value { isa_dst };
                     let cont = Continuation::new(pe_id, fid, SLOT_DATA)?;
                     let depart = pe.dma.obu_depart(*now);
                     pe.stats.packets_sent += 1;
                     pe.stats.reads_issued += 1;
                     pe.stats.switches.remote_read += 1;
-                    out.push(Outgoing::Net {
-                        depart,
-                        pkt: Packet::read_req(pe_id, addr, cont),
-                    });
+                    let mut req = Packet::read_req(pe_id, addr, cont);
+                    if let Some(timeout) = retry_timeout {
+                        frame.cur_seq = frame.cur_seq.wrapping_add(1);
+                        frame.attempts = 0;
+                        req = req.with_seq(frame.cur_seq);
+                        frame.pending = Some(req);
+                        out.push(Outgoing::RetryAt {
+                            at: depart + u64::from(timeout),
+                            fid,
+                            uid: frame.uid,
+                            seq: frame.cur_seq,
+                        });
+                    }
+                    out.push(Outgoing::Net { depart, pkt: req });
                     *now += u64::from(costs.context_switch);
                     ch.switch += u64::from(costs.context_switch);
                     return Ok(());
@@ -1045,7 +1367,10 @@ impl Machine {
                         *now += u64::from(costs.send_packet);
                         ch.overhead += u64::from(costs.send_packet);
                     }
-                    let frame = pe.frames.get_mut(fid).expect("frame live in burst");
+                    let frame = pe
+                        .frames
+                        .get_mut(fid)
+                        .ok_or(SimError::FrameOutOfRange { frame: fid.index() })?;
                     frame.wait = Wait::Block {
                         local_dst,
                         len,
@@ -1056,10 +1381,21 @@ impl Machine {
                     pe.stats.packets_sent += 1;
                     pe.stats.reads_issued += u64::from(len);
                     pe.stats.switches.remote_read += 1;
-                    out.push(Outgoing::Net {
-                        depart,
-                        pkt: Packet::read_block_req(pe_id, addr, cont, len)?,
-                    });
+                    let mut req = Packet::read_block_req(pe_id, addr, cont, len)?;
+                    if let Some(timeout) = retry_timeout {
+                        frame.cur_seq = frame.cur_seq.wrapping_add(1);
+                        frame.attempts = 0;
+                        frame.seen.clear();
+                        req = req.with_seq(frame.cur_seq);
+                        frame.pending = Some(req);
+                        out.push(Outgoing::RetryAt {
+                            at: depart + u64::from(timeout),
+                            fid,
+                            uid: frame.uid,
+                            seq: frame.cur_seq,
+                        });
+                    }
+                    out.push(Outgoing::Net { depart, pkt: req });
                     *now += u64::from(costs.context_switch);
                     ch.switch += u64::from(costs.context_switch);
                     return Ok(());
@@ -1090,13 +1426,18 @@ impl Machine {
                             data: u32::from(pe_id.0),
                             block_len: 1,
                             src: pe_id,
+                            seq: 0,
+                            idx: 0,
                         };
                         out.push(Outgoing::Net {
                             depart,
                             pkt: arrive_pkt,
                         });
                     }
-                    let frame = pe.frames.get_mut(fid).expect("frame live in burst");
+                    let frame = pe
+                        .frames
+                        .get_mut(fid)
+                        .ok_or(SimError::FrameOutOfRange { frame: fid.index() })?;
                     frame.wait = Wait::Barrier { id: id.0, target };
                     // First check counts as an iteration-sync switch, then
                     // the thread polls on the configured interval.
@@ -1124,7 +1465,10 @@ impl Machine {
                         // this is the fast path a well-ordered merge takes.
                         continue;
                     }
-                    let frame = pe.frames.get_mut(fid).expect("frame live in burst");
+                    let frame = pe
+                        .frames
+                        .get_mut(fid)
+                        .ok_or(SimError::FrameOutOfRange { frame: fid.index() })?;
                     frame.wait = Wait::Seq { cell, threshold };
                     pe.seq_waiters.push((fid, cell, threshold));
                     pe.stats.switches.thread_sync += 1;
@@ -1133,7 +1477,10 @@ impl Machine {
                     return Ok(());
                 }
                 Action::Yield => {
-                    let frame = pe.frames.get_mut(fid).expect("frame live in burst");
+                    let frame = pe
+                        .frames
+                        .get_mut(fid)
+                        .ok_or(SimError::FrameOutOfRange { frame: fid.index() })?;
                     frame.wait = Wait::Yielded;
                     let cont = Continuation::new(pe_id, fid, SLOT_YIELD)?;
                     out.push(Outgoing::LocalAt {

@@ -1,0 +1,297 @@
+//! Integration tests of the fault-injection layer at the machine level:
+//! the identity law (a no-op plan changes nothing), retry-driven recovery
+//! under packet loss, frame-table exhaustion, forced spills, and the
+//! runtime invariant checker.
+
+use emx_core::{FaultSpec, GlobalAddr, MachineConfig, NetModelKind, PeId, SimError};
+use emx_runtime::{Action, Machine, ThreadBody, ThreadCtx, WorkKind};
+use emx_stats::RunReport;
+
+fn ga(pe: u16, off: u32) -> GlobalAddr {
+    GlobalAddr::new(PeId(pe), off).unwrap()
+}
+
+/// A thread that performs a scripted sequence of actions.
+struct Scripted {
+    actions: Vec<Action>,
+    at: usize,
+}
+
+impl Scripted {
+    fn new(actions: Vec<Action>) -> Self {
+        Scripted { actions, at: 0 }
+    }
+}
+
+impl ThreadBody for Scripted {
+    fn step(&mut self, _ctx: &mut ThreadCtx<'_>) -> Action {
+        let a = self.actions.get(self.at).copied().unwrap_or(Action::End);
+        self.at += 1;
+        a
+    }
+}
+
+/// Cross-read workload: every PE reads `reads` words from the next PE,
+/// interleaving a little compute, so the network carries request and
+/// response traffic in both directions.
+fn run_cross_reads(cfg: MachineConfig, reads: u32) -> Result<RunReport, SimError> {
+    let pes = cfg.num_pes;
+    let mut m = Machine::new(cfg)?;
+    for p in 0..pes {
+        for off in 0..reads {
+            m.mem_mut(PeId(p as u16)).unwrap().write(off, 100 + off)?;
+        }
+    }
+    let entry = m.register_entry("cross-reader", move |pe, _| {
+        let target = ((pe.index() + 1) % pes) as u16;
+        let mut actions = Vec::new();
+        for off in 0..reads {
+            actions.push(Action::Read {
+                addr: ga(target, off),
+            });
+            actions.push(Action::Work {
+                cycles: 2,
+                kind: WorkKind::Compute,
+            });
+        }
+        Box::new(Scripted::new(actions))
+    });
+    for p in 0..pes {
+        m.spawn_at_start(PeId(p as u16), entry, 0)?;
+    }
+    m.run()
+}
+
+#[test]
+fn noop_fault_spec_changes_nothing_but_the_summary() {
+    let mut plain = MachineConfig::with_pes(4);
+    plain.local_memory_words = 1 << 12;
+    let mut armed = plain.clone();
+    armed.faults = Some(FaultSpec::new(99));
+
+    let base = run_cross_reads(plain, 8).unwrap();
+    let faulty = run_cross_reads(armed, 8).unwrap();
+
+    assert_eq!(base.faults, None);
+    let summary = faulty.faults.expect("armed run reports a fault summary");
+    assert_eq!(summary, Default::default(), "no-op plan injects nothing");
+    let mut faulty = faulty;
+    faulty.faults = None;
+    assert_eq!(base, faulty, "identical modulo the summary field");
+}
+
+#[test]
+fn reads_complete_under_loss_via_retry() {
+    let mut cfg = MachineConfig::with_pes(4);
+    cfg.local_memory_words = 1 << 12;
+    // 20% data-plane loss: without the retry protocol this deadlocks
+    // almost immediately.
+    cfg.faults = Some(FaultSpec::with_loss(7, 200_000));
+    let report = run_cross_reads(cfg, 16).unwrap();
+    let f = report.faults.unwrap();
+    assert!(f.dropped > 0, "20% loss must drop something: {f:?}");
+    assert!(f.retries >= f.dropped, "every drop is covered by a retry");
+    assert_eq!(report.total_reads(), 4 * 16);
+}
+
+#[test]
+fn loss_without_retry_deadlocks() {
+    let mut cfg = MachineConfig::with_pes(4);
+    cfg.local_memory_words = 1 << 12;
+    let mut fs = FaultSpec::with_loss(7, 200_000);
+    fs.retry_timeout = 0; // the real machine: a lost response hangs the thread
+    cfg.faults = Some(fs);
+    match run_cross_reads(cfg, 16) {
+        Err(SimError::Deadlock { .. }) => {}
+        other => panic!("expected a deadlock, got {other:?}"),
+    }
+}
+
+#[test]
+fn retry_exhaustion_is_reported_per_frame() {
+    let mut cfg = MachineConfig::with_pes(4);
+    cfg.local_memory_words = 1 << 12;
+    let mut fs = FaultSpec::with_loss(11, 600_000);
+    fs.max_attempts = 1;
+    cfg.faults = Some(fs);
+    match run_cross_reads(cfg, 16) {
+        Err(SimError::RetryExhausted { attempts, .. }) => assert_eq!(attempts, 1),
+        other => panic!("expected retry exhaustion, got {other:?}"),
+    }
+}
+
+#[test]
+fn block_reads_recover_from_loss_and_duplication() {
+    let mut cfg = MachineConfig::with_pes(2);
+    cfg.local_memory_words = 1 << 12;
+    let mut fs = FaultSpec::with_loss(13, 150_000);
+    fs.dup_ppm = 150_000;
+    cfg.faults = Some(fs);
+    let mut m = Machine::new(cfg).unwrap();
+    for off in 0..32 {
+        m.mem_mut(PeId(1)).unwrap().write(off, 1000 + off).unwrap();
+    }
+    let entry = m.register_entry("block-reader", |_, _| {
+        Box::new(Scripted::new(vec![Action::ReadBlock {
+            addr: ga(1, 0),
+            len: 32,
+            local_dst: 256,
+        }]))
+    });
+    m.spawn_at_start(PeId(0), entry, 0).unwrap();
+    let report = m.run().unwrap();
+    let f = report.faults.unwrap();
+    assert!(
+        f.dropped + f.duplicated > 0,
+        "the faulty network must have interfered: {f:?}"
+    );
+    for off in 0..32 {
+        assert_eq!(
+            m.mem_mut(PeId(0)).unwrap().read(256 + off).unwrap(),
+            1000 + off,
+            "word {off} deposited exactly once at the right place"
+        );
+    }
+}
+
+#[test]
+fn frame_cap_surfaces_out_of_frames() {
+    let mut cfg = MachineConfig::with_pes(2);
+    cfg.local_memory_words = 1 << 12;
+    let mut fs = FaultSpec::new(0);
+    fs.frame_cap = Some(1);
+    fs.frame_cap_pes = vec![0];
+    cfg.faults = Some(fs);
+    let mut m = Machine::new(cfg).unwrap();
+    let entry = m.register_entry("reader", |_, _| {
+        Box::new(Scripted::new(vec![Action::Read { addr: ga(1, 0) }]))
+    });
+    // Two concurrent threads on the capped PE: the first suspends on its
+    // read holding the only frame, so dispatching the second must fail.
+    m.spawn_at_start(PeId(0), entry, 0).unwrap();
+    m.spawn_at_start(PeId(0), entry, 0).unwrap();
+    match m.run() {
+        Err(SimError::OutOfFrames { pe }) => assert_eq!(pe, 0),
+        other => panic!("expected frame exhaustion, got {other:?}"),
+    }
+}
+
+#[test]
+fn forced_spills_are_counted_in_summary_and_per_pe() {
+    let mut cfg = MachineConfig::with_pes(4);
+    cfg.local_memory_words = 1 << 12;
+    let mut fs = FaultSpec::new(5);
+    fs.spill_ppm = 1_000_000; // every enqueue spills
+    cfg.faults = Some(fs);
+    let report = run_cross_reads(cfg, 8).unwrap();
+    let f = report.faults.unwrap();
+    assert!(f.forced_spills > 0);
+    let per_pe: u64 = report.per_pe.iter().map(|p| p.forced_spills).sum();
+    assert_eq!(f.forced_spills, per_pe);
+    let total_spills: u64 = report.per_pe.iter().map(|p| p.ibu_spills).sum();
+    assert!(
+        total_spills >= per_pe,
+        "forced spills are part of the overall spill count"
+    );
+}
+
+#[test]
+fn invariant_checker_passes_clean_and_faulty_runs() {
+    for (loss, dup, delay) in [(0, 0, 0), (100_000, 50_000, 100_000)] {
+        let mut cfg = MachineConfig::with_pes(4);
+        cfg.local_memory_words = 1 << 12;
+        let mut fs = FaultSpec::with_loss(21, loss);
+        fs.dup_ppm = dup;
+        fs.delay_ppm = delay;
+        fs.max_delay = if delay > 0 { 32 } else { 0 };
+        fs.check_invariants = true;
+        cfg.faults = Some(fs);
+        run_cross_reads(cfg, 8).unwrap_or_else(|e| {
+            panic!("checker rejected a legal run (loss={loss} dup={dup} delay={delay}): {e}")
+        });
+    }
+}
+
+#[test]
+fn dma_stalls_slow_the_run_and_are_counted() {
+    let mut base = MachineConfig::with_pes(2);
+    base.local_memory_words = 1 << 12;
+    let clean = run_cross_reads(base.clone(), 8).unwrap();
+
+    let mut fs = FaultSpec::new(3);
+    fs.dma_stall_ppm = 1_000_000;
+    fs.dma_stall_cycles = 50;
+    base.faults = Some(fs);
+    let stalled = run_cross_reads(base, 8).unwrap();
+    let f = stalled.faults.unwrap();
+    assert!(f.dma_stalls > 0);
+    assert!(
+        stalled.elapsed > clean.elapsed,
+        "stalling every DMA service must lengthen the run ({} vs {})",
+        stalled.elapsed.get(),
+        clean.elapsed.get()
+    );
+}
+
+#[test]
+fn same_seed_same_report_different_seed_different_faults() {
+    let mk = |seed| {
+        let mut cfg = MachineConfig::with_pes(4);
+        cfg.local_memory_words = 1 << 12;
+        let mut fs = FaultSpec::with_loss(seed, 100_000);
+        fs.dup_ppm = 50_000;
+        cfg.faults = Some(fs);
+        run_cross_reads(cfg, 16).unwrap()
+    };
+    let a = mk(42);
+    let b = mk(42);
+    assert_eq!(a, b, "same seed, same everything");
+    let c = mk(43);
+    assert_ne!(
+        a.faults, c.faults,
+        "a different seed draws a different fault stream"
+    );
+}
+
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The retry protocol converges for any loss rate below certainty,
+        /// on any topology: the run completes (no deadlock) and reports
+        /// every read delivered.
+        #[test]
+        fn retry_converges_for_any_loss(
+            seed in 0u64..1_000_000,
+            loss_ppm in 1u32..800_000,
+            ideal in proptest::bool::ANY,
+        ) {
+            let mut cfg = MachineConfig::with_pes(4);
+            cfg.local_memory_words = 1 << 12;
+            if ideal {
+                cfg.net.model = NetModelKind::Ideal { latency: 5 };
+            }
+            cfg.faults = Some(FaultSpec::with_loss(seed, loss_ppm));
+            let report = run_cross_reads(cfg, 8).unwrap();
+            prop_assert_eq!(report.total_reads(), 4 * 8);
+            let f = report.faults.unwrap();
+            prop_assert!(f.retries >= f.dropped);
+        }
+
+        /// A no-op plan is invisible at the report level for any seed.
+        #[test]
+        fn noop_plan_is_invisible_for_any_seed(seed in proptest::num::u64::ANY) {
+            let mut plain = MachineConfig::with_pes(2);
+            plain.local_memory_words = 1 << 12;
+            let mut armed = plain.clone();
+            armed.faults = Some(FaultSpec::new(seed));
+            let base = run_cross_reads(plain, 4).unwrap();
+            let mut faulty = run_cross_reads(armed, 4).unwrap();
+            prop_assert_eq!(faulty.faults.take(), Some(Default::default()));
+            prop_assert_eq!(base, faulty);
+        }
+    }
+}

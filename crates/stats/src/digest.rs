@@ -89,8 +89,8 @@ pub fn digest_hex(s: &str) -> String {
 /// collide across format revisions. This is the byte stream behind
 /// [`report_digest`], and the run cache stores exactly these lines.
 pub fn report_canonical_text(r: &RunReport) -> String {
-    let mut out = String::with_capacity(64 + 96 * r.per_pe.len());
-    out.push_str("emx-report v1\n");
+    let mut out = String::with_capacity(64 + 128 * r.per_pe.len());
+    out.push_str("emx-report v2\n");
     out.push_str(&format!(
         "elapsed={} clock_hz={} net_packets={} net_contention={}\n",
         r.elapsed.get(),
@@ -98,9 +98,22 @@ pub fn report_canonical_text(r: &RunReport) -> String {
         r.net_packets,
         r.net_contention.get()
     ));
+    if let Some(f) = &r.faults {
+        out.push_str(&format!(
+            "faults dropped={} duplicated={} delayed={} forced_spills={} dma_stalls={} \
+             retries={} stale_responses={}\n",
+            f.dropped,
+            f.duplicated,
+            f.delayed,
+            f.forced_spills,
+            f.dma_stalls,
+            f.retries,
+            f.stale_responses
+        ));
+    }
     for p in &r.per_pe {
         out.push_str(&format!(
-            "pe {} {} {} {} {} {} {} {} {} {} {} {}\n",
+            "pe {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {}\n",
             p.breakdown.compute.get(),
             p.breakdown.overhead.get(),
             p.breakdown.comm.get(),
@@ -112,7 +125,12 @@ pub fn report_canonical_text(r: &RunReport) -> String {
             p.reads_issued,
             p.dispatches,
             p.max_queue_depth,
-            p.ibu_spills
+            p.ibu_spills,
+            p.high_spills,
+            p.low_spills,
+            p.forced_spills,
+            p.max_high_depth,
+            p.max_low_depth
         ));
     }
     out
@@ -158,5 +176,40 @@ mod tests {
         assert_eq!(d0, report_digest(&r.clone()));
         r.per_pe[1].reads_issued = 1;
         assert_ne!(d0, report_digest(&r));
+    }
+
+    #[test]
+    fn canonical_covers_queue_pressure_fields() {
+        let base = RunReport {
+            per_pe: vec![PeStats::default()],
+            ..RunReport::default()
+        };
+        let c0 = report_canonical_text(&base);
+        for mutate in [
+            |p: &mut PeStats| p.high_spills = 1,
+            |p: &mut PeStats| p.low_spills = 1,
+            |p: &mut PeStats| p.forced_spills = 1,
+            |p: &mut PeStats| p.max_high_depth = 1,
+            |p: &mut PeStats| p.max_low_depth = 1,
+        ] {
+            let mut r = base.clone();
+            mutate(&mut r.per_pe[0]);
+            assert_ne!(c0, report_canonical_text(&r));
+        }
+    }
+
+    #[test]
+    fn faults_line_present_only_when_armed() {
+        use crate::report::FaultSummary;
+        let mut r = RunReport::default();
+        assert!(!report_canonical_text(&r).contains("faults "));
+        r.faults = Some(FaultSummary::default());
+        let armed = report_canonical_text(&r);
+        assert!(armed.contains("faults dropped=0"));
+        r.faults = Some(FaultSummary {
+            retries: 3,
+            ..FaultSummary::default()
+        });
+        assert_ne!(armed, report_canonical_text(&r));
     }
 }

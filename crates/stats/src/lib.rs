@@ -31,5 +31,5 @@ pub use breakdown::Breakdown;
 pub use census::SwitchCensus;
 pub use chart::{ascii_chart, bar, Series};
 pub use digest::{report_digest, Digest128};
-pub use report::{overlap_efficiency, PeStats, RunReport};
+pub use report::{overlap_efficiency, FaultSummary, PeStats, RunReport};
 pub use table::Table;

@@ -25,6 +25,38 @@ pub struct PeStats {
     pub max_queue_depth: usize,
     /// Packets that overflowed the on-chip IBU FIFO into the memory buffer.
     pub ibu_spills: u64,
+    /// Spills from the high-priority FIFO alone.
+    pub high_spills: u64,
+    /// Spills from the low-priority FIFO alone.
+    pub low_spills: u64,
+    /// Spills forced by fault injection despite on-chip room (also counted
+    /// in the per-priority and total spill figures).
+    pub forced_spills: u64,
+    /// High-water mark of the high-priority FIFO.
+    pub max_high_depth: usize,
+    /// High-water mark of the low-priority FIFO.
+    pub max_low_depth: usize,
+}
+
+/// Machine-wide tallies of injected faults and the recovery work they
+/// caused. `None` in a [`RunReport`] means the run had no fault machinery
+/// armed at all (the paper's lossless machine).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultSummary {
+    /// Data-plane packets dropped at network injection.
+    pub dropped: u64,
+    /// Data-plane packets duplicated at network injection.
+    pub duplicated: u64,
+    /// Packets whose arrival was artificially delayed.
+    pub delayed: u64,
+    /// Queue pushes forced to the on-memory buffer by fault injection.
+    pub forced_spills: u64,
+    /// By-pass DMA services stalled by fault injection.
+    pub dma_stalls: u64,
+    /// Remote reads re-issued by the retry protocol.
+    pub retries: u64,
+    /// Responses discarded as stale or duplicate by sequence matching.
+    pub stale_responses: u64,
 }
 
 /// The result of one simulated run.
@@ -40,6 +72,8 @@ pub struct RunReport {
     pub net_packets: u64,
     /// Total cycles packets waited on busy network ports.
     pub net_contention: Cycle,
+    /// Fault-injection tallies; `None` when no fault machinery was armed.
+    pub faults: Option<FaultSummary>,
 }
 
 impl RunReport {

@@ -19,13 +19,14 @@ use std::path::{Path, PathBuf};
 
 use emx_core::Cycle;
 use emx_stats::digest::{report_canonical_text, Digest128};
-use emx_stats::{PeStats, RunReport};
+use emx_stats::{FaultSummary, PeStats, RunReport};
 
 use crate::spec::{config_canonical, RunSpec};
 
 /// Bumped whenever the entry layout or key derivation changes; part of
-/// every cache address.
-pub const CACHE_FORMAT: u32 = 1;
+/// every cache address. v2: report layout gained queue-pressure fields and
+/// the fault summary line; specs and configs carry a fault plan.
+pub const CACHE_FORMAT: u32 = 2;
 
 /// The default cache location, relative to the working directory.
 pub const DEFAULT_CACHE_DIR: &str = "results/cache";
@@ -90,6 +91,25 @@ impl RunCache {
         self.dir.join(format!("{}.run", key.hex()))
     }
 
+    /// Path of the quarantine marker for `key`.
+    pub fn quarantine_path(&self, key: &CacheKey) -> PathBuf {
+        self.dir.join(format!("{}.fail", key.hex()))
+    }
+
+    /// Quarantine `key`: record that executing this spec failed, with the
+    /// reason, so later sweeps can report the known failure instead of
+    /// silently re-tripping it. Cleared by the next successful
+    /// [`store`](Self::store) for the same key.
+    pub fn quarantine(&self, key: &CacheKey, reason: &str) -> io::Result<()> {
+        fs::create_dir_all(&self.dir)?;
+        fs::write(self.quarantine_path(key), reason)
+    }
+
+    /// The recorded failure reason for `key`, if it is quarantined.
+    pub fn quarantined(&self, key: &CacheKey) -> Option<String> {
+        fs::read_to_string(self.quarantine_path(key)).ok()
+    }
+
     /// Load the report cached under `key`, if a valid entry exists.
     /// Corrupt entries are treated as misses.
     pub fn load(&self, key: &CacheKey) -> Option<RunReport> {
@@ -113,7 +133,10 @@ impl RunCache {
             .dir
             .join(format!("{}.tmp.{}", key.hex(), std::process::id()));
         fs::write(&tmp, &text)?;
-        fs::rename(&tmp, self.entry_path(key))
+        fs::rename(&tmp, self.entry_path(key))?;
+        // A fresh result supersedes any recorded failure.
+        let _ = fs::remove_file(self.quarantine_path(key));
+        Ok(())
     }
 }
 
@@ -127,8 +150,8 @@ fn parse_entry(text: &str, key: &CacheKey) -> Option<RunReport> {
         return None;
     }
     // Skip the human-readable spec/config sections down to the report tag.
-    let mut lines = lines.skip_while(|l| *l != "emx-report v1");
-    if lines.next()? != "emx-report v1" {
+    let mut lines = lines.skip_while(|l| *l != "emx-report v2");
+    if lines.next()? != "emx-report v2" {
         return None;
     }
 
@@ -150,9 +173,33 @@ fn parse_entry(text: &str, key: &CacheKey) -> Option<RunReport> {
         }
     }
 
+    let mut faults = None;
     let mut per_pe = Vec::new();
     for line in lines {
         if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("faults ") {
+            // Armed runs carry one machine-wide fault summary line.
+            if faults.is_some() || !per_pe.is_empty() {
+                return None;
+            }
+            let mut f = FaultSummary::default();
+            for field in rest.split_whitespace() {
+                let (name, value) = field.split_once('=')?;
+                let value: u64 = value.parse().ok()?;
+                match name {
+                    "dropped" => f.dropped = value,
+                    "duplicated" => f.duplicated = value,
+                    "delayed" => f.delayed = value,
+                    "forced_spills" => f.forced_spills = value,
+                    "dma_stalls" => f.dma_stalls = value,
+                    "retries" => f.retries = value,
+                    "stale_responses" => f.stale_responses = value,
+                    _ => return None,
+                }
+            }
+            faults = Some(f);
             continue;
         }
         let mut it = line.split_whitespace();
@@ -177,6 +224,11 @@ fn parse_entry(text: &str, key: &CacheKey) -> Option<RunReport> {
             dispatches: next()?,
             max_queue_depth: next()? as usize,
             ibu_spills: next()?,
+            high_spills: next()?,
+            low_spills: next()?,
+            forced_spills: next()?,
+            max_high_depth: next()? as usize,
+            max_low_depth: next()? as usize,
         };
         per_pe.push(stats);
     }
@@ -187,6 +239,7 @@ fn parse_entry(text: &str, key: &CacheKey) -> Option<RunReport> {
         clock_hz: clock_hz?,
         net_packets: net_packets?,
         net_contention: Cycle::new(net_contention?),
+        faults,
     })
 }
 
@@ -209,6 +262,7 @@ mod tests {
             clock_hz: 20_000_000,
             net_packets: 77,
             net_contention: Cycle::new(9),
+            faults: None,
         };
         for (i, p) in r.per_pe.iter_mut().enumerate() {
             p.breakdown.compute = Cycle::new(100 + i as u64);
@@ -219,6 +273,11 @@ mod tests {
             p.dispatches = 2;
             p.max_queue_depth = 4;
             p.ibu_spills = 1;
+            p.high_spills = i as u64;
+            p.low_spills = 1 + i as u64;
+            p.forced_spills = i as u64 / 2;
+            p.max_high_depth = 2;
+            p.max_low_depth = 3 + i;
         }
         r
     }
@@ -232,6 +291,40 @@ mod tests {
         assert!(cache.load(&key).is_none());
         cache.store(&key, &spec, &report).unwrap();
         assert_eq!(cache.load(&key), Some(report));
+        let _ = fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn roundtrip_preserves_fault_summaries() {
+        let cache = RunCache::new(scratch_dir("faulty-roundtrip"));
+        let spec = RunSpec::new(Workload::Sort, 4, 64, 2);
+        let key = CacheKey::for_run(&spec, &spec.machine_config());
+        let mut report = sample_report(2);
+        report.faults = Some(FaultSummary {
+            dropped: 5,
+            retries: 7,
+            stale_responses: 2,
+            ..FaultSummary::default()
+        });
+        cache.store(&key, &spec, &report).unwrap();
+        assert_eq!(cache.load(&key), Some(report));
+        let _ = fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn quarantine_records_failures_until_a_success() {
+        let cache = RunCache::new(scratch_dir("quarantine"));
+        let spec = RunSpec::new(Workload::Sort, 4, 64, 2);
+        let key = CacheKey::for_run(&spec, &spec.machine_config());
+        assert!(cache.quarantined(&key).is_none());
+        cache.quarantine(&key, "worker panicked: boom").unwrap();
+        assert_eq!(
+            cache.quarantined(&key).as_deref(),
+            Some("worker panicked: boom")
+        );
+        // A later successful run clears the marker.
+        cache.store(&key, &spec, &sample_report(4)).unwrap();
+        assert!(cache.quarantined(&key).is_none());
         let _ = fs::remove_dir_all(cache.dir());
     }
 

@@ -8,7 +8,18 @@
 //! input index**, so the output order — and every CSV derived from it —
 //! is byte-identical whatever the worker count. `--jobs 1` is the serial
 //! path; `--jobs N` is the same computation, faster.
+//!
+//! The engine is fault-tolerant: a sweep point that returns a
+//! [`SimError`](emx_core::SimError) or panics no longer takes the whole
+//! sweep (and its siblings' results) down. The point is retried once —
+//! runs are deterministic, so the retry mostly confirms the failure, but
+//! it shields against the one nondeterministic failure mode we have seen
+//! in practice (resource exhaustion on loaded hosts) — then recorded as a
+//! [`FailedRun`], quarantined in the cache (`<key>.fail`), and the
+//! remaining points complete normally. Callers that require completeness
+//! (the figure harness) call [`SweepOutcome::expect_complete`].
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
@@ -36,11 +47,31 @@ pub struct SweepPoint {
     pub cached: bool,
 }
 
+/// One sweep point that failed to execute, after the engine's bounded
+/// retry. Recorded in outcome and provenance instead of aborting the
+/// sweep.
+#[derive(Debug, Clone)]
+pub struct FailedRun {
+    /// Index of the spec in the submitted list.
+    pub index: usize,
+    /// The spec that failed.
+    pub spec: RunSpec,
+    /// Its content address (quarantined in the cache under this key).
+    pub key: CacheKey,
+    /// The error or panic message of the *last* attempt.
+    pub error: String,
+    /// Execution attempts made (initial try plus retries).
+    pub attempts: u32,
+}
+
 /// The result of one engine invocation.
 #[derive(Debug, Clone)]
 pub struct SweepOutcome {
-    /// Points, in exactly the order of the submitted specs.
+    /// Successfully executed points, in the order of the submitted specs
+    /// (failed specs leave no hole — they are in [`failed`](Self::failed)).
     pub points: Vec<SweepPoint>,
+    /// Specs that failed after the bounded retry, in submission order.
+    pub failed: Vec<FailedRun>,
     /// Worker threads used.
     pub jobs: usize,
     /// Points actually simulated this invocation.
@@ -54,15 +85,45 @@ pub struct SweepOutcome {
 impl SweepOutcome {
     /// Summary string for logs: `"24 runs (12 simulated, 12 cached) in 3.2 s on 8 workers"`.
     pub fn summary(&self) -> String {
+        let failed = if self.failed.is_empty() {
+            String::new()
+        } else {
+            format!(", {} FAILED", self.failed.len())
+        };
         format!(
-            "{} runs ({} simulated, {} cached) in {:.1} s on {} worker{}",
-            self.points.len(),
+            "{} runs ({} simulated, {} cached{}) in {:.1} s on {} worker{}",
+            self.points.len() + self.failed.len(),
             self.simulated,
             self.cache_hits,
+            failed,
             self.wall.as_secs_f64(),
             self.jobs,
             if self.jobs == 1 { "" } else { "s" },
         )
+    }
+
+    /// Assert every submitted spec produced a report, returning `self` for
+    /// chaining. The figure harness uses this: a figure CSV with silently
+    /// missing points would be worse than no CSV.
+    ///
+    /// # Panics
+    /// If any run failed, with every failure's label and error.
+    pub fn expect_complete(self) -> SweepOutcome {
+        if !self.failed.is_empty() {
+            let mut msg = String::from("sweep incomplete:");
+            for f in &self.failed {
+                msg.push_str(&format!(
+                    "\n  [{}] {} ({}): {} (after {} attempts)",
+                    f.index,
+                    f.spec.label(),
+                    f.key.short(),
+                    f.error,
+                    f.attempts
+                ));
+            }
+            panic!("{msg}");
+        }
+        self
     }
 }
 
@@ -144,10 +205,15 @@ impl SweepEngine {
     /// slot for that index. Determinism: simulation is a pure function of
     /// the spec, and assembly is by index, so neither the worker count
     /// nor scheduling order can influence the returned values or their
-    /// order. A simulation error panics (it indicates an impossible
-    /// configuration in a figure grid, exactly as the pre-engine serial
-    /// path did).
+    /// order.
+    ///
+    /// A point whose execution errors or panics is retried once; if it
+    /// fails again it lands in [`SweepOutcome::failed`] (and is
+    /// quarantined in the cache) while every other point completes.
     pub fn run(&self, specs: Vec<RunSpec>) -> SweepOutcome {
+        /// Initial try plus one retry.
+        const MAX_ATTEMPTS: u32 = 2;
+
         let started = Instant::now();
         let total = specs.len();
         let keys: Vec<CacheKey> = specs
@@ -155,8 +221,8 @@ impl SweepEngine {
             .map(|s| CacheKey::for_run(s, &s.machine_config()))
             .collect();
 
-        let slots: Mutex<Vec<Option<(RunReport, bool)>>> =
-            Mutex::new((0..total).map(|_| None).collect());
+        type Slot = Result<(RunReport, bool), (String, u32)>;
+        let slots: Mutex<Vec<Option<Slot>>> = Mutex::new((0..total).map(|_| None).collect());
         let next = AtomicUsize::new(0);
         let done = AtomicUsize::new(0);
         let workers = self.jobs.min(total.max(1));
@@ -171,19 +237,24 @@ impl SweepEngine {
                     let spec = &specs[i];
                     let key = &keys[i];
                     let run_started = Instant::now();
-                    let (report, cached) = match self.cache.as_ref().and_then(|c| c.load(key)) {
-                        Some(report) => (report, true),
-                        None => {
-                            let report = spec.execute().unwrap_or_else(|e| {
-                                panic!("sweep point {} failed: {e}", spec.label())
-                            });
-                            if let Some(cache) = &self.cache {
-                                // A failed store only costs future cache
-                                // hits; the sweep itself proceeds.
-                                let _ = cache.store(key, spec, &report);
+                    let slot: Slot = match self.cache.as_ref().and_then(|c| c.load(key)) {
+                        Some(report) => Ok((report, true)),
+                        None => match execute_with_retry(spec, MAX_ATTEMPTS) {
+                            Ok(report) => {
+                                if let Some(cache) = &self.cache {
+                                    // A failed store only costs future
+                                    // cache hits; the sweep proceeds.
+                                    let _ = cache.store(key, spec, &report);
+                                }
+                                Ok((report, false))
                             }
-                            (report, false)
-                        }
+                            Err(failure) => {
+                                if let Some(cache) = &self.cache {
+                                    let _ = cache.quarantine(key, &failure.0);
+                                }
+                                Err(failure)
+                            }
+                        },
                     };
                     let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
                     if !self.quiet {
@@ -191,14 +262,18 @@ impl SweepEngine {
                             "[sweep {finished}/{total}] {} ({}): {}",
                             spec.label(),
                             key.short(),
-                            if cached {
-                                "cache hit".to_string()
-                            } else {
-                                format!("simulated in {:.2} s", run_started.elapsed().as_secs_f64())
+                            match &slot {
+                                Ok((_, true)) => "cache hit".to_string(),
+                                Ok((_, false)) => format!(
+                                    "simulated in {:.2} s",
+                                    run_started.elapsed().as_secs_f64()
+                                ),
+                                Err((error, attempts)) =>
+                                    format!("FAILED after {attempts} attempts: {error}"),
                             }
                         );
                     }
-                    slots.lock()[i] = Some((report, cached));
+                    slots.lock()[i] = Some(slot);
                 });
             }
         })
@@ -206,29 +281,42 @@ impl SweepEngine {
 
         let mut simulated = 0;
         let mut cache_hits = 0;
-        let points: Vec<SweepPoint> = slots
+        let mut points = Vec::with_capacity(total);
+        let mut failed = Vec::new();
+        for (index, ((slot, spec), key)) in slots
             .into_inner()
             .into_iter()
             .zip(specs)
             .zip(keys)
-            .map(|((slot, spec), key)| {
-                let (report, cached) = slot.expect("every claimed slot is filled");
-                if cached {
-                    cache_hits += 1;
-                } else {
-                    simulated += 1;
+            .enumerate()
+        {
+            match slot.expect("every claimed slot is filled") {
+                Ok((report, cached)) => {
+                    if cached {
+                        cache_hits += 1;
+                    } else {
+                        simulated += 1;
+                    }
+                    points.push(SweepPoint {
+                        spec,
+                        key,
+                        report,
+                        cached,
+                    });
                 }
-                SweepPoint {
+                Err((error, attempts)) => failed.push(FailedRun {
+                    index,
                     spec,
                     key,
-                    report,
-                    cached,
-                }
-            })
-            .collect();
+                    error,
+                    attempts,
+                }),
+            }
+        }
 
         let outcome = SweepOutcome {
             points,
+            failed,
             jobs: workers,
             simulated,
             cache_hits,
@@ -239,6 +327,28 @@ impl SweepEngine {
         }
         outcome
     }
+}
+
+/// Execute `spec` up to `max_attempts` times, absorbing both `SimError`s
+/// and panics. `Err` carries the last attempt's message and the attempt
+/// count.
+fn execute_with_retry(spec: &RunSpec, max_attempts: u32) -> Result<RunReport, (String, u32)> {
+    let mut last = String::new();
+    for _ in 0..max_attempts {
+        match catch_unwind(AssertUnwindSafe(|| spec.execute())) {
+            Ok(Ok(report)) => return Ok(report),
+            Ok(Err(e)) => last = e.to_string(),
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".to_string());
+                last = format!("worker panicked: {msg}");
+            }
+        }
+    }
+    Err((last, max_attempts))
 }
 
 #[cfg(test)]
@@ -279,6 +389,58 @@ mod tests {
     fn empty_sweep_is_fine() {
         let outcome = quiet_engine().run(Vec::new());
         assert!(outcome.points.is_empty());
+        assert!(outcome.failed.is_empty());
         assert_eq!(outcome.simulated, 0);
+    }
+
+    /// A spec whose fault plan fails validation: deterministic, immediate
+    /// failure without a long simulation.
+    fn doomed_spec() -> crate::spec::RunSpec {
+        let mut spec = grid(Workload::Sort, 4, &[64], &[2]).pop().unwrap();
+        let mut faults = emx_core::FaultSpec::with_loss(1, 1000);
+        faults.delay_ppm = 1; // delay without max_delay: rejected
+        spec.faults = Some(faults);
+        spec
+    }
+
+    #[test]
+    fn failed_points_do_not_take_the_sweep_down() {
+        let mut specs = grid(Workload::Sort, 4, &[64], &[1, 2]);
+        specs.insert(1, doomed_spec());
+        let outcome = quiet_engine().jobs(2).run(specs);
+        assert_eq!(outcome.points.len(), 2);
+        assert_eq!(outcome.failed.len(), 1);
+        let f = &outcome.failed[0];
+        assert_eq!(f.index, 1);
+        assert_eq!(f.attempts, 2, "one bounded retry before giving up");
+        assert!(f.error.contains("max_delay"), "error: {}", f.error);
+        // The surviving points are in submission order.
+        assert_eq!(outcome.points[0].spec.threads, 1);
+        assert_eq!(outcome.points[1].spec.threads, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "sweep incomplete")]
+    fn expect_complete_panics_on_failures() {
+        quiet_engine().run(vec![doomed_spec()]).expect_complete();
+    }
+
+    #[test]
+    fn failures_are_quarantined_in_the_cache() {
+        let dir = std::env::temp_dir().join(format!(
+            "emx-sweep-engine-quarantine-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = crate::cache::RunCache::new(&dir);
+        let spec = doomed_spec();
+        let key = crate::cache::CacheKey::for_run(&spec, &spec.machine_config());
+        let outcome = SweepEngine::new()
+            .cache(Some(cache.clone()))
+            .quiet(true)
+            .run(vec![spec]);
+        assert_eq!(outcome.failed.len(), 1);
+        assert!(cache.quarantined(&key).is_some());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

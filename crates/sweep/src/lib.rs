@@ -50,5 +50,5 @@ pub mod provenance;
 pub mod spec;
 
 pub use cache::{CacheKey, RunCache, CACHE_FORMAT, DEFAULT_CACHE_DIR};
-pub use engine::{SweepEngine, SweepOutcome, SweepPoint, JOBS_ENV};
+pub use engine::{FailedRun, SweepEngine, SweepOutcome, SweepPoint, JOBS_ENV};
 pub use spec::{config_canonical, grid, RunSpec, Workload};

@@ -21,8 +21,9 @@ use emx_stats::digest::report_digest;
 use crate::cache::CACHE_FORMAT;
 use crate::engine::SweepOutcome;
 
-/// Schema identifier stamped into every sidecar.
-pub const SCHEMA: &str = "emx-sweep/1";
+/// Schema identifier stamped into every sidecar. `/2` added the per-run
+/// fault plan, the `runs_failed` count, and the `failed_runs` array.
+pub const SCHEMA: &str = "emx-sweep/2";
 
 /// Escape a string for inclusion in a JSON string literal.
 fn esc(s: &str) -> String {
@@ -61,9 +62,13 @@ pub fn render(
     ));
     j.push_str(&format!("  \"jobs\": {},\n", outcome.jobs));
     j.push_str(&format!("  \"wall_ms\": {},\n", outcome.wall.as_millis()));
-    j.push_str(&format!("  \"runs_total\": {},\n", outcome.points.len()));
+    j.push_str(&format!(
+        "  \"runs_total\": {},\n",
+        outcome.points.len() + outcome.failed.len()
+    ));
     j.push_str(&format!("  \"runs_simulated\": {},\n", outcome.simulated));
     j.push_str(&format!("  \"cache_hits\": {},\n", outcome.cache_hits));
+    j.push_str(&format!("  \"runs_failed\": {},\n", outcome.failed.len()));
     j.push_str("  \"extra\": {");
     for (i, (k, v)) in extra.iter().enumerate() {
         if i > 0 {
@@ -97,6 +102,10 @@ pub fn render(
             "\"net_model\": \"{}\", ",
             esc(&format!("{:?}", s.net_model))
         ));
+        match &s.faults {
+            Some(f) => j.push_str(&format!("\"faults\": \"{}\", ", esc(&f.canonical()))),
+            None => j.push_str("\"faults\": null, "),
+        }
         j.push_str(&format!("\"key\": \"{}\", ", esc(pt.key.hex())));
         j.push_str(&format!("\"cached\": {}, ", pt.cached));
         j.push_str(&format!(
@@ -110,6 +119,29 @@ pub fn render(
         ));
         j.push('}');
         if i + 1 < outcome.points.len() {
+            j.push(',');
+        }
+        j.push('\n');
+    }
+    j.push_str("  ],\n");
+    j.push_str("  \"failed_runs\": [\n");
+    for (i, f) in outcome.failed.iter().enumerate() {
+        let s = &f.spec;
+        j.push_str("    {");
+        j.push_str(&format!("\"index\": {}, ", f.index));
+        j.push_str(&format!("\"workload\": \"{}\", ", esc(s.workload.name())));
+        j.push_str(&format!("\"pes\": {}, ", s.pes));
+        j.push_str(&format!("\"per_pe\": {}, ", s.per_pe));
+        j.push_str(&format!("\"threads\": {}, ", s.threads));
+        match &s.faults {
+            Some(fp) => j.push_str(&format!("\"faults\": \"{}\", ", esc(&fp.canonical()))),
+            None => j.push_str("\"faults\": null, "),
+        }
+        j.push_str(&format!("\"key\": \"{}\", ", esc(f.key.hex())));
+        j.push_str(&format!("\"attempts\": {}, ", f.attempts));
+        j.push_str(&format!("\"error\": \"{}\"", esc(&f.error)));
+        j.push('}');
+        if i + 1 < outcome.failed.len() {
             j.push(',');
         }
         j.push('\n');
@@ -157,16 +189,19 @@ mod tests {
             &[("scale", "quick".into())],
         );
         for needle in [
-            "\"schema\": \"emx-sweep/1\"",
+            "\"schema\": \"emx-sweep/2\"",
             "\"figure\": \"test_fig\"",
             "\"csv\": \"test_fig.csv\"",
             "\"runs_total\": 2",
+            "\"runs_failed\": 0",
             "\"workload\": \"bitonic-sort\"",
             "\"service_mode\": \"BypassDma\"",
             "\"net_model\": \"CircularOmega\"",
             "\"report_digest\": \"",
             "\"scale\": \"quick\"",
             "\"point_cycles\": null",
+            "\"faults\": null",
+            "\"failed_runs\": [",
         ] {
             assert!(json.contains(needle), "missing {needle} in:\n{json}");
         }

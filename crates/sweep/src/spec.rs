@@ -6,7 +6,7 @@
 //! function, and (b) hashing a spec (plus the machine configuration it
 //! expands to) is a sound cache address.
 
-use emx_core::{MachineConfig, NetModelKind, ServiceMode, SimError};
+use emx_core::{FaultSpec, MachineConfig, NetModelKind, ServiceMode, SimError};
 use emx_stats::RunReport;
 use emx_workloads::{run_bitonic, run_fft, FftParams, SortParams};
 
@@ -76,6 +76,11 @@ pub struct RunSpec {
     pub priority_read_responses: bool,
     /// Network model routing the packets.
     pub net_model: NetModelKind,
+    /// Fault-injection plan; `None` is the paper's lossless machine. A
+    /// `Some` spec that [`FaultSpec::is_noop`]s still arms the fault
+    /// machinery (and so reports a zeroed fault summary) — callers wanting
+    /// byte-identical baselines pass `None`.
+    pub faults: Option<FaultSpec>,
 }
 
 impl RunSpec {
@@ -94,6 +99,7 @@ impl RunSpec {
             service_mode: ServiceMode::BypassDma,
             priority_read_responses: false,
             net_model: NetModelKind::CircularOmega,
+            faults: None,
         }
     }
 
@@ -120,6 +126,7 @@ impl RunSpec {
         cfg.service_mode = self.service_mode;
         cfg.priority_read_responses = self.priority_read_responses;
         cfg.net.model = self.net_model;
+        cfg.faults = self.faults.clone();
         cfg
     }
 
@@ -170,10 +177,11 @@ impl RunSpec {
     /// field is added so old cache entries can never alias new specs.
     pub fn canonical(&self) -> String {
         format!(
-            "emx-spec v1\n\
+            "emx-spec v2\n\
              workload={} pes={} per_pe={} threads={}\n\
              seed={} comm_only={} block_read={} point_cycles={}\n\
-             service_mode={:?} priority_read_responses={} net_model={:?}\n",
+             service_mode={:?} priority_read_responses={} net_model={:?}\n\
+             {}\n",
             self.workload.name(),
             self.pes,
             self.per_pe,
@@ -191,6 +199,10 @@ impl RunSpec {
             self.service_mode,
             self.priority_read_responses,
             self.net_model,
+            match &self.faults {
+                Some(f) => f.canonical(),
+                None => "faults: none".into(),
+            },
         )
     }
 }
@@ -202,12 +214,13 @@ impl RunSpec {
 pub fn config_canonical(cfg: &MachineConfig) -> String {
     let c = &cfg.costs;
     format!(
-        "emx-config v1\n\
+        "emx-config v2\n\
          num_pes={} clock_hz={} local_memory_words={} ibu_fifo={} obu_fifo={} frames={}\n\
          service_mode={:?} priority_read_responses={}\n\
          costs: context_switch={} send_packet={} dma_service={} ibu_spill={} obu_forward={} \
          fdiv={} mem_exchange={} barrier_poll_interval={}\n\
-         net: model={:?} port_service={} hop_cycles={}\n",
+         net: model={:?} port_service={} hop_cycles={}\n\
+         {}\n",
         cfg.num_pes,
         cfg.clock_hz,
         cfg.local_memory_words,
@@ -227,6 +240,10 @@ pub fn config_canonical(cfg: &MachineConfig) -> String {
         cfg.net.model,
         cfg.net.port_service,
         cfg.net.hop_cycles,
+        match &cfg.faults {
+            Some(f) => f.canonical(),
+            None => "faults: none".into(),
+        },
     )
 }
 
@@ -282,7 +299,21 @@ mod tests {
         a.net_model = NetModelKind::Ideal { latency: 5 };
         assert_ne!(base, a.canonical());
         a.net_model = NetModelKind::CircularOmega;
+        a.faults = Some(FaultSpec::with_loss(3, 10_000));
+        assert_ne!(base, a.canonical());
+        a.faults = None;
         assert_eq!(base, a.canonical());
+    }
+
+    #[test]
+    fn faults_flow_into_machine_config_and_cache_address() {
+        let mut spec = RunSpec::new(Workload::Sort, 4, 64, 2);
+        assert!(spec.machine_config().faults.is_none());
+        spec.faults = Some(FaultSpec::with_loss(9, 5_000));
+        let cfg = spec.machine_config();
+        assert_eq!(cfg.faults, spec.faults);
+        let base = config_canonical(&RunSpec::new(Workload::Sort, 4, 64, 2).machine_config());
+        assert_ne!(base, config_canonical(&cfg));
     }
 
     #[test]
