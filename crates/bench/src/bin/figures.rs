@@ -6,7 +6,9 @@
 //! cargo run --release -p emx-bench --bin figures -- fig6 standard --no-cache
 //! ```
 //!
-//! Subcommands: `fig6` (communication time vs threads), `fig7` (overlap
+//! Subcommands: `fig4` (the hand-walked scheduling interleaving, checked
+//! against a probe-recorded trace and exported for Perfetto — see
+//! `docs/OBSERVABILITY.md`), `fig6` (communication time vs threads), `fig7` (overlap
 //! efficiency), `fig8` (execution-time breakdown), `fig9` (switch census),
 //! `latency` (remote-read latency probe), `model` (analytic model vs
 //! simulation), `ablation` (by-pass DMA vs EM-4 servicing), `block`
@@ -575,9 +577,52 @@ fn topology(opts: &Opts) {
     println!("the EM-X behaviour is not Omega-specific: any low-latency fabric masks\nsimilarly once h covers the round trip.");
 }
 
+/// Figure 4: the hand-walked scheduling interleaving, regenerated from a
+/// real probe-recorded trace instead of by hand. Runs the 2-PE × 2-thread
+/// merge scenario, machine-checks the FIFO schedule the paper narrates,
+/// and writes the Perfetto trace + event CSV under `results/`.
+fn fig4() {
+    use emx::obs::{chrome_trace_json, events_csv, validate_chrome_trace, Recorder};
+    use emx::workloads::fig4;
+
+    println!("\n== Figure 4: FIFO scheduling interleaving (2 PEs x 2 threads) ==");
+    let mut m = fig4::build().expect("fig4 machine");
+    let (rec, handle) = Recorder::unbounded();
+    m.attach_probe(Box::new(rec));
+    let report = m.run().expect("fig4 run");
+    let obs = handle.finish();
+
+    let summary = fig4::check_schedule(obs.log.events()).expect("paper schedule");
+    println!(
+        "schedule check: OK — 8 FIFO data resumes {:?}, retires in thread order {:?}",
+        summary.data_resumes, summary.retires
+    );
+
+    let json = chrome_trace_json(&obs, report.clock_hz);
+    let sum = validate_chrome_trace(&json).expect("exporter output validates");
+    let dir = Path::new("results");
+    if fs::create_dir_all(dir).is_ok() {
+        let jpath = dir.join("fig4_trace.json");
+        if fs::write(&jpath, &json).is_ok() {
+            println!(
+                "  [trace] {} — open at https://ui.perfetto.dev",
+                jpath.display()
+            );
+        }
+        let cpath = dir.join("fig4_events.csv");
+        if fs::write(&cpath, events_csv(&obs, report.clock_hz)).is_ok() {
+            println!("  [csv] {}", cpath.display());
+        }
+    }
+    println!(
+        "{} events ({} slices, {} read arrows), stream digest {}",
+        sum.events, sum.slices, sum.asyncs, sum.digest
+    );
+}
+
 fn usage() -> ! {
     eprintln!(
-        "usage: figures [fig6|fig7|fig8|fig9|latency|model|ablation|block|priority|runlength|topology|all]\n\
+        "usage: figures [fig4|fig6|fig7|fig8|fig9|latency|model|ablation|block|priority|runlength|topology|all]\n\
          \x20              [quick|standard|full] [--jobs N] [--no-cache]"
     );
     std::process::exit(2);
@@ -628,6 +673,7 @@ fn main() {
     println!("EM-X figure regeneration -- {cmd} at {scale:?} scale");
     let mut cache = Vec::new();
     match cmd {
+        "fig4" => fig4(),
         "fig6" => fig6(&opts, &mut cache),
         "fig7" => {
             fig6(&opts, &mut cache);
@@ -643,6 +689,7 @@ fn main() {
         "runlength" => runlength(&opts),
         "topology" => topology(&opts),
         "all" => {
+            fig4();
             fig6(&opts, &mut cache);
             fig7(&opts, &cache);
             fig8(&opts);

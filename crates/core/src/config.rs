@@ -18,7 +18,7 @@ use crate::time::EMX_CLOCK_HZ;
 pub enum ServiceMode {
     /// EM-X behaviour: the Input Buffer Unit reads memory through the
     /// by-passing DMA and hands the response to the Output Buffer Unit
-    /// "without consuming the cycles of [the] Execution Unit" (paper §2.2).
+    /// "without consuming the cycles of \[the\] Execution Unit" (paper §2.2).
     #[default]
     BypassDma,
     /// EM-4 behaviour, kept for ablation: a remote read is treated "as

@@ -13,17 +13,21 @@
 //!
 //! ## Layout
 //!
-//! * [`time`] — [`Cycle`](time::Cycle) arithmetic and wall-clock conversion.
-//! * [`addr`] — [`PeId`](addr::PeId), [`GlobalAddr`](addr::GlobalAddr) and
-//!   [`Continuation`](addr::Continuation) with their 32-bit wire packings.
-//! * [`packet`] — [`Packet`](packet::Packet), its kinds and priorities, and
+//! * [`time`] — [`Cycle`] arithmetic and wall-clock conversion.
+//! * [`addr`] — [`PeId`], [`GlobalAddr`] and
+//!   [`Continuation`] with their 32-bit wire packings.
+//! * [`packet`] — [`Packet`], its kinds and priorities, and
 //!   the exact 2×32-bit wire encoding.
-//! * [`event`] — a deterministic time-ordered [`EventQueue`](event::EventQueue).
-//! * [`config`] — [`MachineConfig`](config::MachineConfig) and
-//!   [`CostModel`](config::CostModel).
-//! * [`faults`] — [`FaultSpec`](faults::FaultSpec), the deterministic
+//! * [`event`] — a deterministic time-ordered [`EventQueue`].
+//! * [`config`] — [`MachineConfig`] and
+//!   [`CostModel`].
+//! * [`faults`] — [`FaultSpec`], the deterministic
 //!   fault-injection plan threaded through network, processor and runtime.
-//! * [`error`] — [`SimError`](error::SimError).
+//! * [`probe`] — the [`TraceKind`] event vocabulary and
+//!   the [`Probe`] sink the observability layer hangs off
+//!   (exporters and metrics live in `emx-obs`; spec in
+//!   `docs/OBSERVABILITY.md`).
+//! * [`error`] — [`SimError`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -34,6 +38,7 @@ pub mod error;
 pub mod event;
 pub mod faults;
 pub mod packet;
+pub mod probe;
 pub mod time;
 
 pub use addr::{Continuation, FrameId, GlobalAddr, PeId, SlotId};
@@ -42,4 +47,5 @@ pub use error::SimError;
 pub use event::EventQueue;
 pub use faults::{FaultSpec, PPM_SCALE};
 pub use packet::{Packet, PacketKind, Priority, WirePacket};
+pub use probe::{NullProbe, Probe, SuspendCause, TraceEvent, TraceKind, TRACE_SCHEMA};
 pub use time::Cycle;

@@ -3,6 +3,9 @@
 //! ```text
 //! emx-cli sort    --pes 16 --n 16384 --threads 4 [--dist uniform] [--seed 1] [--block] [--em4] [--csv]
 //! emx-cli fft     --pes 16 --n 16384 --threads 4 [--comm-only] [--csv]
+//! emx-cli trace   <sort|fft|fig4> [--pes N --n N --threads N --seed N]
+//!                 [--format chrome|csv] [--events CAP] [--check] [--out FILE]
+//! emx-cli metrics <sort|fft|fig4> [--pes N --n N --threads N --seed N] [--csv]
 //! emx-cli sweep   --workload sort --pes 16 --sizes 512,2048 --threads 1,2,4
 //!                 [--jobs N] [--no-cache] [--csv] [--out results/sweep.csv]
 //! emx-cli faults  --workload sort --pes 16 --sizes 512 --threads 1,2,4
@@ -14,6 +17,15 @@
 //! emx-cli asm     <file.s>            # assemble and list a kernel
 //! emx-cli info    [--pes 80]          # dump the machine configuration
 //! ```
+//!
+//! `trace` runs a workload with the observability recorder attached and
+//! exports the `emx-trace/1` event stream as Chrome-trace/Perfetto JSON
+//! (open it at <https://ui.perfetto.dev>) or as CSV; `--check` re-parses
+//! the JSON with the built-in validator. `metrics` prints the per-PE
+//! counter registry, the latency/depth/run-length histograms, and the
+//! exact per-kind event totals (see `docs/OBSERVABILITY.md`). The `fig4`
+//! workload rebuilds the paper's Figure 4 scenario and verifies its
+//! hand-walked FIFO schedule before exporting.
 //!
 //! `sweep` runs a (per-PE size × thread count) grid through the parallel
 //! cached sweep engine (`emx-sweep`): points fan out across host threads,
@@ -195,6 +207,120 @@ fn cmd_fft(args: &Args) -> Result<(), String> {
         );
     }
     print_report(&out.report, args.has("csv"));
+    Ok(())
+}
+
+/// Run the named workload with a [`Recorder`] attached and return the
+/// observation plus the machine clock for timestamp conversion.
+fn observed_run(args: &Args, workload: &str) -> Result<(Observation, u64), String> {
+    let capacity = args.usize_or("events", 1 << 20)?;
+    let (rec, handle) = Recorder::bounded(capacity);
+    let clock_hz;
+    match workload {
+        "sort" => {
+            let cfg = machine_cfg(args, 2)?;
+            clock_hz = cfg.clock_hz;
+            let n = args.usize_or("n", 64)?;
+            let threads = args.usize_or("threads", 2)?;
+            let mut params = SortParams::new(n, threads);
+            params.seed = args.u64_or("seed", params.seed)?;
+            run_bitonic_observed(&cfg, &params, |m| m.attach_probe(Box::new(rec)))
+                .map_err(|e| e.to_string())?;
+        }
+        "fft" => {
+            let cfg = machine_cfg(args, 2)?;
+            clock_hz = cfg.clock_hz;
+            let n = args.usize_or("n", 64)?;
+            let threads = args.usize_or("threads", 2)?;
+            let mut params = FftParams::new(n, threads);
+            params.seed = args.u64_or("seed", params.seed)?;
+            run_fft_observed(&cfg, &params, |m| m.attach_probe(Box::new(rec)))
+                .map_err(|e| e.to_string())?;
+        }
+        "fig4" => {
+            let mut m = emx::workloads::fig4::build().map_err(|e| e.to_string())?;
+            clock_hz = MachineConfig::with_pes(2).clock_hz;
+            m.attach_probe(Box::new(rec));
+            m.run().map_err(|e| e.to_string())?;
+        }
+        other => return Err(format!("unknown workload {other:?} (sort|fft|fig4)")),
+    }
+    Ok((handle.finish(), clock_hz))
+}
+
+fn cmd_trace(args: &Args) -> Result<(), String> {
+    let workload = args
+        .positional
+        .first()
+        .map(String::as_str)
+        .unwrap_or("fig4");
+    let (obs, clock_hz) = observed_run(args, workload)?;
+
+    if workload == "fig4" {
+        // The hand-walked schedule of the paper's Figure 4 must hold.
+        emx::workloads::fig4::check_schedule(obs.log.events())?;
+        eprintln!("fig4: dispatch sequence matches the paper's FIFO schedule");
+    }
+
+    let format = args.get("format").unwrap_or("chrome");
+    let text = match format {
+        "chrome" | "json" | "perfetto" => chrome_trace_json(&obs, clock_hz),
+        "csv" => events_csv(&obs, clock_hz),
+        other => return Err(format!("unknown format {other:?} (chrome|csv)")),
+    };
+    if args.has("check") {
+        let json = if format == "csv" {
+            chrome_trace_json(&obs, clock_hz)
+        } else {
+            text.clone()
+        };
+        let sum = validate_chrome_trace(&json)?;
+        eprintln!(
+            "trace valid: {} events ({} slices, {} asyncs, {} counters, {} instants), digest {}",
+            sum.events, sum.slices, sum.asyncs, sum.counters, sum.instants, sum.digest
+        );
+    }
+    match args.get("out") {
+        Some(out) => {
+            let path = std::path::Path::new(out);
+            if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+                std::fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+            }
+            std::fs::write(path, &text).map_err(|e| format!("{out}: {e}"))?;
+            eprintln!(
+                "wrote {} ({} events, {} dropped) — open at https://ui.perfetto.dev",
+                path.display(),
+                obs.log.total(),
+                obs.log.dropped()
+            );
+        }
+        None => print!("{text}"),
+    }
+    Ok(())
+}
+
+fn cmd_metrics(args: &Args) -> Result<(), String> {
+    let workload = args
+        .positional
+        .first()
+        .map(String::as_str)
+        .unwrap_or("fig4");
+    let (obs, _) = observed_run(args, workload)?;
+    if args.has("csv") {
+        print!("{}", obs.metrics.canonical_text());
+        return Ok(());
+    }
+    println!("per-PE counters ({workload}):");
+    print!("{}", obs.metrics.to_table().render());
+    println!("\nlatency / depth / run-length histograms:");
+    print!("{}", obs.metrics.histograms_table().render());
+    println!("\nevent totals (exact, including any dropped past the buffer):");
+    let mut t = Table::new(["event", "count"]);
+    for (name, count) in obs.log.counts() {
+        t.row([name.to_string(), count.to_string()]);
+    }
+    print!("{}", t.render());
+    println!("metrics digest: {}", obs.metrics.digest());
     Ok(())
 }
 
@@ -504,13 +630,17 @@ fn cmd_info(args: &Args) -> Result<(), String> {
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = raw.first().cloned() else {
-        eprintln!("usage: emx-cli <sort|fft|sweep|faults|nullloop|latency|asm|info> [options]");
+        eprintln!(
+            "usage: emx-cli <sort|fft|trace|metrics|sweep|faults|nullloop|latency|asm|info> [options]"
+        );
         return ExitCode::from(2);
     };
     let args = Args::parse(&raw[1..]);
     let result = match cmd.as_str() {
         "sort" => cmd_sort(&args),
         "fft" => cmd_fft(&args),
+        "trace" => cmd_trace(&args),
+        "metrics" => cmd_metrics(&args),
         "sweep" => cmd_sweep(&args),
         "faults" => cmd_faults(&args),
         "nullloop" => cmd_nullloop(&args),

@@ -17,12 +17,13 @@
 //! | [`net`] | circular Omega / ideal / crossbar network models |
 //! | [`isa`] | EMC-Y instruction set, assembler, interpreter |
 //! | [`proc`] | processor units: memory, packet queue, frames, by-pass DMA |
-//! | [`runtime`] | threads, scheduling, barriers, the [`Machine`] |
+//! | [`runtime`] | threads, scheduling, barriers, the [`Machine`](runtime::Machine) |
 //! | [`workloads`] | multithreaded bitonic sorting and FFT drivers |
 //! | [`model`] | the Saavedra-Barrera analytic multithreading model |
 //! | [`stats`] | breakdowns, switch censuses, reporters, stable digests |
 //! | [`sweep`] | parallel deterministic cached sweep engine + provenance |
 //! | [`faults`] | deterministic fault injection, invariant checking |
+//! | [`obs`] | trace recorder, Perfetto/Chrome-trace + CSV export, metrics |
 //!
 //! ## Quick start
 //!
@@ -49,6 +50,7 @@ pub use emx_faults as faults;
 pub use emx_isa as isa;
 pub use emx_model as model;
 pub use emx_net as net;
+pub use emx_obs as obs;
 pub use emx_proc as proc;
 pub use emx_runtime as runtime;
 pub use emx_stats as stats;
@@ -65,9 +67,13 @@ pub mod prelude {
     pub use emx_isa::{assemble, kernels, Instr, Program, ProgramBuilder, Reg};
     pub use emx_model::{ModelParams, Region};
     pub use emx_net::{build_network, Network};
+    pub use emx_obs::{
+        chrome_trace_json, events_csv, validate_chrome_trace, MetricsRegistry, Observation,
+        Recorder,
+    };
     pub use emx_runtime::{
-        Action, BarrierId, EntryId, Machine, ThreadBody, ThreadCtx, Trace, TraceEvent, TraceKind,
-        WorkKind,
+        Action, BarrierId, EntryId, Machine, SuspendCause, ThreadBody, ThreadCtx, Trace,
+        TraceEvent, TraceKind, WorkKind,
     };
     pub use emx_stats::{
         ascii_chart, overlap_efficiency, Breakdown, FaultSummary, PeStats, RunReport, Series,
@@ -76,7 +82,7 @@ pub mod prelude {
     pub use emx_sweep::{RunCache, RunSpec, SweepEngine};
     pub use emx_workloads::gen::{dft, keys, signal, KeyDist, Signal};
     pub use emx_workloads::{
-        run_bitonic, run_fft, run_null_loop, FftOutcome, FftParams, NullLoopOutcome,
-        NullLoopParams, SortOutcome, SortParams,
+        run_bitonic, run_bitonic_observed, run_fft, run_fft_observed, run_null_loop, FftOutcome,
+        FftParams, NullLoopOutcome, NullLoopParams, SortOutcome, SortParams,
     };
 }

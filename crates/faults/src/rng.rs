@@ -88,17 +88,17 @@ impl FaultPlan {
 
     /// The network-layer stream (drop/duplicate/delay decisions).
     pub fn net_rng(&self) -> Rng64 {
-        Rng64::new(mix(self.spec.seed, 0x4E45_54)) // "NET"
+        Rng64::new(mix(self.spec.seed, 0x004E_4554)) // "NET"
     }
 
     /// The queue-layer stream (forced spill decisions).
     pub fn spill_rng(&self) -> Rng64 {
-        Rng64::new(mix(self.spec.seed, 0x5350_4C)) // "SPL"
+        Rng64::new(mix(self.spec.seed, 0x0053_504C)) // "SPL"
     }
 
     /// The DMA-layer stream (stall decisions).
     pub fn dma_rng(&self) -> Rng64 {
-        Rng64::new(mix(self.spec.seed, 0x44_4D41)) // "DMA"
+        Rng64::new(mix(self.spec.seed, 0x0044_4D41)) // "DMA"
     }
 }
 

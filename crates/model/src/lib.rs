@@ -1,7 +1,7 @@
 //! # emx-model
 //!
 //! The analytic multithreading model the paper builds on (its reference
-//! [16]: Saavedra-Barrera, Culler, von Eicken, *Analysis of Multithreaded
+//! \[16\]: Saavedra-Barrera, Culler, von Eicken, *Analysis of Multithreaded
 //! Architectures for Parallel Computing*, SPAA 1990).
 //!
 //! A processor runs h threads. Each thread executes a *run length* of R

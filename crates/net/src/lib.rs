@@ -34,7 +34,7 @@ pub use omega::{route_ports, OmegaNetwork, PortId};
 pub use stats::NetStats;
 pub use torus::TorusNetwork;
 
-use emx_core::{Cycle, NetConfig, NetModelKind, PeId, SimError};
+use emx_core::{Cycle, NetConfig, NetModelKind, PacketKind, PeId, Probe, SimError, TraceKind};
 
 /// How a packet may be treated by a fault-injecting network layer.
 ///
@@ -139,6 +139,36 @@ pub trait Network: Send {
         Deliveries::one(self.route(now, src, dst))
     }
 
+    /// [`route_deliveries`](Network::route_deliveries) with an
+    /// observability probe: emits one [`TraceKind::NetInject`] event at the
+    /// injection time, carrying the packet kind, destination, and the
+    /// route's hop count (the paper's k+1-cycle virtual-cut-through walk).
+    /// The matching ejection event ([`TraceKind::NetDeliver`]) is emitted
+    /// by the runtime when the packet arrives at the destination IBU.
+    fn route_probed(
+        &mut self,
+        now: Cycle,
+        src: PeId,
+        dst: PeId,
+        class: DeliveryClass,
+        pkt: PacketKind,
+        probe: Option<&mut dyn Probe>,
+    ) -> Deliveries {
+        let deliveries = self.route_deliveries(now, src, dst, class);
+        if let Some(p) = probe {
+            p.on(
+                now,
+                src,
+                TraceKind::NetInject {
+                    pkt,
+                    dst,
+                    hops: self.hops(src, dst),
+                },
+            );
+        }
+        deliveries
+    }
+
     /// The number of hops the route from `src` to `dst` traverses.
     fn hops(&self, src: PeId, dst: PeId) -> u32;
 
@@ -205,6 +235,44 @@ mod tests {
             assert_eq!(d.as_slice(), &[t]);
         }
         assert_eq!(a.fault_counters(), None);
+    }
+
+    #[test]
+    fn route_probed_emits_injection_with_hop_count() {
+        #[derive(Default)]
+        struct Rec(Vec<(Cycle, PeId, TraceKind)>);
+        impl Probe for Rec {
+            fn on(&mut self, at: Cycle, pe: PeId, kind: TraceKind) {
+                self.0.push((at, pe, kind));
+            }
+        }
+
+        let mut net = build_network(&NetConfig::default(), 8).unwrap();
+        let mut rec = Rec::default();
+        let (src, dst) = (PeId(0), PeId(5));
+        let d = net.route_probed(
+            Cycle::new(10),
+            src,
+            dst,
+            DeliveryClass::Data,
+            PacketKind::ReadReq,
+            Some(&mut rec),
+        );
+        assert_eq!(d.len(), 1);
+        let (at, pe, kind) = rec.0[0];
+        assert_eq!((at, pe), (Cycle::new(10), src));
+        match kind {
+            TraceKind::NetInject { pkt, dst: d, hops } => {
+                assert_eq!(pkt, PacketKind::ReadReq);
+                assert_eq!(d, dst);
+                assert_eq!(hops, net.hops(src, dst));
+            }
+            other => panic!("expected NetInject, got {other:?}"),
+        }
+        // Probe-less routing matches plain route_deliveries on a twin net.
+        let mut twin = build_network(&NetConfig::default(), 8).unwrap();
+        let plain = twin.route_deliveries(Cycle::new(10), src, dst, DeliveryClass::Data);
+        assert_eq!(d.as_slice(), plain.as_slice());
     }
 
     #[test]

@@ -1,0 +1,63 @@
+//! # emx-obs
+//!
+//! Observability for the EM-X simulator: a [`Recorder`] that attaches to a
+//! [`Machine`](../emx_runtime/struct.Machine.html) as a
+//! [`Probe`](emx_core::Probe), a [`MetricsRegistry`] of per-PE counters,
+//! gauges and fixed-bucket histograms, and deterministic exporters —
+//! Perfetto/Chrome-trace JSON ([`chrome_trace_json`]) and columnar CSV
+//! ([`events_csv`]).
+//!
+//! The EM-X paper argues its case with *schedules*: Figure 4 hand-walks the
+//! FIFO interleaving of four threads across two processors, and Figures 6–9
+//! aggregate the same lifecycle into breakdowns. This crate makes both
+//! views first-class: the recorder captures the exact `emx-trace/1` event
+//! stream (spawn/suspend/resume/retire with causes, queue pressure, by-pass
+//! DMA service, network hops), the exporters lay it out on one track per
+//! processor for <https://ui.perfetto.dev>, and the registry folds it into
+//! digest-stamped metrics that join the run reports produced by
+//! `emx-stats`. The wire formats are specified in `docs/OBSERVABILITY.md`.
+//!
+//! ## Usage
+//!
+//! ```
+//! use emx_obs::Recorder;
+//! # use emx_runtime::Machine;
+//! # use emx_core::{MachineConfig, PeId};
+//! let mut m = Machine::new(MachineConfig::with_pes(2)).unwrap();
+//! let (recorder, handle) = Recorder::bounded(4096);
+//! m.attach_probe(Box::new(recorder));
+//! // ... register entries, spawn, m.run() ...
+//! # struct Noop;
+//! # impl emx_runtime::ThreadBody for Noop {
+//! #     fn step(&mut self, _: &mut emx_runtime::ThreadCtx<'_>) -> emx_runtime::Action {
+//! #         emx_runtime::Action::End
+//! #     }
+//! # }
+//! # let entry = m.register_entry("noop", |_, _| Box::new(Noop));
+//! # m.spawn_at_start(PeId(0), entry, 0).unwrap();
+//! # let report = m.run().unwrap();
+//! let obs = handle.finish();
+//! let json = emx_obs::chrome_trace_json(&obs, report.clock_hz);
+//! let csv = emx_obs::events_csv(&obs, report.clock_hz);
+//! assert!(emx_obs::validate_chrome_trace(&json).is_ok());
+//! ```
+//!
+//! Everything here is deterministic: the same seed and spec produce
+//! byte-identical JSON and CSV, at any parallelism, and each export is
+//! stamped with a 128-bit digest of its event stream so provenance
+//! sidecars can cross-check files against runs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod chrome;
+mod csv;
+mod json;
+mod metrics;
+mod recorder;
+
+pub use chrome::chrome_trace_json;
+pub use csv::events_csv;
+pub use json::{parse_json, validate_chrome_trace, ChromeSummary, JsonValue};
+pub use metrics::{Histogram, MetricsRegistry, PeMetrics, METRICS_SCHEMA};
+pub use recorder::{EventLog, Observation, Recorder, RecorderHandle};

@@ -1,0 +1,136 @@
+//! End-to-end checks of the observability pipeline: a real machine run
+//! recorded through the probe, exported through both exporters, validated
+//! by the JSON reader, and repeated to prove byte-determinism.
+
+use emx_core::{GlobalAddr, MachineConfig, PeId, TraceKind};
+use emx_obs::{chrome_trace_json, events_csv, validate_chrome_trace, Observation, Recorder};
+use emx_runtime::{Action, Machine, ThreadBody, ThreadCtx, WorkKind};
+
+fn ga(pe: u16, off: u32) -> GlobalAddr {
+    GlobalAddr::new(PeId(pe), off).unwrap()
+}
+
+/// A thread that performs a scripted sequence of actions.
+struct Scripted {
+    actions: Vec<Action>,
+    at: usize,
+}
+
+impl ThreadBody for Scripted {
+    fn step(&mut self, _ctx: &mut ThreadCtx<'_>) -> Action {
+        let a = self.actions.get(self.at).copied().unwrap_or(Action::End);
+        self.at += 1;
+        a
+    }
+}
+
+/// Run a small cross-PE workload (remote reads in both directions plus
+/// local compute) with a recorder of the given capacity attached.
+fn observed_run(capacity: usize) -> Observation {
+    let mut m = Machine::new(MachineConfig::with_pes(4)).unwrap();
+    let (rec, handle) = Recorder::bounded(capacity);
+    m.attach_probe(Box::new(rec));
+    for pe in 0..4u16 {
+        m.mem_mut(PeId(pe))
+            .unwrap()
+            .write(0, u32::from(pe) + 1)
+            .unwrap();
+    }
+    let entry = m.register_entry("reader", |pe, _| {
+        let peer = u16::try_from((pe.index() + 1) % 4).unwrap();
+        Box::new(Scripted {
+            at: 0,
+            actions: vec![
+                Action::Read { addr: ga(peer, 0) },
+                Action::Work {
+                    cycles: 12,
+                    kind: WorkKind::Compute,
+                },
+                Action::Read { addr: ga(peer, 0) },
+                Action::Work {
+                    cycles: 4,
+                    kind: WorkKind::Compute,
+                },
+            ],
+        })
+    });
+    for pe in 0..4u16 {
+        m.spawn_at_start(PeId(pe), entry, 0).unwrap();
+    }
+    m.run().unwrap();
+    handle.finish()
+}
+
+#[test]
+fn exports_are_byte_deterministic_across_runs() {
+    let a = observed_run(1 << 16);
+    let b = observed_run(1 << 16);
+    assert_eq!(
+        chrome_trace_json(&a, 20_000_000),
+        chrome_trace_json(&b, 20_000_000)
+    );
+    assert_eq!(events_csv(&a, 20_000_000), events_csv(&b, 20_000_000));
+}
+
+#[test]
+fn chrome_export_validates_and_matches_csv_digest() {
+    let obs = observed_run(1 << 16);
+    let json = chrome_trace_json(&obs, 20_000_000);
+    let sum = validate_chrome_trace(&json).expect("exporter output must validate");
+    // Eight split-phase reads (two per PE) -> eight async begin/end pairs.
+    assert_eq!(sum.asyncs, 16, "{sum:?}");
+    // Every thread ran bursts; slices exist and metadata names 4 PEs + net.
+    assert!(sum.slices >= 8, "{sum:?}");
+    assert_eq!(sum.metadata, 7, "{sum:?}");
+
+    // The CSV header carries the same stream digest the JSON stamps.
+    let csv = events_csv(&obs, 20_000_000);
+    let line = csv.lines().nth(1).unwrap();
+    let digest = line
+        .split_whitespace()
+        .find_map(|f| f.strip_prefix("digest="))
+        .unwrap();
+    assert_eq!(sum.digest, digest);
+
+    // CSV rows equal kept events, plus 3 header lines.
+    assert_eq!(csv.lines().count(), obs.log.events().len() + 3);
+}
+
+#[test]
+fn bounded_recorder_overflows_without_losing_counts() {
+    let full = observed_run(1 << 16);
+    assert_eq!(full.log.dropped(), 0);
+    let small = observed_run(8);
+    assert_eq!(small.log.events().len(), 8);
+    assert!(small.log.dropped() > 0);
+    // Aggregates are exact despite the overflow: totals and per-kind counts
+    // match the unbounded run, as do the metrics registries.
+    assert_eq!(small.log.total(), full.log.total());
+    let full_counts: Vec<_> = full.log.counts().collect();
+    let small_counts: Vec<_> = small.log.counts().collect();
+    assert_eq!(full_counts, small_counts);
+    assert_eq!(small.metrics.digest(), full.metrics.digest());
+    // And the run saw real work: 4 retires, 8 remote-read suspends.
+    let retire = TraceKind::ThreadRetire {
+        frame: emx_core::FrameId(0),
+    };
+    assert_eq!(full.log.count_of(&retire), 4);
+}
+
+#[test]
+fn metrics_cover_the_run() {
+    let obs = observed_run(1 << 16);
+    let per_pe = obs.metrics.per_pe();
+    assert_eq!(per_pe.len(), 4);
+    for (pe, m) in per_pe.iter().enumerate() {
+        assert_eq!(m.spawns, 1, "PE{pe}");
+        assert_eq!(m.retires, 1, "PE{pe}");
+        assert_eq!(m.suspends, 2, "PE{pe}");
+        assert!(m.dispatches >= 3, "PE{pe}");
+        assert!(m.net_injects >= 2, "PE{pe}");
+    }
+    // Each read suspend paired with its resume: 8 latency samples.
+    assert_eq!(obs.metrics.read_latency().count(), 8);
+    assert!(obs.metrics.read_latency().mean() > 0.0);
+    assert!(obs.metrics.run_length().count() >= 8);
+}

@@ -18,7 +18,7 @@
 //! by-pass path (see `emx-runtime`), so no extra addressing travels on the
 //! wire.
 
-use emx_core::{Continuation, Cycle, Packet, PacketKind, PeId, SimError};
+use emx_core::{Continuation, Cycle, Packet, PacketKind, PeId, Probe, SimError, TraceKind};
 
 use crate::memory::LocalMemory;
 
@@ -145,6 +145,35 @@ impl BypassDma {
         }
     }
 
+    /// [`service`](Self::service) with an observability probe: emits one
+    /// [`TraceKind::DmaService`] event recording the request kind and the
+    /// number of words the by-pass path moved — the paper's "fast remote
+    /// read/writes without consuming the main processor cycles".
+    pub fn service_probed(
+        &mut self,
+        now: Cycle,
+        pkt: &Packet,
+        mem: &mut LocalMemory,
+        probe: Option<&mut dyn Probe>,
+    ) -> Result<DmaOutcome, SimError> {
+        let outcome = self.service(now, pkt, mem)?;
+        if let Some(p) = probe {
+            let words = match pkt.kind {
+                PacketKind::ReadBlockReq => pkt.block_len,
+                _ => 1,
+            };
+            p.on(
+                now,
+                self.pe,
+                TraceKind::DmaService {
+                    pkt: pkt.kind,
+                    words,
+                },
+            );
+        }
+        Ok(outcome)
+    }
+
     /// Reserve the OBU for one EXU-generated packet leaving at `now`;
     /// returns the departure time. (The OBU "receives packets generated by
     /// the EXU or IBU", so both share this timeline.)
@@ -258,6 +287,47 @@ mod tests {
         assert_eq!(b, Cycle::new(18));
         assert_eq!(dma.serviced_words, 2);
         assert_eq!(dma.ibu_free(), Cycle::new(18));
+    }
+
+    #[test]
+    fn probed_service_reports_kind_and_word_count() {
+        use emx_core::TraceKind;
+
+        #[derive(Default)]
+        struct Rec(Vec<TraceKind>);
+        impl Probe for Rec {
+            fn on(&mut self, _at: Cycle, pe: PeId, kind: TraceKind) {
+                assert_eq!(pe, PeId(0), "DMA events carry the servicing PE");
+                self.0.push(kind);
+            }
+        }
+
+        let mut dma = BypassDma::new(PeId(0), 4, 1);
+        let mut mem = LocalMemory::new(0, 64);
+        let mut rec = Rec::default();
+        let req = Packet::read_req(PeId(1), ga(0, 0), cont());
+        dma.service_probed(Cycle::ZERO, &req, &mut mem, Some(&mut rec))
+            .unwrap();
+        let blk = Packet::read_block_req(PeId(1), ga(0, 0), cont(), 6).unwrap();
+        dma.service_probed(Cycle::ZERO, &blk, &mut mem, Some(&mut rec))
+            .unwrap();
+        assert_eq!(
+            rec.0,
+            vec![
+                TraceKind::DmaService {
+                    pkt: PacketKind::ReadReq,
+                    words: 1
+                },
+                TraceKind::DmaService {
+                    pkt: PacketKind::ReadBlockReq,
+                    words: 6
+                },
+            ]
+        );
+        // Probe-less calls are the plain service path.
+        assert!(dma
+            .service_probed(Cycle::ZERO, &req, &mut mem, None)
+            .is_ok());
     }
 
     #[test]

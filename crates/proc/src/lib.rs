@@ -2,7 +2,7 @@
 //!
 //! The EMC-Y processing-element component models.
 //!
-//! Each EMC-Y is "a single chip pipelined RISC-style processor ... [which]
+//! Each EMC-Y is "a single chip pipelined RISC-style processor ... \[which\]
 //! consists of Switching Unit (SU), Input Buffer Unit (IBU), Matching Unit
 //! (MU), Execution Unit (EXU), Output Buffer Unit (OBU) and Memory Control
 //! Unit (MCU)" (paper §2.2). This crate provides those units as passive,
@@ -16,7 +16,7 @@
 //! * [`FrameTable`] — the activation-frame tree ("activation frames form a
 //!   tree rather than a stack", §2.3), a slab allocator of thread frames;
 //! * [`BypassDma`] — the IBU→MCU→OBU path that services remote reads and
-//!   writes "without consuming the cycles of [the] Execution Unit".
+//!   writes "without consuming the cycles of \[the\] Execution Unit".
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

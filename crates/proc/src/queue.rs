@@ -12,7 +12,7 @@
 
 use std::collections::VecDeque;
 
-use emx_core::{Packet, Priority};
+use emx_core::{Cycle, Packet, PeId, Priority, Probe, TraceKind};
 
 /// Where a pushed packet landed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -117,6 +117,67 @@ impl PacketQueue {
     pub fn push_spilled(&mut self, pkt: Packet) -> Pushed {
         self.forced_spills += 1;
         self.enqueue(pkt, true)
+    }
+
+    /// [`push`](Self::push) with an observability probe: emits one
+    /// [`TraceKind::Enqueue`] event carrying the FIFO class, whether the
+    /// packet spilled to the on-memory buffer, and the queue depth after
+    /// the push. `forced` routes through
+    /// [`push_spilled`](Self::push_spilled) instead.
+    pub fn push_probed(
+        &mut self,
+        pkt: Packet,
+        forced: bool,
+        at: Cycle,
+        pe: PeId,
+        probe: Option<&mut dyn Probe>,
+    ) -> Pushed {
+        let priority = pkt.priority;
+        let kind = pkt.kind;
+        let pushed = if forced {
+            self.push_spilled(pkt)
+        } else {
+            self.push(pkt)
+        };
+        if let Some(p) = probe {
+            p.on(
+                at,
+                pe,
+                TraceKind::Enqueue {
+                    pkt: kind,
+                    priority,
+                    spilled: pushed == Pushed::Spilled,
+                    depth: self.len(),
+                },
+            );
+        }
+        pushed
+    }
+
+    /// [`pop`](Self::pop) with an observability probe: emits one
+    /// [`TraceKind::Unspill`] event when the popped packet is restored from
+    /// the on-memory overflow buffer (the restore penalty the dispatcher
+    /// charges to switching).
+    pub fn pop_probed(
+        &mut self,
+        at: Cycle,
+        pe: PeId,
+        probe: Option<&mut dyn Probe>,
+    ) -> Option<(Packet, bool)> {
+        let (pkt, spilled) = self.pop()?;
+        if spilled {
+            if let Some(p) = probe {
+                p.on(
+                    at,
+                    pe,
+                    TraceKind::Unspill {
+                        pkt: pkt.kind,
+                        priority: pkt.priority,
+                    },
+                );
+            }
+        }
+        Some((pkt, spilled))
     }
 
     /// Dequeue the next packet — high priority first, FIFO within a class.
@@ -258,6 +319,52 @@ mod tests {
         }
         while q.pop().is_some() {}
         assert_eq!(q.fifo_violations, 0);
+    }
+
+    #[test]
+    fn probed_push_and_pop_emit_queue_events() {
+        use emx_core::{TraceEvent, TraceKind};
+
+        #[derive(Default)]
+        struct Rec(Vec<TraceEvent>);
+        impl Probe for Rec {
+            fn on(&mut self, at: Cycle, pe: PeId, kind: TraceKind) {
+                self.0.push(TraceEvent { at, pe, kind });
+            }
+        }
+
+        let mut q = PacketQueue::new(1);
+        let mut rec = Rec::default();
+        q.push_probed(wr(0), false, Cycle::new(5), PeId(2), Some(&mut rec));
+        q.push_probed(wr(1), false, Cycle::new(6), PeId(2), Some(&mut rec));
+        assert_eq!(rec.0.len(), 2);
+        assert!(matches!(
+            rec.0[0].kind,
+            TraceKind::Enqueue {
+                spilled: false,
+                depth: 1,
+                ..
+            }
+        ));
+        assert!(matches!(
+            rec.0[1].kind,
+            TraceKind::Enqueue {
+                spilled: true,
+                depth: 2,
+                ..
+            }
+        ));
+        // Only the spilled pop reports an unspill.
+        q.pop_probed(Cycle::new(7), PeId(2), Some(&mut rec));
+        assert_eq!(rec.0.len(), 2);
+        q.pop_probed(Cycle::new(8), PeId(2), Some(&mut rec));
+        assert!(matches!(rec.0[2].kind, TraceKind::Unspill { .. }));
+        // Probe-less calls behave exactly like the plain API.
+        let mut q2 = PacketQueue::new(1);
+        assert_eq!(q2.push_probed(wr(0), true, Cycle::ZERO, PeId(0), None), {
+            Pushed::Spilled
+        });
+        assert_eq!(q2.forced_spills, 1);
     }
 
     #[test]

@@ -76,6 +76,6 @@ mod machine;
 mod thread;
 mod trace;
 
-pub use machine::{EntryId, Machine, BARRIER_COORDINATOR};
+pub use machine::{EntryId, Machine, BARRIER_COORDINATOR, FRAME_WORDS};
 pub use thread::{Action, BarrierId, ThreadBody, ThreadCtx, WorkKind};
-pub use trace::{Trace, TraceEvent, TraceKind};
+pub use trace::{SuspendCause, Trace, TraceEvent, TraceKind, TRACE_SCHEMA};

@@ -12,7 +12,7 @@
 
 use emx_core::{
     Continuation, Cycle, EventQueue, FaultSpec, FrameId, GlobalAddr, MachineConfig, Packet,
-    PacketKind, PeId, Priority, ServiceMode, SimError, SlotId,
+    PacketKind, PeId, Priority, Probe, ServiceMode, SimError, SlotId, SuspendCause,
 };
 use emx_faults::{FaultPlan, FaultReport, FaultyNetwork, InvariantChecker, Rng64};
 use emx_isa::{Effect, Program, Reg, ThreadState};
@@ -190,6 +190,47 @@ struct Charges {
     comm: u64,
 }
 
+/// Fan-out for the machine's two observability consumers: the bounded
+/// in-memory [`Trace`] and the externally attached [`Probe`]. Borrowing the
+/// two `Option` fields out of the machine lets the hot paths emit while
+/// `pes`/`entries`/`barrier_defs` are simultaneously borrowed, and the
+/// [`Sink::as_probe`] gate keeps probed calls on the `None` fast path —
+/// no event is ever constructed — when observation is off.
+struct Sink<'a> {
+    trace: Option<&'a mut Trace>,
+    probe: Option<&'a mut (dyn Probe + Send + 'static)>,
+}
+
+impl Sink<'_> {
+    #[inline]
+    fn enabled(&self) -> bool {
+        self.trace.is_some() || self.probe.is_some()
+    }
+
+    /// `Some(self)` when any consumer is attached, else `None`, for the
+    /// `*_probed` entry points of the processor units and network.
+    #[inline]
+    fn as_probe(&mut self) -> Option<&mut dyn Probe> {
+        if self.enabled() {
+            Some(self)
+        } else {
+            None
+        }
+    }
+}
+
+impl Probe for Sink<'_> {
+    #[inline]
+    fn on(&mut self, at: Cycle, pe: PeId, kind: TraceKind) {
+        if let Some(t) = self.trace.as_deref_mut() {
+            t.record(at, pe, kind);
+        }
+        if let Some(p) = self.probe.as_deref_mut() {
+            p.on(at, pe, kind);
+        }
+    }
+}
+
 /// A packet produced during a dispatch, to be scheduled after borrows end.
 enum Outgoing {
     /// Route through the network from this processor at `depart`.
@@ -222,6 +263,9 @@ pub struct Machine {
     /// Coordinator-side arrival counts per barrier id.
     barrier_counts: Vec<usize>,
     trace: Option<Trace>,
+    /// Externally attached observability sink ([`Machine::attach_probe`]);
+    /// receives the same event stream as the trace, unbounded.
+    probe: Option<Box<dyn Probe + Send>>,
     ran: bool,
     faults: Option<FaultState>,
     /// Latest meaningful simulated time: advanced by arrivals, dispatches
@@ -296,6 +340,7 @@ impl Machine {
             barrier_defs: Vec::new(),
             barrier_counts: Vec::new(),
             trace: None,
+            probe: None,
             ran: false,
             faults,
             progress: Cycle::ZERO,
@@ -338,8 +383,9 @@ impl Machine {
         EntryId(self.entries.len() as u32 - 1)
     }
 
-    /// Record up to `capacity` scheduling events (dispatches and packet
-    /// injections) for post-run inspection via [`Machine::trace`].
+    /// Record up to `capacity` scheduling events (dispatches, packet
+    /// injections, thread lifecycle, queue and DMA activity) for post-run
+    /// inspection via [`Machine::trace`].
     pub fn enable_trace(&mut self, capacity: usize) {
         self.trace = Some(Trace::new(capacity));
     }
@@ -347,6 +393,37 @@ impl Machine {
     /// The recorded trace, if tracing was enabled.
     pub fn trace(&self) -> Option<&Trace> {
         self.trace.as_ref()
+    }
+
+    /// Attach an observability probe. The probe receives every event the
+    /// trace would (unbounded — the probe owns its retention policy), so
+    /// exporters and metrics registries (`emx-obs`) can observe a run
+    /// without the machine holding their storage. With no probe attached
+    /// every emission site is a single `None` check and no event is built.
+    pub fn attach_probe(&mut self, probe: Box<dyn Probe + Send>) {
+        self.probe = Some(probe);
+    }
+
+    /// Detach and return the attached probe, if any.
+    pub fn detach_probe(&mut self) -> Option<Box<dyn Probe + Send>> {
+        self.probe.take()
+    }
+
+    /// Split-borrow the observability sink alongside nothing else; hot
+    /// paths that already hold field borrows build the [`Sink`] inline.
+    fn emit(&mut self, at: Cycle, pe: PeId, kind: TraceKind) {
+        let mut sink = Sink {
+            trace: self.trace.as_mut(),
+            probe: self.probe.as_deref_mut(),
+        };
+        if sink.enabled() {
+            sink.on(at, pe, kind);
+        }
+    }
+
+    /// Whether any observability consumer is attached.
+    fn observing(&self) -> bool {
+        self.trace.is_some() || self.probe.is_some()
     }
 
     /// Name of a registered entry (for traces; templates report their
@@ -439,6 +516,13 @@ impl Machine {
                     if via_net {
                         if let Some(ck) = self.faults.as_mut().and_then(|f| f.checker.as_mut()) {
                             ck.observe_arrival();
+                        }
+                        if self.observing() {
+                            let kind = TraceKind::NetDeliver {
+                                pkt: pkt.kind,
+                                src: pkt.src,
+                            };
+                            self.emit(t, pe, kind);
                         }
                     }
                     self.on_arrive(t, pe, pkt)?;
@@ -584,16 +668,24 @@ impl Machine {
             Some(fs) => fs.spill_rng.chance_ppm(fs.spec.spill_ppm),
             None => false,
         };
-        let pe = &mut self.pes[pe_id.index()];
-        if force_spill {
-            pe.queue.push_spilled(pkt);
-        } else {
-            pe.queue.push(pkt);
-        }
+        let Machine {
+            pes,
+            trace,
+            probe,
+            events,
+            ..
+        } = self;
+        let pe = &mut pes[pe_id.index()];
+        let mut sink = Sink {
+            trace: trace.as_mut(),
+            probe: probe.as_deref_mut(),
+        };
+        pe.queue
+            .push_probed(pkt, force_spill, t, pe_id, sink.as_probe());
         if !pe.dispatch_scheduled {
             let at = t.max(pe.busy_until);
             pe.dispatch_scheduled = true;
-            self.events.push(at, Ev::Dispatch(pe_id))?;
+            events.push(at, Ev::Dispatch(pe_id))?;
         }
         Ok(())
     }
@@ -619,8 +711,16 @@ impl Machine {
                     None => t,
                 };
                 let outcome = {
-                    let pe = &mut self.pes[pe_id.index()];
-                    pe.dma.service(t, &pkt, &mut pe.mem)?
+                    let Machine {
+                        pes, trace, probe, ..
+                    } = self;
+                    let pe = &mut pes[pe_id.index()];
+                    let mut sink = Sink {
+                        trace: trace.as_mut(),
+                        probe: probe.as_deref_mut(),
+                    };
+                    pe.dma
+                        .service_probed(t, &pkt, &mut pe.mem, sink.as_probe())?
                 };
                 for (depart, resp) in outcome.responses {
                     self.route(depart, pe_id, resp)?;
@@ -713,16 +813,25 @@ impl Machine {
         if dst.index() >= self.pes.len() {
             return Err(SimError::BadPe { pe: dst.index() });
         }
-        if let Some(trace) = &mut self.trace {
-            trace.record(depart, src, TraceKind::Send { pkt: pkt.kind, dst });
-        }
         let class = match pkt.kind {
             PacketKind::ReadReq | PacketKind::ReadBlockReq | PacketKind::ReadResp => {
                 DeliveryClass::Data
             }
             _ => DeliveryClass::Control,
         };
-        let deliveries = self.net.route_deliveries(depart, src, dst, class);
+        let deliveries = {
+            let Machine {
+                net, trace, probe, ..
+            } = self;
+            let mut sink = Sink {
+                trace: trace.as_mut(),
+                probe: probe.as_deref_mut(),
+            };
+            if sink.enabled() {
+                sink.on(depart, src, TraceKind::Send { pkt: pkt.kind, dst });
+            }
+            net.route_probed(depart, src, dst, class, pkt.kind, sink.as_probe())
+        };
         if let Some(ck) = self.faults.as_mut().and_then(|f| f.checker.as_mut()) {
             ck.observe_send(src, dst, deliveries.as_slice())
                 .map_err(FaultReport::into_error)?;
@@ -737,12 +846,19 @@ impl Machine {
         let pe_idx = pe_id.index();
         let costs = self.cfg.costs;
         let (pkt, spilled, start) = {
-            let pe = &mut self.pes[pe_idx];
+            let Machine {
+                pes, trace, probe, ..
+            } = &mut *self;
+            let pe = &mut pes[pe_idx];
             pe.dispatch_scheduled = false;
-            let Some((pkt, spilled)) = pe.queue.pop() else {
+            let start = t.max(pe.busy_until);
+            let mut sink = Sink {
+                trace: trace.as_mut(),
+                probe: probe.as_deref_mut(),
+            };
+            let Some((pkt, spilled)) = pe.queue.pop_probed(start, pe_id, sink.as_probe()) else {
                 return Ok(());
             };
-            let start = t.max(pe.busy_until);
             // EXU idle between the last burst and this dispatch: if this
             // processor still had live (suspended) threads, the gap is time
             // lost to communication/synchronization — the Figure 6 quantity.
@@ -751,11 +867,11 @@ impl Machine {
                 pe.stats.breakdown.comm += gap;
             }
             pe.stats.dispatches += 1;
+            if sink.enabled() {
+                sink.on(start, pe_id, TraceKind::Dispatch { pkt: pkt.kind });
+            }
             (pkt, spilled, start)
         };
-        if let Some(trace) = &mut self.trace {
-            trace.record(start, pe_id, TraceKind::Dispatch { pkt: pkt.kind });
-        }
 
         let mut now = start;
         let mut ch = Charges::default();
@@ -799,6 +915,9 @@ impl Machine {
                     }
                     fid
                 };
+                if self.observing() {
+                    self.emit(now, pe_id, TraceKind::ThreadSpawn { frame: fid, entry });
+                }
                 self.run_burst(pe_idx, fid, &mut now, &mut ch, &mut out)?;
             }
             PacketKind::ReadResp => {
@@ -898,6 +1017,9 @@ impl Machine {
                         } else if resume {
                             now += u64::from(costs.context_switch);
                             ch.switch += u64::from(costs.context_switch);
+                            if self.observing() {
+                                self.emit(now, pe_id, TraceKind::ThreadResume { frame: fid });
+                            }
                             self.run_burst(pe_idx, fid, &mut now, &mut ch, &mut out)?;
                         }
                     }
@@ -922,6 +1044,9 @@ impl Machine {
                                 .get_mut(fid)
                                 .ok_or(SimError::FrameOutOfRange { frame: fid.index() })?
                                 .wait = Wait::Ready;
+                            if self.observing() {
+                                self.emit(now, pe_id, TraceKind::ThreadResume { frame: fid });
+                            }
                             self.run_burst(pe_idx, fid, &mut now, &mut ch, &mut out)?;
                         } else {
                             // Unsuccessful check: the iteration-sync switch
@@ -964,6 +1089,9 @@ impl Machine {
                                 .get_mut(fid)
                                 .ok_or(SimError::FrameOutOfRange { frame: fid.index() })?
                                 .wait = Wait::Ready;
+                            if self.observing() {
+                                self.emit(now, pe_id, TraceKind::ThreadResume { frame: fid });
+                            }
                             self.run_burst(pe_idx, fid, &mut now, &mut ch, &mut out)?;
                         } else {
                             // Spurious wake (signal raced a higher
@@ -991,6 +1119,9 @@ impl Machine {
                             }
                         })?;
                         frame.wait = Wait::Ready;
+                        if self.observing() {
+                            self.emit(now, pe_id, TraceKind::ThreadResume { frame: fid });
+                        }
                         self.run_burst(pe_idx, fid, &mut now, &mut ch, &mut out)?;
                     }
                     other => {
@@ -1156,9 +1287,21 @@ impl Machine {
         } else {
             None
         };
-        let barrier_defs = &self.barrier_defs;
-        let entries = &self.entries;
-        let pe = &mut self.pes[pe_idx];
+        let Machine {
+            pes,
+            entries,
+            barrier_defs,
+            trace,
+            probe,
+            ..
+        } = self;
+        let entries = &*entries;
+        let barrier_defs = &*barrier_defs;
+        let mut sink = Sink {
+            trace: trace.as_mut(),
+            probe: probe.as_deref_mut(),
+        };
+        let pe = &mut pes[pe_idx];
 
         loop {
             let Pe {
@@ -1356,6 +1499,16 @@ impl Machine {
                     out.push(Outgoing::Net { depart, pkt: req });
                     *now += u64::from(costs.context_switch);
                     ch.switch += u64::from(costs.context_switch);
+                    if sink.enabled() {
+                        sink.on(
+                            *now,
+                            pe_id,
+                            TraceKind::ThreadSuspend {
+                                frame: fid,
+                                cause: SuspendCause::RemoteRead,
+                            },
+                        );
+                    }
                     return Ok(());
                 }
                 Action::ReadBlock {
@@ -1398,6 +1551,16 @@ impl Machine {
                     out.push(Outgoing::Net { depart, pkt: req });
                     *now += u64::from(costs.context_switch);
                     ch.switch += u64::from(costs.context_switch);
+                    if sink.enabled() {
+                        sink.on(
+                            *now,
+                            pe_id,
+                            TraceKind::ThreadSuspend {
+                                frame: fid,
+                                cause: SuspendCause::BlockRead,
+                            },
+                        );
+                    }
                     return Ok(());
                 }
                 Action::Barrier { id } => {
@@ -1451,6 +1614,16 @@ impl Machine {
                     });
                     *now += u64::from(costs.context_switch);
                     ch.switch += u64::from(costs.context_switch);
+                    if sink.enabled() {
+                        sink.on(
+                            *now,
+                            pe_id,
+                            TraceKind::ThreadSuspend {
+                                frame: fid,
+                                cause: SuspendCause::Barrier,
+                            },
+                        );
+                    }
                     return Ok(());
                 }
                 Action::WaitSeq { cell, threshold } => {
@@ -1474,6 +1647,16 @@ impl Machine {
                     pe.stats.switches.thread_sync += 1;
                     *now += u64::from(costs.context_switch);
                     ch.switch += u64::from(costs.context_switch);
+                    if sink.enabled() {
+                        sink.on(
+                            *now,
+                            pe_id,
+                            TraceKind::ThreadSuspend {
+                                frame: fid,
+                                cause: SuspendCause::ThreadSync,
+                            },
+                        );
+                    }
                     return Ok(());
                 }
                 Action::Yield => {
@@ -1489,6 +1672,16 @@ impl Machine {
                     });
                     *now += u64::from(costs.context_switch);
                     ch.switch += u64::from(costs.context_switch);
+                    if sink.enabled() {
+                        sink.on(
+                            *now,
+                            pe_id,
+                            TraceKind::ThreadSuspend {
+                                frame: fid,
+                                cause: SuspendCause::Yield,
+                            },
+                        );
+                    }
                     return Ok(());
                 }
                 Action::End => {
@@ -1496,6 +1689,9 @@ impl Machine {
                     ch.switch += u64::from(costs.context_switch);
                     pe.live_threads -= 1;
                     pe.frames.free(fid);
+                    if sink.enabled() {
+                        sink.on(*now, pe_id, TraceKind::ThreadRetire { frame: fid });
+                    }
                     return Ok(());
                 }
             }

@@ -1,58 +1,25 @@
 //! Optional execution tracing.
 //!
 //! When enabled with [`Machine::enable_trace`](crate::Machine::enable_trace),
-//! the machine records one event per packet injection and per dispatch —
-//! enough to reconstruct the FIFO scheduling interleaving the paper's
-//! Figure 4 walks through by hand. The trace is bounded: once `capacity`
-//! events have been recorded the rest are counted but dropped, so tracing
-//! is safe on long runs.
+//! the machine records one event per observable scheduling step — packet
+//! dispatch and injection, thread spawn/suspend/resume/retire, queue
+//! enqueue/spill/unspill, by-pass DMA service, and network
+//! injection/ejection — enough to reconstruct the FIFO scheduling
+//! interleaving the paper's Figure 4 walks through by hand. The event
+//! vocabulary itself ([`TraceKind`], [`TraceEvent`]) lives in `emx-core`
+//! so the processor units and network models can emit through the same
+//! [`Probe`](emx_core::Probe) sink; this module re-exports it and keeps
+//! the bounded in-memory [`Trace`] buffer the machine fills.
+//!
+//! The trace is bounded: once `capacity` events have been recorded the rest
+//! are counted but dropped, so tracing is safe on long runs. The drop count
+//! stays exact even when the buffer overflows.
 
-use std::fmt;
-
-use emx_core::{Cycle, PacketKind, PeId};
+use emx_core::{Cycle, PeId, Probe};
 use emx_stats::Table;
 use serde::{Deserialize, Serialize};
 
-/// What happened.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub enum TraceKind {
-    /// The EXU popped a packet from the queue and acted on it.
-    Dispatch {
-        /// Kind of the dispatched packet.
-        pkt: PacketKind,
-    },
-    /// A packet left this processor for `dst`.
-    Send {
-        /// Kind of the injected packet.
-        pkt: PacketKind,
-        /// Destination processor.
-        dst: PeId,
-    },
-}
-
-/// One trace record.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub struct TraceEvent {
-    /// Simulation time of the event.
-    pub at: Cycle,
-    /// Processor the event happened on.
-    pub pe: PeId,
-    /// The event.
-    pub kind: TraceKind,
-}
-
-impl fmt::Display for TraceEvent {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self.kind {
-            TraceKind::Dispatch { pkt } => {
-                write!(f, "{:>10} {} dispatch {:?}", self.at, self.pe, pkt)
-            }
-            TraceKind::Send { pkt, dst } => {
-                write!(f, "{:>10} {} send {:?} -> {}", self.at, self.pe, pkt, dst)
-            }
-        }
-    }
-}
+pub use emx_core::{SuspendCause, TraceEvent, TraceKind, TRACE_SCHEMA};
 
 /// A bounded event trace.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
@@ -82,7 +49,14 @@ impl Trace {
         }
     }
 
-    /// All recorded events, in time order.
+    /// All recorded events, in emission order.
+    ///
+    /// Emission order is *causal*: an event is recorded the moment its
+    /// layer performs the step. Timestamps are monotone per timeline (EXU
+    /// bursts, OBU departures, dispatch starts) but not globally sorted —
+    /// a packet's OBU departure stamp can precede the suspend event of the
+    /// burst that produced it. Stable-sort by [`TraceEvent::at`] to
+    /// recover strict time order; the `emx-obs` exporters do.
     pub fn events(&self) -> &[TraceEvent] {
         &self.events
     }
@@ -102,23 +76,56 @@ impl Trace {
         self.events.iter().filter(move |e| e.pe == pe)
     }
 
-    /// Render as an aligned table (cycle, PE, event).
+    /// Render as an aligned table (cycle, PE, event, detail).
     pub fn to_table(&self) -> Table {
-        let mut t = Table::new(["cycle", "pe", "event"]);
+        let mut t = Table::new(["cycle", "pe", "event", "detail"]);
         for e in &self.events {
-            let what = match e.kind {
-                TraceKind::Dispatch { pkt } => format!("dispatch {pkt:?}"),
-                TraceKind::Send { pkt, dst } => format!("send {pkt:?} -> {dst}"),
+            let detail = match e.kind {
+                TraceKind::Dispatch { pkt } => format!("{pkt:?}"),
+                TraceKind::Send { pkt, dst } => format!("{pkt:?} -> {dst}"),
+                TraceKind::ThreadSpawn { frame, entry } => format!("{frame} entry={entry}"),
+                TraceKind::ThreadResume { frame } => format!("{frame}"),
+                TraceKind::ThreadSuspend { frame, cause } => {
+                    format!("{frame} {}", cause.label())
+                }
+                TraceKind::ThreadRetire { frame } => format!("{frame}"),
+                TraceKind::Enqueue {
+                    pkt,
+                    priority,
+                    spilled,
+                    depth,
+                } => format!(
+                    "{pkt:?} {priority:?}{} depth={depth}",
+                    if spilled { " spill" } else { "" }
+                ),
+                TraceKind::Unspill { pkt, priority } => format!("{pkt:?} {priority:?}"),
+                TraceKind::DmaService { pkt, words } => format!("{pkt:?} x{words}"),
+                TraceKind::NetInject { pkt, dst, hops } => {
+                    format!("{pkt:?} -> {dst} hops={hops}")
+                }
+                TraceKind::NetDeliver { pkt, src } => format!("{pkt:?} <- {src}"),
             };
-            t.row([e.at.get().to_string(), e.pe.to_string(), what]);
+            t.row([
+                e.at.get().to_string(),
+                e.pe.to_string(),
+                e.kind.name().to_string(),
+                detail,
+            ]);
         }
         t
+    }
+}
+
+impl Probe for Trace {
+    fn on(&mut self, at: Cycle, pe: PeId, kind: TraceKind) {
+        self.record(at, pe, kind);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use emx_core::PacketKind;
 
     #[test]
     fn records_until_capacity_then_counts_drops() {
@@ -159,5 +166,33 @@ mod tests {
         assert!(rendered.contains("ReadReq"));
         assert!(rendered.contains("PE1"));
         assert!(tr.events()[1].to_string().contains("send"));
+    }
+
+    #[test]
+    fn table_covers_lifecycle_events() {
+        use emx_core::FrameId;
+        let mut tr = Trace::new(16);
+        tr.record(
+            Cycle::new(3),
+            PeId(0),
+            TraceKind::ThreadSuspend {
+                frame: FrameId(2),
+                cause: SuspendCause::RemoteRead,
+            },
+        );
+        tr.record(
+            Cycle::new(4),
+            PeId(0),
+            TraceKind::Enqueue {
+                pkt: PacketKind::ReadResp,
+                priority: emx_core::Priority::High,
+                spilled: true,
+                depth: 5,
+            },
+        );
+        let rendered = tr.to_table().render();
+        assert!(rendered.contains("thread-suspend"), "{rendered}");
+        assert!(rendered.contains("remote-read"), "{rendered}");
+        assert!(rendered.contains("spill"), "{rendered}");
     }
 }

@@ -3,7 +3,8 @@
 //! Re-running `figures` only simulates points whose inputs changed: each
 //! run's result is stored under `results/cache/<key>.run`, where `<key>`
 //! is a stable 128-bit digest of the [`RunSpec`], the expanded
-//! [`MachineConfig`] (including the whole cost model and network timing),
+//! [`MachineConfig`](emx_core::MachineConfig) (including the whole cost
+//! model and network timing),
 //! and the engine's cache-format/crate version. Any change to a knob, a
 //! cost, or the format yields a different address, so stale entries are
 //! never *read* — they are simply orphaned (delete `results/cache/` to

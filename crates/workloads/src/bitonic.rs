@@ -481,11 +481,24 @@ fn validate(cfg: &MachineConfig, params: &SortParams) -> Result<usize, SimError>
 /// verify the output (globally ascending and a permutation of the input),
 /// and return the measurements.
 pub fn run_bitonic(cfg: &MachineConfig, params: &SortParams) -> Result<SortOutcome, SimError> {
+    run_bitonic_observed(cfg, params, |_| {})
+}
+
+/// [`run_bitonic`] with an observation hook: `setup` receives the freshly
+/// built machine before anything is loaded or spawned, so it can attach a
+/// probe (`machine.attach_probe(..)`) or enable the bounded trace and see
+/// the complete event stream of the run.
+pub fn run_bitonic_observed(
+    cfg: &MachineConfig,
+    params: &SortParams,
+    setup: impl FnOnce(&mut Machine),
+) -> Result<SortOutcome, SimError> {
     let p = cfg.num_pes;
     let m = validate(cfg, params)?;
     let h = params.threads;
 
     let mut machine = Machine::new(cfg.clone())?;
+    setup(&mut machine);
     machine.define_seq_cells(1);
     let barrier = machine.define_barrier(h);
 

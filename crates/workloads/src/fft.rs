@@ -410,6 +410,18 @@ fn validate(cfg: &MachineConfig, params: &FftParams) -> Result<usize, SimError> 
 /// Run the multithreaded FFT, verify the output against the f64 host
 /// reference of the executed stages, and return the measurements.
 pub fn run_fft(cfg: &MachineConfig, params: &FftParams) -> Result<FftOutcome, SimError> {
+    run_fft_observed(cfg, params, |_| {})
+}
+
+/// [`run_fft`] with an observation hook: `setup` receives the freshly
+/// built machine before anything is loaded or spawned, so it can attach a
+/// probe (`machine.attach_probe(..)`) or enable the bounded trace and see
+/// the complete event stream of the run.
+pub fn run_fft_observed(
+    cfg: &MachineConfig,
+    params: &FftParams,
+    setup: impl FnOnce(&mut Machine),
+) -> Result<FftOutcome, SimError> {
     let p = cfg.num_pes;
     let m = validate(cfg, params)?;
     let h = params.threads;
@@ -417,6 +429,7 @@ pub fn run_fft(cfg: &MachineConfig, params: &FftParams) -> Result<FftOutcome, Si
     let log_n = params.n.trailing_zeros() as usize;
 
     let mut machine = Machine::new(cfg.clone())?;
+    setup(&mut machine);
     let barrier = machine.define_barrier(h);
 
     let input = signal(params.n, params.shape, params.seed);

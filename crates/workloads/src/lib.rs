@@ -22,16 +22,19 @@
 //! permutation; FFT against a naive DFT), and return the run's
 //! [`RunReport`](emx_stats::RunReport) for the figure harnesses.
 //!
-//! [`gen`] provides seeded input generators so every run is reproducible.
+//! [`gen`] provides seeded input generators so every run is reproducible,
+//! and [`fig4`] rebuilds the paper's Figure 4 scheduling scenario with a
+//! checker for its hand-walked FIFO schedule.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bitonic;
 pub mod fft;
+pub mod fig4;
 pub mod gen;
 pub mod nullloop;
 
-pub use bitonic::{run_bitonic, SortOutcome, SortParams};
-pub use fft::{run_fft, FftOutcome, FftParams};
+pub use bitonic::{run_bitonic, run_bitonic_observed, SortOutcome, SortParams};
+pub use fft::{run_fft, run_fft_observed, FftOutcome, FftParams};
 pub use nullloop::{run_null_loop, NullLoopOutcome, NullLoopParams};

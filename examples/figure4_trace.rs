@@ -4,111 +4,23 @@
 //! (threads issue reads RR0..RR3, suspend, resume in FIFO order, and merges
 //! run in thread order).
 //!
+//! The scenario lives in `emx::workloads::fig4`; this example records it
+//! through the observability probe, machine-checks the schedule against
+//! the paper's narration, prints the event table, and writes a Perfetto
+//! trace of it.
+//!
 //! ```text
 //! cargo run --release -p emx --example figure4_trace
 //! ```
 
 use emx::prelude::*;
+use emx::workloads::fig4;
 
 fn main() {
-    // The paper's setup: Px = (2,5,6,7), Py = (1,3,4,8), two threads per
-    // processor, each handling two elements. We rebuild it with the library
-    // sort driver on a 2-PE machine and capture the trace.
-    let mut cfg = MachineConfig::with_pes(2);
-    cfg.local_memory_words = 1 << 10;
-
-    // run_bitonic builds its own machine, so drive the Machine directly to
-    // keep the trace: one merge step of the same structure.
-    let mut m = Machine::new(cfg).unwrap();
-    m.enable_trace(256);
-    m.define_seq_cells(1);
-    let barrier = m.define_barrier(2);
-
-    // Load the paper's values (already locally sorted).
-    m.mem_mut(PeId(0))
-        .unwrap()
-        .write_slice(64, &[2, 5, 6, 7])
-        .unwrap();
-    m.mem_mut(PeId(1))
-        .unwrap()
-        .write_slice(64, &[1, 3, 4, 8])
-        .unwrap();
-
-    /// One thread of the paper's example: read its two mate elements one at
-    /// a time (suspending on each, as RRn in the figure), wait its merge
-    /// turn, merge, signal, barrier, end.
-    struct Fig4Thread {
-        t: u64,
-        phase: u8,
-        k: u32,
-        barrier: BarrierId,
-    }
-    impl ThreadBody for Fig4Thread {
-        fn name(&self) -> &'static str {
-            "fig4"
-        }
-        fn step(&mut self, ctx: &mut ThreadCtx<'_>) -> Action {
-            let mate = PeId(1 - ctx.pe.0);
-            let keep_low = ctx.pe.0 == 0;
-            match self.phase {
-                // Read element k of my chunk (chunk = [2t, 2t+2)).
-                0 => {
-                    if let Some(v) = ctx.value {
-                        // Store the arrived element.
-                        let pos = 2 * self.t as u32 + self.k - 1;
-                        let idx = if keep_low { pos } else { 3 - pos };
-                        ctx.mem.write(128 + idx, v).unwrap();
-                    }
-                    if self.k == 2 {
-                        self.phase = 1;
-                        return Action::WaitSeq {
-                            cell: 0,
-                            threshold: self.t,
-                        };
-                    }
-                    let pos = 2 * self.t as u32 + self.k;
-                    self.k += 1;
-                    let idx = if keep_low { pos } else { 3 - pos };
-                    Action::Read {
-                        addr: GlobalAddr::new(mate, 64 + idx).unwrap(),
-                    }
-                }
-                // Merge my chunk in turn (simplified: real merging logic
-                // lives in the workload crate; here we only need the
-                // schedule shape).
-                1 => {
-                    self.phase = 2;
-                    Action::Work {
-                        cycles: 20,
-                        kind: WorkKind::Compute,
-                    }
-                }
-                2 => {
-                    self.phase = 3;
-                    Action::SignalSeq { cell: 0 }
-                }
-                3 => {
-                    self.phase = 4;
-                    Action::Barrier { id: self.barrier }
-                }
-                _ => Action::End,
-            }
-        }
-    }
-
-    let entry = m.register_entry("fig4", move |_, arg| {
-        Box::new(Fig4Thread {
-            t: u64::from(arg),
-            phase: 0,
-            k: 0,
-            barrier,
-        })
-    });
-    for pe in 0..2u16 {
-        for t in 0..2u32 {
-            m.spawn_at_start(PeId(pe), entry, t).unwrap();
-        }
-    }
+    let mut m = fig4::build().unwrap();
+    m.enable_trace(4096); // human-readable table
+    let (rec, handle) = Recorder::unbounded(); // exporters + metrics
+    m.attach_probe(Box::new(rec));
     let report = m.run().unwrap();
 
     println!("Figure 4 rebuilt: 2 PEs x 2 threads, 8 elements, one merge step\n");
@@ -120,6 +32,24 @@ fn main() {
         trace.dropped,
         report.elapsed,
         report.elapsed.as_emx_micros()
+    );
+
+    // The machine-checked version of the paper's narration: spawns first,
+    // reads resume FIFO t0,t1,t0,t1, an all-suspended window before the
+    // first response, merges retire in thread order.
+    let obs = handle.finish();
+    let summary = fig4::check_schedule(obs.log.events()).unwrap();
+    println!(
+        "\nschedule check: OK — data resumes {:?}, retires {:?}",
+        summary.data_resumes, summary.retires
+    );
+
+    let json = chrome_trace_json(&obs, report.clock_hz);
+    let out = std::env::temp_dir().join("emx_figure4.json");
+    std::fs::write(&out, &json).unwrap();
+    println!(
+        "wrote {} — open at https://ui.perfetto.dev to see the figure as a timeline",
+        out.display()
     );
     println!(
         "\nCompare with the paper's narration: each RRn send is followed by a\n\
