@@ -14,7 +14,8 @@
 //! simulation), `ablation` (by-pass DMA vs EM-4 servicing), `block`
 //! (block-read send instruction), `priority` (two-priority IBU scheduling),
 //! `runlength` (computation-to-communication sensitivity), `topology`
-//! (network-model ablation), `all`.
+//! (network-model ablation), `bench` (criterion-free wall-clock timing of
+//! the simulator itself, written to `results/BENCH_profile.json`), `all`.
 //!
 //! Every sweep runs through the `emx-sweep` engine: points execute in
 //! parallel (`--jobs N`, default all host cores, or `EMX_JOBS`), results
@@ -615,14 +616,101 @@ fn fig4() {
         }
     }
     println!(
-        "{} events ({} slices, {} read arrows), stream digest {}",
-        sum.events, sum.slices, sum.asyncs, sum.digest
+        "{} events ({} slices, {} read arrows)",
+        sum.events, sum.slices, sum.asyncs
     );
+    println!("digest: {}", sum.digest);
+}
+
+/// Criterion-free timing harness: wall-clock the simulator itself on a
+/// small bench matrix and write `results/BENCH_profile.json`. Every point
+/// is executed `REPS` times directly (never through the cache — the wall
+/// time must be real); the fastest repetition is reported, and the report
+/// digest must be identical across repetitions or the harness aborts.
+/// The JSON is hand-rendered: simulated `cycles` and `digest` are
+/// deterministic, `wall_ns` is host timing and varies run to run.
+fn bench(opts: &Opts) {
+    use emx::stats::report_digest;
+    use std::time::Instant;
+
+    const REPS: usize = 3;
+    println!("\n=== bench: simulator wall-clock timing ({REPS} reps, uncached) ===");
+
+    let p = 16;
+    let threads = [1usize, 4];
+    let mut table = Table::new([
+        "workload",
+        "P",
+        "h",
+        "R/PE",
+        "cycles",
+        "wall (ms)",
+        "digest",
+    ]);
+    let mut entries = Vec::new();
+    for w in [Workload::Sort, Workload::Fft] {
+        let r = sizes_for(w, opts.scale)[0];
+        for &h in &threads {
+            let spec = RunSpec::new(w, p, r, h);
+            let mut best_ns = u64::MAX;
+            let mut report = None;
+            let mut digest = String::new();
+            for rep in 0..REPS {
+                let t0 = Instant::now();
+                let out = spec
+                    .execute()
+                    .unwrap_or_else(|e| panic!("{}: {e}", spec.label()));
+                let ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                let d = report_digest(&out);
+                if rep == 0 {
+                    digest = d;
+                } else {
+                    assert_eq!(d, digest, "{}: nondeterministic report", spec.label());
+                }
+                if ns < best_ns {
+                    best_ns = ns;
+                }
+                report = Some(out);
+            }
+            let cycles = report.expect("at least one rep ran").elapsed.get();
+            table.row([
+                w.name().to_string(),
+                p.to_string(),
+                h.to_string(),
+                fmt_n(r),
+                cycles.to_string(),
+                format!("{:.3}", best_ns as f64 / 1e6),
+                digest.clone(),
+            ]);
+            entries.push(format!(
+                "    {{\"workload\": \"{}\", \"p\": {p}, \"h\": {h}, \"r\": {r}, \
+                 \"n\": {}, \"cycles\": {cycles}, \"wall_ns\": {best_ns}, \
+                 \"digest\": \"{digest}\"}}",
+                w.name(),
+                spec.n(),
+            ));
+        }
+    }
+    println!("{}", table.render());
+
+    let json = format!(
+        "{{\n  \"schema\": \"emx-bench/1\",\n  \"scale\": \"{}\",\n  \"reps\": {REPS},\n  \
+         \"points\": [\n{}\n  ]\n}}\n",
+        opts.scale.name(),
+        entries.join(",\n"),
+    );
+    let dir = Path::new("results");
+    if fs::create_dir_all(dir).is_ok() {
+        let path = dir.join("BENCH_profile.json");
+        if fs::write(&path, &json).is_ok() {
+            println!("  [json] {}", path.display());
+        }
+    }
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: figures [fig4|fig6|fig7|fig8|fig9|latency|model|ablation|block|priority|runlength|topology|all]\n\
+        "usage: figures [fig4|fig6|fig7|fig8|fig9|latency|model|ablation|block|priority|runlength|topology|bench|all]\n\
          \x20              [quick|standard|full] [--jobs N] [--no-cache]"
     );
     std::process::exit(2);
@@ -688,6 +776,7 @@ fn main() {
         "priority" => priority(&opts),
         "runlength" => runlength(&opts),
         "topology" => topology(&opts),
+        "bench" => bench(&opts),
         "all" => {
             fig4();
             fig6(&opts, &mut cache);

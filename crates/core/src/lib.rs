@@ -47,5 +47,5 @@ pub use error::SimError;
 pub use event::EventQueue;
 pub use faults::{FaultSpec, PPM_SCALE};
 pub use packet::{Packet, PacketKind, Priority, WirePacket};
-pub use probe::{NullProbe, Probe, SuspendCause, TraceEvent, TraceKind, TRACE_SCHEMA};
+pub use probe::{FaultKind, NullProbe, Probe, SuspendCause, TraceEvent, TraceKind, TRACE_SCHEMA};
 pub use time::Cycle;

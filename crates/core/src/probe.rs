@@ -29,7 +29,11 @@ use crate::time::Cycle;
 /// Version tag of the trace event schema. Bump when [`TraceKind`] gains,
 /// loses, or reshapes a variant; the exporters stamp it into every file so
 /// a reader can never misparse an old dump (`docs/OBSERVABILITY.md`).
-pub const TRACE_SCHEMA: &str = "emx-trace/1";
+///
+/// `emx-trace/2` added [`TraceKind::DispatchEnd`] (exact burst-end marks,
+/// enabling trace-side time attribution) and [`TraceKind::FaultInjected`]
+/// (network fault narration from `emx-faults`).
+pub const TRACE_SCHEMA: &str = "emx-trace/2";
 
 /// Why a thread left the EXU at the end of a burst.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -55,6 +59,28 @@ impl SuspendCause {
             SuspendCause::Barrier => "barrier",
             SuspendCause::ThreadSync => "thread-sync",
             SuspendCause::Yield => "yield",
+        }
+    }
+}
+
+/// What a fault-injecting network did to a packet at the injection port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// The packet was silently discarded; no arrival is scheduled.
+    Drop,
+    /// A duplicate arrival was scheduled after the genuine one.
+    Dup,
+    /// The arrival was pushed later than the fault-free route time.
+    Delay,
+}
+
+impl FaultKind {
+    /// Short lower-case label used by the CSV and Chrome-trace exporters.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultKind::Drop => "drop",
+            FaultKind::Dup => "dup",
+            FaultKind::Delay => "delay",
         }
     }
 }
@@ -150,6 +176,22 @@ pub enum TraceKind {
         /// Source processor.
         src: PeId,
     },
+    /// The EXU finished acting on the packet dispatched at the matching
+    /// [`TraceKind::Dispatch`] and committed its cycle charges (runtime).
+    /// The interval from dispatch to dispatch-end is the exact occupied
+    /// span the profiler attributes; emitted since `emx-trace/2`.
+    DispatchEnd,
+    /// A fault-injecting network perturbed this packet at the injection
+    /// port (net, `emx-faults`); emitted alongside [`TraceKind::NetInject`]
+    /// since `emx-trace/2`.
+    FaultInjected {
+        /// Kind of the perturbed packet.
+        pkt: PacketKind,
+        /// Destination processor it was bound for.
+        dst: PeId,
+        /// What the fault plan did to it.
+        fault: FaultKind,
+    },
 }
 
 impl TraceKind {
@@ -168,6 +210,8 @@ impl TraceKind {
             TraceKind::DmaService { .. } => "dma-service",
             TraceKind::NetInject { .. } => "net-inject",
             TraceKind::NetDeliver { .. } => "net-deliver",
+            TraceKind::DispatchEnd => "dispatch-end",
+            TraceKind::FaultInjected { .. } => "fault-injected",
         }
     }
 }
@@ -213,6 +257,10 @@ impl fmt::Display for TraceEvent {
                 write!(f, "net-inject {pkt:?} -> {dst} ({hops} hops)")
             }
             TraceKind::NetDeliver { pkt, src } => write!(f, "net-deliver {pkt:?} <- {src}"),
+            TraceKind::DispatchEnd => write!(f, "dispatch-end"),
+            TraceKind::FaultInjected { pkt, dst, fault } => {
+                write!(f, "fault {pkt:?} -> {dst} ({})", fault.label())
+            }
         }
     }
 }
@@ -251,7 +299,9 @@ mod tests {
         };
         assert_eq!(ev.name(), "thread-suspend");
         assert_eq!(SuspendCause::RemoteRead.label(), "remote-read");
-        assert_eq!(TRACE_SCHEMA, "emx-trace/1");
+        assert_eq!(TraceKind::DispatchEnd.name(), "dispatch-end");
+        assert_eq!(FaultKind::Delay.label(), "delay");
+        assert_eq!(TRACE_SCHEMA, "emx-trace/2");
     }
 
     #[test]
@@ -296,6 +346,12 @@ mod tests {
             TraceKind::NetDeliver {
                 pkt: PacketKind::Write,
                 src: PeId(0),
+            },
+            TraceKind::DispatchEnd,
+            TraceKind::FaultInjected {
+                pkt: PacketKind::ReadReq,
+                dst: PeId(2),
+                fault: FaultKind::Drop,
             },
         ];
         for kind in evs {

@@ -6,6 +6,9 @@
 //! emx-cli trace   <sort|fft|fig4> [--pes N --n N --threads N --seed N]
 //!                 [--format chrome|csv] [--events CAP] [--check] [--out FILE]
 //! emx-cli metrics <sort|fft|fig4> [--pes N --n N --threads N --seed N] [--csv]
+//! emx-cli profile <sort|fft> [--pes N --n N --threads N --seed N] [--comm-only]
+//!                 [--json] [--out FILE]
+//! emx-cli profile-diff <report> [<report2>] [--baseline-dir DIR] [--threshold PPM]
 //! emx-cli sweep   --workload sort --pes 16 --sizes 512,2048 --threads 1,2,4
 //!                 [--jobs N] [--no-cache] [--csv] [--out results/sweep.csv]
 //! emx-cli faults  --workload sort --pes 16 --sizes 512 --threads 1,2,4
@@ -19,13 +22,26 @@
 //! ```
 //!
 //! `trace` runs a workload with the observability recorder attached and
-//! exports the `emx-trace/1` event stream as Chrome-trace/Perfetto JSON
+//! exports the `emx-trace/2` event stream as Chrome-trace/Perfetto JSON
 //! (open it at <https://ui.perfetto.dev>) or as CSV; `--check` re-parses
 //! the JSON with the built-in validator. `metrics` prints the per-PE
 //! counter registry, the latency/depth/run-length histograms, and the
 //! exact per-kind event totals (see `docs/OBSERVABILITY.md`). The `fig4`
 //! workload rebuilds the paper's Figure 4 scenario and verifies its
 //! hand-walked FIFO schedule before exporting.
+//!
+//! `profile` runs a workload with the streaming `emx-profile` probe and
+//! prints the digest-stamped `emx-profile/1` report: exact per-PE
+//! busy/switch/wait/idle attribution cross-validated against the counter
+//! breakdown, remote-read latency blame split into six phases, and the
+//! critical path through spawns and reads. `profile-diff` compares two
+//! reports (or one report against its committed baseline under
+//! `results/baselines/`) and exits 3 when the attribution story drifted
+//! beyond `--threshold` (default 20000 ppm = 2 percentage points), 1 on
+//! schema or digest errors — see `docs/OBSERVABILITY.md` §Profiling.
+//!
+//! Every subcommand that emits a content digest prints it as a final
+//! `digest: <32 hex>` line (the canonical form smoke tests assert on).
 //!
 //! `sweep` runs a (per-PE size × thread count) grid through the parallel
 //! cached sweep engine (`emx-sweep`): points fan out across host threads,
@@ -38,10 +54,9 @@
 //! seed derived from `--seed`. Workloads complete under loss via the
 //! remote-read retry protocol; a row whose point still fails is omitted
 //! from the CSV and recorded in the sidecar's `failed_runs`. The final
-//! `fault-matrix digest` line is a stable content digest of every report
-//! — rerunning with the same seed must reproduce it byte-for-byte, and
-//! the `--loss 0` rows match a fault-free `sweep` exactly (see
-//! `docs/FAULTS.md`).
+//! `digest:` line is a stable content digest of every report — rerunning
+//! with the same seed must reproduce it byte-for-byte, and the `--loss 0`
+//! rows match a fault-free `sweep` exactly (see `docs/FAULTS.md`).
 
 use std::process::ExitCode;
 
@@ -276,9 +291,10 @@ fn cmd_trace(args: &Args) -> Result<(), String> {
         };
         let sum = validate_chrome_trace(&json)?;
         eprintln!(
-            "trace valid: {} events ({} slices, {} asyncs, {} counters, {} instants), digest {}",
-            sum.events, sum.slices, sum.asyncs, sum.counters, sum.instants, sum.digest
+            "trace valid: {} events ({} slices, {} asyncs, {} counters, {} instants)",
+            sum.events, sum.slices, sum.asyncs, sum.counters, sum.instants
         );
+        eprintln!("digest: {}", sum.digest);
     }
     match args.get("out") {
         Some(out) => {
@@ -320,8 +336,122 @@ fn cmd_metrics(args: &Args) -> Result<(), String> {
         t.row([name.to_string(), count.to_string()]);
     }
     print!("{}", t.render());
-    println!("metrics digest: {}", obs.metrics.digest());
+    println!("digest: {}", obs.metrics.digest());
     Ok(())
+}
+
+/// Run the named workload with the streaming profiler attached and
+/// return the finished profile report with provenance metadata filled in.
+fn profiled_run(args: &Args, workload: &str) -> Result<emx::profile::ProfileReport, String> {
+    let cfg = machine_cfg(args, 16)?;
+    let n = args.usize_or("n", 16 * 256)?;
+    let threads = args.usize_or("threads", 4)?;
+    let (probe, handle) = Profiler::new(cfg.costs);
+    let mut probe = Some(probe);
+    let mut meta = vec![
+        ("workload".to_string(), workload.to_string()),
+        ("pes".to_string(), cfg.num_pes.to_string()),
+        ("n".to_string(), n.to_string()),
+        ("threads".to_string(), threads.to_string()),
+    ];
+    let report = match workload {
+        "sort" => {
+            let mut params = SortParams::new(n, threads);
+            params.seed = args.u64_or("seed", params.seed)?;
+            params.block_read = args.has("block");
+            meta.push(("seed".to_string(), params.seed.to_string()));
+            run_bitonic_observed(&cfg, &params, |m| {
+                m.attach_probe(Box::new(probe.take().unwrap()));
+            })
+            .map_err(|e| e.to_string())?
+            .report
+        }
+        "fft" => {
+            let mut params = if args.has("comm-only") {
+                FftParams::comm_only(n, threads)
+            } else {
+                FftParams::new(n, threads)
+            };
+            params.seed = args.u64_or("seed", params.seed)?;
+            meta.push(("seed".to_string(), params.seed.to_string()));
+            run_fft_observed(&cfg, &params, |m| {
+                m.attach_probe(Box::new(probe.take().unwrap()));
+            })
+            .map_err(|e| e.to_string())?
+            .report
+        }
+        other => return Err(format!("unknown workload {other:?} (sort|fft)")),
+    };
+    let mut rep = handle.finish(&report);
+    rep.meta = meta;
+    Ok(rep)
+}
+
+fn cmd_profile(args: &Args) -> Result<(), String> {
+    let workload = args.positional.first().map(String::as_str).unwrap_or("fft");
+    let rep = profiled_run(args, workload)?;
+    let text = if args.has("json") {
+        rep.to_json()
+    } else {
+        rep.canonical_text()
+    };
+    match args.get("out") {
+        Some(out) => {
+            let path = std::path::Path::new(out);
+            if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+                std::fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+            }
+            std::fs::write(path, &text).map_err(|e| format!("{out}: {e}"))?;
+            eprintln!("wrote {}", path.display());
+            println!("digest: {}", rep.digest());
+        }
+        // The canonical text already ends with its `digest:` line.
+        None => print!("{text}"),
+    }
+    Ok(())
+}
+
+/// `profile-diff` returns its verdict through the exit code (0 ok,
+/// 1 schema/parse error, 3 attribution drift), so it bypasses the shared
+/// `Result<(), String>` plumbing of the other subcommands.
+fn cmd_profile_diff(args: &Args) -> ExitCode {
+    match profile_diff_inner(args) {
+        Ok(DiffOutcome::Drift) => ExitCode::from(3),
+        Ok(_) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("emx-cli: {msg}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+fn profile_diff_inner(args: &Args) -> Result<DiffOutcome, String> {
+    let a_path = args
+        .positional
+        .first()
+        .ok_or("profile-diff wants <report> [<report2>]")?;
+    let b_path = match args.positional.get(1) {
+        Some(p) => std::path::PathBuf::from(p),
+        None => {
+            // Single-report mode: compare against the committed baseline
+            // of the same file name.
+            let dir = args.get("baseline-dir").unwrap_or("results/baselines");
+            let name = std::path::Path::new(a_path)
+                .file_name()
+                .ok_or_else(|| format!("{a_path}: not a file path"))?;
+            std::path::Path::new(dir).join(name)
+        }
+    };
+    let threshold = args.u64_or("threshold", DEFAULT_THRESHOLD_PPM)?;
+    let read = |p: &std::path::Path| {
+        std::fs::read_to_string(p).map_err(|e| format!("{}: {e}", p.display()))
+    };
+    let a =
+        parse_text(&read(std::path::Path::new(a_path))?).map_err(|e| format!("{a_path}: {e}"))?;
+    let b = parse_text(&read(&b_path)?).map_err(|e| format!("{}: {e}", b_path.display()))?;
+    let d = diff_profiles(&a, &b, threshold);
+    print!("{}", d.render());
+    Ok(d.outcome)
 }
 
 fn parse_list(name: &str, raw: &str) -> Result<Vec<usize>, String> {
@@ -489,7 +619,7 @@ fn cmd_faults(args: &Args) -> Result<(), String> {
     } else {
         print!("{}", t.render());
     }
-    println!("fault-matrix digest: {}", digest.hex());
+    println!("digest: {}", digest.hex());
     for f in &outcome.failed {
         eprintln!(
             "emx-cli: point {} FAILED after {} attempts: {}",
@@ -631,16 +761,20 @@ fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = raw.first().cloned() else {
         eprintln!(
-            "usage: emx-cli <sort|fft|trace|metrics|sweep|faults|nullloop|latency|asm|info> [options]"
+            "usage: emx-cli <sort|fft|trace|metrics|profile|profile-diff|sweep|faults|nullloop|latency|asm|info> [options]"
         );
         return ExitCode::from(2);
     };
     let args = Args::parse(&raw[1..]);
+    if cmd == "profile-diff" {
+        return cmd_profile_diff(&args);
+    }
     let result = match cmd.as_str() {
         "sort" => cmd_sort(&args),
         "fft" => cmd_fft(&args),
         "trace" => cmd_trace(&args),
         "metrics" => cmd_metrics(&args),
+        "profile" => cmd_profile(&args),
         "sweep" => cmd_sweep(&args),
         "faults" => cmd_faults(&args),
         "nullloop" => cmd_nullloop(&args),

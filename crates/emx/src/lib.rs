@@ -24,6 +24,7 @@
 //! | [`sweep`] | parallel deterministic cached sweep engine + provenance |
 //! | [`faults`] | deterministic fault injection, invariant checking |
 //! | [`obs`] | trace recorder, Perfetto/Chrome-trace + CSV export, metrics |
+//! | [`profile`] | trace-driven profiler: attribution, read blame, critical path |
 //!
 //! ## Quick start
 //!
@@ -52,6 +53,7 @@ pub use emx_model as model;
 pub use emx_net as net;
 pub use emx_obs as obs;
 pub use emx_proc as proc;
+pub use emx_profile as profile;
 pub use emx_runtime as runtime;
 pub use emx_stats as stats;
 pub use emx_sweep as sweep;
@@ -70,6 +72,10 @@ pub mod prelude {
     pub use emx_obs::{
         chrome_trace_json, events_csv, validate_chrome_trace, MetricsRegistry, Observation,
         Recorder,
+    };
+    pub use emx_profile::{
+        diff_profiles, parse_text, DiffOutcome, ProfileReport, Profiler, ProfilerHandle,
+        DEFAULT_THRESHOLD_PPM, PROFILE_SCHEMA,
     };
     pub use emx_runtime::{
         Action, BarrierId, EntryId, Machine, SuspendCause, ThreadBody, ThreadCtx, Trace,

@@ -15,7 +15,7 @@
 
 use std::collections::HashMap;
 
-use emx_core::{Cycle, PeId};
+use emx_core::{Cycle, FaultKind, PacketKind, PeId, Probe, TraceKind};
 use emx_net::{Deliveries, DeliveryClass, FaultCounters, NetStats, Network};
 
 use crate::rng::{FaultPlan, Rng64};
@@ -99,6 +99,45 @@ impl Network for FaultyNetwork {
             return Deliveries::two(t, d);
         }
         Deliveries::one(t)
+    }
+
+    fn route_probed(
+        &mut self,
+        now: Cycle,
+        src: PeId,
+        dst: PeId,
+        class: DeliveryClass,
+        pkt: PacketKind,
+        probe: Option<&mut dyn Probe>,
+    ) -> Deliveries {
+        // Same routing as the probe-less path, but narrate what the fault
+        // plan did: compare the counters before and after to see which
+        // faults this packet drew. NetInject is still emitted for dropped
+        // packets — the source switch accepted them; they die inside.
+        let before = self.counters;
+        let deliveries = self.route_deliveries(now, src, dst, class);
+        if let Some(p) = probe {
+            p.on(
+                now,
+                src,
+                TraceKind::NetInject {
+                    pkt,
+                    dst,
+                    hops: self.inner.hops(src, dst),
+                },
+            );
+            let after = self.counters;
+            for (fault, hit) in [
+                (FaultKind::Drop, after.dropped > before.dropped),
+                (FaultKind::Dup, after.duplicated > before.duplicated),
+                (FaultKind::Delay, after.delayed > before.delayed),
+            ] {
+                if hit {
+                    p.on(now, src, TraceKind::FaultInjected { pkt, dst, fault });
+                }
+            }
+        }
+        deliveries
     }
 
     fn hops(&self, src: PeId, dst: PeId) -> u32 {
@@ -241,5 +280,57 @@ mod tests {
         let mut b = wrap(spec, NetModelKind::CircularOmega, 16);
         assert_eq!(drive(&mut a, 400, 16), drive(&mut b, 400, 16));
         assert_eq!(a.fault_counters(), b.fault_counters());
+    }
+
+    #[test]
+    fn probed_routing_narrates_every_fault_it_draws() {
+        use emx_core::{FaultKind, PacketKind, Probe, TraceKind};
+
+        #[derive(Default)]
+        struct Rec(Vec<TraceKind>);
+        impl Probe for Rec {
+            fn on(&mut self, _at: Cycle, _pe: PeId, kind: TraceKind) {
+                self.0.push(kind);
+            }
+        }
+
+        let mut spec = FaultSpec::new(11);
+        spec.drop_ppm = 200_000;
+        spec.dup_ppm = 100_000;
+        spec.delay_ppm = 200_000;
+        spec.max_delay = 16;
+        let mut net = wrap(spec, NetModelKind::CircularOmega, 8);
+        let mut rec = Rec::default();
+        for i in 0..400u64 {
+            let src = PeId((i % 8) as u16);
+            let dst = PeId(((i * 5 + 1) % 8) as u16);
+            net.route_probed(
+                Cycle::new(i * 3),
+                src,
+                dst,
+                DeliveryClass::Data,
+                PacketKind::ReadReq,
+                Some(&mut rec),
+            );
+        }
+        let counters = net.fault_counters().unwrap();
+        let count = |f: FaultKind| {
+            rec.0
+                .iter()
+                .filter(|k| matches!(k, TraceKind::FaultInjected { fault, .. } if *fault == f))
+                .count() as u64
+        };
+        // One FaultInjected per counter increment, of the matching kind.
+        assert_eq!(count(FaultKind::Drop), counters.dropped);
+        assert_eq!(count(FaultKind::Dup), counters.duplicated);
+        assert_eq!(count(FaultKind::Delay), counters.delayed);
+        assert!(counters.dropped > 0 && counters.duplicated > 0 && counters.delayed > 0);
+        // NetInject is still emitted for every routed packet, drops included.
+        let injects = rec
+            .0
+            .iter()
+            .filter(|k| matches!(k, TraceKind::NetInject { .. }))
+            .count();
+        assert_eq!(injects, 400);
     }
 }

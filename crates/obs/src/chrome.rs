@@ -7,20 +7,22 @@
 //!   complete (`"X"`) slices for every EXU burst — dispatch to
 //!   suspend/retire, named by the dispatched packet and frame, with the
 //!   suspension cause in `args`;
-//! * instant (`"i"`) events for dispatches that do not run a thread burst
-//!   (barrier bookkeeping, partial block deposits);
+//! * complete (`"X"`) slices, category `"dispatch"`, for dispatches that
+//!   do not run a thread burst (barrier bookkeeping, partial block
+//!   deposits), closed by the burst's `dispatch-end` mark;
 //! * async (`"b"`/`"e"`) pairs, category `"read"`, spanning each
 //!   split-phase read from the suspend that issued it to the resume its
 //!   response triggered — Perfetto draws these as arrows over the track;
 //! * per-PE counter (`"C"`) series sampling IBU queue depth at every
 //!   enqueue;
 //! * a separate network process (pid 2) with instant events for every
-//!   fabric injection and ejection, carrying hop counts.
+//!   fabric injection and ejection (carrying hop counts) and for every
+//!   injected fault, category `"fault"`.
 //!
 //! Timestamps are microseconds derived from cycles with pure integer
 //! arithmetic (`cycles * 1e9 / clock_hz` nanoseconds, printed as
 //! `µs.nnn`), so output is byte-deterministic across platforms. The
-//! top-level `otherData` object stamps the `emx-trace/1` schema, the clock,
+//! top-level `otherData` object stamps the `emx-trace/2` schema, the clock,
 //! exact event counts, and the stream digest shared with the CSV exporter.
 //!
 //! [Trace Event Format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
@@ -111,8 +113,8 @@ pub fn chrome_trace_json(obs: &Observation, clock_hz: u64) -> String {
     let mut next_async = 0u64;
 
     let flush_pending = |events: &mut Vec<String>, p: Option<PendingSlice>, pe: usize| {
-        // A dispatch that never reached a suspend/retire (pure scheduler
-        // bookkeeping) renders as an instant on the PE track.
+        // A dispatch whose end mark is missing (dropped by a bounded log)
+        // renders as an instant on the PE track.
         if let Some(s) = p {
             events.push(format!(
                 r#"{{"ph":"i","name":"{}","cat":"dispatch","pid":1,"tid":{pe},"ts":{},"s":"t","args":{{"cycle":{}}}}}"#,
@@ -230,6 +232,30 @@ pub fn chrome_trace_json(obs: &Observation, clock_hz: u64) -> String {
                     pkt_name(pkt),
                     us(at, clock_hz),
                     src.index(),
+                ));
+            }
+            TraceKind::DispatchEnd => {
+                // The end mark closes a dispatch that ran no thread burst
+                // (barrier bookkeeping, partial block deposits) as a real
+                // slice; burst-carrying dispatches were already closed by
+                // their suspend/retire.
+                if let Some(s) = pending[pe].take() {
+                    events.push(format!(
+                        r#"{{"ph":"X","name":"{}","cat":"dispatch","pid":1,"tid":{pe},"ts":{},"dur":{},"args":{{"start_cycle":{},"end_cycle":{at}}}}}"#,
+                        esc(s.pkt),
+                        us(s.start, clock_hz),
+                        us(at - s.start, clock_hz),
+                        s.start,
+                    ));
+                }
+            }
+            TraceKind::FaultInjected { pkt, dst, fault } => {
+                events.push(format!(
+                    r#"{{"ph":"i","name":"fault {}","cat":"fault","pid":2,"tid":0,"ts":{},"s":"t","args":{{"src":{pe},"dst":{},"pkt":"{}","cycle":{at}}}}}"#,
+                    fault.label(),
+                    us(at, clock_hz),
+                    dst.index(),
+                    pkt_name(pkt),
                 ));
             }
             TraceKind::Send { .. } => {

@@ -1,4 +1,4 @@
-//! Columnar CSV export of the `emx-trace/1` event stream.
+//! Columnar CSV export of the `emx-trace/2` event stream.
 //!
 //! One row per event, one column per field; fields that do not apply to an
 //! event kind are empty. The two comment lines at the top carry the schema
@@ -13,7 +13,7 @@ use emx_stats::Digest128;
 
 use crate::recorder::{EventLog, Observation};
 
-/// The data-row header (column order is part of the `emx-trace/1` schema).
+/// The data-row header (column order is part of the `emx-trace/2` schema).
 const HEADER: &str =
     "cycle,pe,event,pkt,dst,src,frame,entry,cause,priority,spilled,depth,words,hops";
 
@@ -84,6 +84,12 @@ fn row(ev: &emx_core::TraceEvent) -> String {
         TraceKind::NetDeliver { pkt, src } => {
             c[3] = pkt_str(pkt).into();
             c[5] = src.index().to_string();
+        }
+        TraceKind::DispatchEnd => {}
+        TraceKind::FaultInjected { pkt, dst, fault } => {
+            c[3] = pkt_str(pkt).into();
+            c[4] = dst.index().to_string();
+            c[8] = fault.label().into();
         }
     }
     c.join(",")

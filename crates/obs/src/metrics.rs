@@ -1,20 +1,23 @@
 //! The metrics registry: per-PE counters, gauges, and fixed-bucket
-//! histograms folded from the `emx-trace/1` event stream.
+//! histograms folded from the `emx-trace/2` event stream.
 //!
 //! Counters are exact for every event observed (the registry sits in front
 //! of the bounded event log, not behind it). Histograms use fixed,
 //! compile-time bucket bounds so two runs — or two machines — produce
 //! structurally identical, directly comparable distributions, and the
 //! canonical text ([`MetricsRegistry::canonical_text`], format
-//! `emx-metrics/1`) is byte-deterministic and digest-stamped for
+//! `emx-metrics/2`) is byte-deterministic and digest-stamped for
 //! provenance sidecars.
 
-use emx_core::{Cycle, FrameId, PeId, SuspendCause, TraceKind};
+use emx_core::{Cycle, FaultKind, FrameId, PeId, SuspendCause, TraceKind};
 use emx_stats::{Digest128, Table};
 
 /// Version tag of the metrics canonical-text format. Bump when fields,
 /// ordering, or bucket bounds change (`docs/OBSERVABILITY.md`).
-pub const METRICS_SCHEMA: &str = "emx-metrics/1";
+///
+/// `emx-metrics/2` added the per-PE `fault[...]` counters folded from
+/// `fault-injected` events.
+pub const METRICS_SCHEMA: &str = "emx-metrics/2";
 
 /// Bucket bounds (upper-inclusive, cycles) of the read-latency histogram:
 /// suspend-on-read to resume-on-response, the paper's Table 2 quantity.
@@ -53,6 +56,20 @@ impl Histogram {
             sum: 0,
             max: 0,
         }
+    }
+
+    /// An empty histogram over caller-supplied upper-inclusive bucket
+    /// bounds (plus the implicit overflow bucket). Bounds must be static
+    /// so the structure stays comparable across runs; `emx-profile` uses
+    /// this for its latency-phase histograms.
+    pub fn with_bounds(name: &'static str, bounds: &'static [u64]) -> Self {
+        Histogram::new(name, bounds)
+    }
+
+    /// The canonical `hist ...` line of this histogram, as embedded in
+    /// [`MetricsRegistry::canonical_text`] and the `emx-profile/1` report.
+    pub fn canonical_text_line(&self) -> String {
+        self.canonical_line()
     }
 
     /// Record one sample.
@@ -162,6 +179,9 @@ pub struct PeMetrics {
     pub net_delivers: u64,
     /// Gauge: deepest the IBU queue ever got (both priority classes).
     pub max_queue_depth: u64,
+    /// Network faults drawn at this processor's injection port, indexed
+    /// `[drop, dup, delay]` (zero on fault-free networks).
+    pub faults_by_kind: [u64; 3],
 }
 
 fn cause_index(c: SuspendCause) -> usize {
@@ -181,6 +201,16 @@ const CAUSE_NAMES: [&str; 5] = [
     "thread-sync",
     "yield",
 ];
+
+fn fault_index(f: FaultKind) -> usize {
+    match f {
+        FaultKind::Drop => 0,
+        FaultKind::Dup => 1,
+        FaultKind::Delay => 2,
+    }
+}
+
+const FAULT_NAMES: [&str; 3] = ["drop", "dup", "delay"];
 
 /// Per-PE burst/read trackers, kept outside [`PeMetrics`] so the public
 /// counters stay plain data.
@@ -284,6 +314,16 @@ impl MetricsRegistry {
                 m.net_hops += u64::from(hops);
             }
             TraceKind::NetDeliver { .. } => m.net_delivers += 1,
+            TraceKind::DispatchEnd => {
+                // The burst's cycle charges are committed; any suspend or
+                // retire inside the burst already recorded its run length
+                // (those events arrive causally before the end mark), so
+                // only clear the tracker — never record here.
+                tr.burst_start = None;
+            }
+            TraceKind::FaultInjected { fault, .. } => {
+                m.faults_by_kind[fault_index(fault)] += 1;
+            }
         }
     }
 
@@ -344,6 +384,9 @@ impl MetricsRegistry {
             ));
             for (name, n) in CAUSE_NAMES.iter().zip(m.suspends_by_cause) {
                 s.push_str(&format!(" suspend[{name}]={n}"));
+            }
+            for (name, n) in FAULT_NAMES.iter().zip(m.faults_by_kind) {
+                s.push_str(&format!(" fault[{name}]={n}"));
             }
             s.push('\n');
         }

@@ -17,7 +17,7 @@ use emx_core::{Cycle, PeId, Probe, TraceEvent, TraceKind};
 use crate::metrics::MetricsRegistry;
 
 /// Number of [`TraceKind`] variants; per-kind exact counters are this wide.
-pub(crate) const N_KINDS: usize = 11;
+pub(crate) const N_KINDS: usize = 13;
 
 /// Dense index of a [`TraceKind`] variant, for exact per-kind counting.
 pub(crate) fn kind_index(kind: &TraceKind) -> usize {
@@ -33,6 +33,8 @@ pub(crate) fn kind_index(kind: &TraceKind) -> usize {
         TraceKind::DmaService { .. } => 8,
         TraceKind::NetInject { .. } => 9,
         TraceKind::NetDeliver { .. } => 10,
+        TraceKind::DispatchEnd => 11,
+        TraceKind::FaultInjected { .. } => 12,
     }
 }
 
@@ -49,6 +51,8 @@ pub(crate) const KIND_NAMES: [&str; N_KINDS] = [
     "dma-service",
     "net-inject",
     "net-deliver",
+    "dispatch-end",
+    "fault-injected",
 ];
 
 /// A bounded log of trace events with exact per-kind counts.

@@ -1,0 +1,196 @@
+//! Per-PE time attribution: fold the event stream into an exact
+//! busy / context-switch / queue-wait / idle decomposition.
+//!
+//! The fold leans on two `emx-trace/2` guarantees:
+//!
+//! * every `dispatch` has exactly one `dispatch-end`, stamped with the
+//!   cycle the runtime committed to `busy_until` — so the *occupied* span
+//!   of every EXU burst is exact, and the gap between a `dispatch-end`
+//!   and the next `dispatch` is exactly the machine's idle-or-waiting
+//!   time;
+//! * lifecycle events (`thread-spawn`/`resume`/`suspend`/`retire`) are
+//!   emitted causally inside the burst that produced them, so the live
+//!   thread count at a dispatch matches what the runtime saw when it
+//!   decided whether the gap counts as communication waiting (the
+//!   Figure 6 rule: a gap is *waiting* only while suspended threads
+//!   exist; otherwise it is genuine idleness).
+//!
+//! Within an occupied span the class split is reconstructed from the cost
+//! model: every lifecycle event costs one `context_switch`, every unspill
+//! one `ibu_spill`, every barrier-protocol dispatch two cycles, and every
+//! barrier-protocol send one `send_packet` — the same charges
+//! `Machine::on_dispatch` makes. The one trace-invisible case is a
+//! spurious sequence-cell wake (charged to switching by the runtime but
+//! indistinguishable from a failed barrier poll, which is charged to
+//! communication); both are 2-cycle burstless `ReadResp` dispatches, so
+//! the fold attributes them to queue-wait and the cross-validation
+//! tolerance absorbs the difference.
+
+use emx_core::{CostModel, PacketKind, TraceKind};
+
+/// Attribution classes of one processor's wall-clock time, in cycles.
+/// `busy + switch + wait + idle == elapsed` by construction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PeAttribution {
+    /// Useful work: compute plus send/DMA overhead (Figure 8 "busy").
+    pub busy: u64,
+    /// Context-switch and packet-handling cycles (Figure 8 "switch").
+    pub switch: u64,
+    /// Cycles lost waiting on communication/synchronization: inter-burst
+    /// gaps while suspended threads existed, plus failed barrier polls.
+    pub wait: u64,
+    /// Cycles with no work and no suspended threads.
+    pub idle: u64,
+    /// Total EXU-occupied cycles (busy + switch + in-burst waiting);
+    /// exact, straight from dispatch→dispatch-end spans.
+    pub occupied: u64,
+}
+
+/// One open EXU burst.
+#[derive(Debug, Clone, Copy)]
+struct CurBurst {
+    start: u64,
+    readresp: bool,
+    spilled: bool,
+    resumed: bool,
+}
+
+/// Streaming per-PE fold state.
+#[derive(Debug, Clone, Default)]
+struct PeFold {
+    /// Cycle of the last dispatch-end (mirror of the runtime's
+    /// `busy_until`).
+    last_end: u64,
+    cur: Option<CurBurst>,
+    /// Live threads: spawns minus retires.
+    live: u64,
+    /// Exact sum of dispatch→dispatch-end spans.
+    occupied: u64,
+    /// Exact inter-burst gaps while `live > 0`.
+    wait: u64,
+    /// Span sum of burstless `ReadResp` dispatches (failed barrier polls
+    /// and discarded stale responses): in-burst communication waiting,
+    /// gross of any unspill penalty inside those spans.
+    burstless_rr: u64,
+    /// How many of those burstless spans started with an unspill (whose
+    /// `ibu_spill` cycles belong to switching, not waiting).
+    burstless_rr_spills: u64,
+    /// Event counters driving the cost-model reconstruction.
+    unspills: u64,
+    lifecycle: u64,
+    sync_dispatches: u64,
+    sync_sends: u64,
+    pending_unspill: bool,
+}
+
+/// Streaming fold of the whole machine's attribution.
+#[derive(Debug, Clone, Default)]
+pub struct AttribFold {
+    pes: Vec<PeFold>,
+}
+
+impl AttribFold {
+    fn pe(&mut self, i: usize) -> &mut PeFold {
+        if i >= self.pes.len() {
+            self.pes.resize_with(i + 1, PeFold::default);
+        }
+        &mut self.pes[i]
+    }
+
+    /// Fold one event.
+    pub fn observe(&mut self, at: u64, pe: usize, kind: &TraceKind) {
+        let f = self.pe(pe);
+        match *kind {
+            TraceKind::Dispatch { pkt } => {
+                let gap = at.saturating_sub(f.last_end);
+                if f.live > 0 {
+                    f.wait += gap;
+                }
+                if matches!(pkt, PacketKind::SyncArrive | PacketKind::SyncRelease) {
+                    f.sync_dispatches += 1;
+                }
+                let spilled = std::mem::take(&mut f.pending_unspill);
+                f.cur = Some(CurBurst {
+                    start: at,
+                    readresp: pkt == PacketKind::ReadResp,
+                    spilled,
+                    resumed: false,
+                });
+            }
+            TraceKind::DispatchEnd => {
+                if let Some(b) = f.cur.take() {
+                    let span = at.saturating_sub(b.start);
+                    f.occupied += span;
+                    if b.readresp && !b.resumed {
+                        // Failed poll / spurious wake / discarded stale
+                        // response; everything beyond the unspill penalty
+                        // is synchronization waiting.
+                        f.burstless_rr += span;
+                        if b.spilled {
+                            f.burstless_rr_spills += 1;
+                        }
+                    }
+                }
+                f.last_end = at;
+            }
+            TraceKind::Unspill { .. } => {
+                f.unspills += 1;
+                f.pending_unspill = true;
+            }
+            TraceKind::ThreadSpawn { .. } => {
+                f.live += 1;
+                f.lifecycle += 1;
+            }
+            TraceKind::ThreadResume { .. } => {
+                f.lifecycle += 1;
+                if let Some(b) = f.cur.as_mut() {
+                    b.resumed = true;
+                }
+            }
+            TraceKind::ThreadSuspend { .. } => f.lifecycle += 1,
+            TraceKind::ThreadRetire { .. } => {
+                f.live = f.live.saturating_sub(1);
+                f.lifecycle += 1;
+            }
+            TraceKind::Send { pkt, .. } => {
+                if matches!(pkt, PacketKind::SyncArrive | PacketKind::SyncRelease) {
+                    f.sync_sends += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Number of processors that emitted at least one event.
+    pub fn num_pes(&self) -> usize {
+        self.pes.len()
+    }
+
+    /// Final attribution of processor `pe` over `elapsed` cycles under the
+    /// run's cost model.
+    pub fn attribution(&self, pe: usize, elapsed: u64, costs: &CostModel) -> PeAttribution {
+        let Some(f) = self.pes.get(pe) else {
+            return PeAttribution {
+                idle: elapsed,
+                ..PeAttribution::default()
+            };
+        };
+        let switch = u64::from(costs.ibu_spill) * f.unspills
+            + u64::from(costs.context_switch) * f.lifecycle
+            + 2 * f.sync_dispatches
+            + u64::from(costs.send_packet) * f.sync_sends;
+        let comm_in_burst = f
+            .burstless_rr
+            .saturating_sub(u64::from(costs.ibu_spill) * f.burstless_rr_spills);
+        let busy = f.occupied.saturating_sub(switch + comm_in_burst);
+        let wait = f.wait + comm_in_burst;
+        let idle = elapsed.saturating_sub(f.occupied + f.wait);
+        PeAttribution {
+            busy,
+            switch,
+            wait,
+            idle,
+            occupied: f.occupied,
+        }
+    }
+}

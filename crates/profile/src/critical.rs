@@ -1,0 +1,201 @@
+//! Critical-path extraction: the longest dependency chain through thread
+//! spawns, remote reads, and synchronization edges.
+//!
+//! Each live thread carries a chain record — the accumulated story of how
+//! the machine got to *here*: cycles spent executing bursts, waiting on
+//! remote reads, waiting on barriers/sequence cells, and in spawn transit.
+//! The chain advances at every lifecycle event by charging the interval
+//! since its last advance to the category that explains it:
+//!
+//! * `dispatch → suspend/retire`: **burst** (the thread was executing);
+//! * `suspend(read) → resume`: **read** (remote-memory round trip);
+//! * `suspend(sync) → resume`: **sync** (barrier / sequence / yield);
+//! * parent's burst end `→ child spawn`: **spawn** (packet transit plus
+//!   IBU queueing at the child).
+//!
+//! Spawn lineage is threaded through the network: the chain of the burst
+//! that sent a `Spawn` packet travels with it (FIFO per source-destination
+//! lane, like the packets themselves) and seeds the child's chain on
+//! arrival. Threads spawned by the loader at cycle 0 root fresh chains.
+//!
+//! The *critical path* reported is the chain held by the last thread to
+//! retire — every cycle of the run's makespan is downstream of that
+//! chain's root. Its category totals say where the end-to-end time went
+//! *on the critical path* specifically, which is sharper than machine-wide
+//! averages: a run can be 90% busy on average yet have a read-dominated
+//! critical path.
+
+use std::collections::{HashMap, VecDeque};
+
+use emx_core::{PacketKind, SuspendCause, TraceKind};
+
+/// Chain categories, in reporting order.
+pub const NUM_CATS: usize = 4;
+
+/// Canonical category labels.
+pub const CAT_NAMES: [&str; NUM_CATS] = ["burst", "read", "sync", "spawn"];
+
+const BURST: usize = 0;
+const READ: usize = 1;
+const SYNC: usize = 2;
+const SPAWN: usize = 3;
+
+/// The accumulated dependency chain behind one live thread.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ChainRec {
+    /// Cycle the chain was rooted (loader spawn or first observation).
+    pub root: u64,
+    /// Cycle the chain has been advanced to.
+    pub upto: u64,
+    /// Cycles charged per category.
+    pub cycles: [u64; NUM_CATS],
+    /// Edge counts per category.
+    pub counts: [u64; NUM_CATS],
+    /// Number of lifecycle edges on the chain.
+    pub depth: u64,
+}
+
+impl ChainRec {
+    fn rooted(at: u64) -> Self {
+        ChainRec {
+            root: at,
+            upto: at,
+            ..ChainRec::default()
+        }
+    }
+
+    fn charge(&mut self, cat: usize, at: u64) {
+        self.cycles[cat] += at.saturating_sub(self.upto);
+        self.counts[cat] += 1;
+        self.depth += 1;
+        self.upto = at;
+    }
+
+    /// Total cycles covered by the chain.
+    pub fn span(&self) -> u64 {
+        self.upto.saturating_sub(self.root)
+    }
+}
+
+/// The extracted critical path.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CriticalPath {
+    /// Chain of the last thread to retire.
+    pub chain: ChainRec,
+    /// Cycle of that final retire.
+    pub end: u64,
+}
+
+/// Streaming fold of spawn lineage and per-thread chains.
+#[derive(Debug, Default)]
+pub struct CritFold {
+    /// Chain per (pe, frame) of every thread seen (frame slots recycle, so
+    /// this stays bounded by the machine's frame capacity).
+    chains: HashMap<(usize, u16), (ChainRec, usize)>,
+    /// Frame whose lifecycle the current burst is driving, per PE.
+    cur_frame: HashMap<usize, u16>,
+    /// Chain snapshot of the last completed burst, per PE.
+    last_burst: HashMap<usize, ChainRec>,
+    /// Chain popped for an in-flight `Dispatch { Spawn }`, per PE.
+    pending_spawn: HashMap<usize, ChainRec>,
+    /// Parent chains travelling with Spawn packets, FIFO per (src, dst).
+    spawn_inflight: HashMap<(usize, usize), VecDeque<ChainRec>>,
+    /// Parent chains delivered but not yet dispatched, FIFO per PE.
+    arrived: HashMap<usize, VecDeque<ChainRec>>,
+    best: Option<CriticalPath>,
+}
+
+impl CritFold {
+    /// Fold one event.
+    pub fn observe(&mut self, at: u64, pe: usize, kind: &TraceKind) {
+        match *kind {
+            TraceKind::Dispatch {
+                pkt: PacketKind::Spawn,
+            } => {
+                let chain = self
+                    .arrived
+                    .entry(pe)
+                    .or_default()
+                    .pop_front()
+                    .unwrap_or_else(|| ChainRec::rooted(at));
+                self.pending_spawn.insert(pe, chain);
+            }
+            TraceKind::ThreadSpawn { frame, .. } => {
+                let mut chain = self
+                    .pending_spawn
+                    .remove(&pe)
+                    .unwrap_or_else(|| ChainRec::rooted(at));
+                chain.charge(SPAWN, at);
+                self.chains.insert((pe, frame.0), (chain, BURST));
+                self.cur_frame.insert(pe, frame.0);
+            }
+            TraceKind::ThreadResume { frame } => {
+                if let Some((chain, cat)) = self.chains.get_mut(&(pe, frame.0)) {
+                    let cat = *cat;
+                    chain.charge(cat, at);
+                }
+                self.cur_frame.insert(pe, frame.0);
+            }
+            TraceKind::ThreadSuspend { frame, cause } => {
+                if let Some((chain, cat)) = self.chains.get_mut(&(pe, frame.0)) {
+                    chain.charge(BURST, at);
+                    *cat = match cause {
+                        SuspendCause::RemoteRead | SuspendCause::BlockRead => READ,
+                        _ => SYNC,
+                    };
+                }
+            }
+            TraceKind::ThreadRetire { frame } => {
+                if let Some((chain, _)) = self.chains.get_mut(&(pe, frame.0)) {
+                    chain.charge(BURST, at);
+                    let chain = *chain;
+                    let better = self.best.is_none_or(|b| at >= b.end);
+                    if better {
+                        self.best = Some(CriticalPath { chain, end: at });
+                    }
+                }
+                self.cur_frame.insert(pe, frame.0);
+            }
+            TraceKind::DispatchEnd => {
+                if let Some(frame) = self.cur_frame.get(&pe) {
+                    if let Some((chain, _)) = self.chains.get(&(pe, *frame)) {
+                        self.last_burst.insert(pe, *chain);
+                    }
+                }
+            }
+            TraceKind::Send {
+                pkt: PacketKind::Spawn,
+                dst,
+            } => {
+                // The spawning burst's chain travels with the packet.
+                let chain = self
+                    .last_burst
+                    .get(&pe)
+                    .copied()
+                    .unwrap_or_else(|| ChainRec::rooted(at));
+                self.spawn_inflight
+                    .entry((pe, dst.index()))
+                    .or_default()
+                    .push_back(chain);
+            }
+            TraceKind::NetDeliver {
+                pkt: PacketKind::Spawn,
+                src,
+            } => {
+                let chain = self
+                    .spawn_inflight
+                    .entry((src.index(), pe))
+                    .or_default()
+                    .pop_front()
+                    .unwrap_or_else(|| ChainRec::rooted(at));
+                self.arrived.entry(pe).or_default().push_back(chain);
+            }
+            _ => {}
+        }
+    }
+
+    /// The critical path, if any thread retired.
+    pub fn critical_path(&self) -> Option<CriticalPath> {
+        self.best
+    }
+}

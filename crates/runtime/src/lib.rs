@@ -78,4 +78,4 @@ mod trace;
 
 pub use machine::{EntryId, Machine, BARRIER_COORDINATOR, FRAME_WORDS};
 pub use thread::{Action, BarrierId, ThreadBody, ThreadCtx, WorkKind};
-pub use trace::{SuspendCause, Trace, TraceEvent, TraceKind, TRACE_SCHEMA};
+pub use trace::{FaultKind, SuspendCause, Trace, TraceEvent, TraceKind, TRACE_SCHEMA};

@@ -1183,6 +1183,18 @@ impl Machine {
             pe.stats.breakdown.switch += ch.switch;
             pe.stats.breakdown.comm += Cycle::new(ch.comm);
         }
+        {
+            // The burst's occupied span is exactly [start, now]: `now` is the
+            // value committed to busy_until above, so the profiler can
+            // reconstruct per-PE occupancy without the cost model.
+            let mut sink = Sink {
+                trace: self.trace.as_mut(),
+                probe: self.probe.as_deref_mut(),
+            };
+            if sink.enabled() {
+                sink.on(now, pe_id, TraceKind::DispatchEnd);
+            }
+        }
         for o in out {
             match o {
                 Outgoing::Net { depart, pkt } => self.route(depart, pe_id, pkt)?,

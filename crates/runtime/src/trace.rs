@@ -19,7 +19,7 @@ use emx_core::{Cycle, PeId, Probe};
 use emx_stats::Table;
 use serde::{Deserialize, Serialize};
 
-pub use emx_core::{SuspendCause, TraceEvent, TraceKind, TRACE_SCHEMA};
+pub use emx_core::{FaultKind, SuspendCause, TraceEvent, TraceKind, TRACE_SCHEMA};
 
 /// A bounded event trace.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
@@ -104,6 +104,10 @@ impl Trace {
                     format!("{pkt:?} -> {dst} hops={hops}")
                 }
                 TraceKind::NetDeliver { pkt, src } => format!("{pkt:?} <- {src}"),
+                TraceKind::DispatchEnd => String::new(),
+                TraceKind::FaultInjected { pkt, dst, fault } => {
+                    format!("{pkt:?} -> {dst} {}", fault.label())
+                }
             };
             t.row([
                 e.at.get().to_string(),
