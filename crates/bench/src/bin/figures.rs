@@ -14,15 +14,22 @@
 //! simulation), `ablation` (by-pass DMA vs EM-4 servicing), `block`
 //! (block-read send instruction), `priority` (two-priority IBU scheduling),
 //! `runlength` (computation-to-communication sensitivity), `topology`
-//! (network-model ablation), `bench` (criterion-free wall-clock timing of
-//! the simulator itself, written to `results/BENCH_profile.json`), `all`.
+//! (network-model ablation), `scaling` (FFT processor-count scaling out to
+//! the 1024-PE limit — n = 8M at `full` scale), `bench` (criterion-free
+//! wall-clock timing of the simulator itself, written to
+//! `results/BENCH_profile.json` plus the sharded-execution throughput
+//! matrix at repo-root `BENCH_shard.json`), `all`.
 //!
 //! Every sweep runs through the `emx-sweep` engine: points execute in
 //! parallel (`--jobs N`, default all host cores, or `EMX_JOBS`), results
 //! assemble in grid order so the CSV output is byte-identical at any job
 //! count, and each simulated point is cached content-addressed under
 //! `results/cache/` (`--no-cache` bypasses it; delete the directory to
-//! clear it). Each CSV written to `results/` gets a `.json` provenance
+//! clear it). `--shards N` additionally splits every simulated machine
+//! into N PE shards running on a host thread pool (see `docs/SHARDING.md`)
+//! — a pure host-performance knob: reports, CSVs and cache keys are
+//! byte-identical at any shard count, so cached points stay valid.
+//! Each CSV written to `results/` gets a `.json` provenance
 //! sidecar recording the exact specs, seeds, cache keys and report digests
 //! behind it — see `docs/SWEEPS.md`.
 //!
@@ -43,6 +50,7 @@ struct Opts {
     scale: Scale,
     jobs: Option<usize>,
     no_cache: bool,
+    shards: usize,
 }
 
 impl Opts {
@@ -58,6 +66,17 @@ impl Opts {
             e = e.cache(None);
         }
         e
+    }
+
+    /// Run specs through the engine with the session's `--shards` applied
+    /// to each. Sharding is a host-performance knob: reports, CSV bytes
+    /// and cache keys are identical at any value (`RunSpec::canonical`
+    /// deliberately omits it), so cached points remain valid.
+    fn sweep(&self, mut specs: Vec<RunSpec>) -> SweepOutcome {
+        for s in &mut specs {
+            s.shards = self.shards;
+        }
+        self.engine().run(specs)
     }
 }
 
@@ -115,8 +134,7 @@ fn sizes_for(w: Workload, scale: Scale) -> Vec<usize> {
 /// workload on `p` processors, through the engine.
 fn panel_sweep(w: Workload, p: usize, opts: &Opts) -> SweepOutcome {
     let sizes = sizes_for(w, opts.scale);
-    opts.engine()
-        .run(grid(w, p, &sizes, &opts.scale.threads()))
+    opts.sweep(grid(w, p, &sizes, &opts.scale.threads()))
         .expect_complete()
 }
 
@@ -207,8 +225,7 @@ fn fig8(opts: &Opts) {
         let sizes = sizes_for(w, opts.scale);
         for &per_pe in [sizes.first().unwrap(), sizes.last().unwrap()].iter() {
             let outcome = opts
-                .engine()
-                .run(grid(w, p, &[*per_pe], &opts.scale.threads()))
+                .sweep(grid(w, p, &[*per_pe], &opts.scale.threads()))
                 .expect_complete();
             let mut table = Table::new(["h", "compute %", "overhead %", "comm %", "switch %"]);
             for pt in &outcome.points {
@@ -248,8 +265,7 @@ fn fig9(opts: &Opts) {
         let sizes = sizes_for(w, opts.scale);
         for &per_pe in [sizes.first().unwrap(), sizes.last().unwrap()].iter() {
             let outcome = opts
-                .engine()
-                .run(grid(w, p, &[*per_pe], &opts.scale.threads()))
+                .sweep(grid(w, p, &[*per_pe], &opts.scale.threads()))
                 .expect_complete();
             let mut table = Table::new(["h", "remote-read", "iter-sync", "thread-sync"]);
             for pt in &outcome.points {
@@ -427,7 +443,7 @@ fn ablation(opts: &Opts) {
             specs.push(spec);
         }
     }
-    let outcome = opts.engine().run(specs).expect_complete();
+    let outcome = opts.sweep(specs).expect_complete();
     let mut table = Table::new(["workload", "mode", "elapsed (s)", "comm (s)"]);
     for pt in &outcome.points {
         table.row([
@@ -457,7 +473,7 @@ fn block(opts: &Opts) {
             specs.push(spec);
         }
     }
-    let outcome = opts.engine().run(specs).expect_complete();
+    let outcome = opts.sweep(specs).expect_complete();
     let mut table = Table::new(["mode", "h", "elapsed (s)", "comm (s)", "packets"]);
     for pt in &outcome.points {
         table.row([
@@ -496,7 +512,7 @@ fn runlength(opts: &Opts) {
             specs.push(spec);
         }
     }
-    let outcome = opts.engine().run(specs).expect_complete();
+    let outcome = opts.sweep(specs).expect_complete();
     let mut table = Table::new(["point cycles", "E(2) %", "E(4) %"]);
     for (i, &cycles) in CYCLES.iter().enumerate() {
         let row = &outcome.points[i * THREADS.len()..(i + 1) * THREADS.len()];
@@ -533,7 +549,7 @@ fn priority(opts: &Opts) {
             specs.push(spec);
         }
     }
-    let outcome = opts.engine().run(specs).expect_complete();
+    let outcome = opts.sweep(specs).expect_complete();
     let mut table = Table::new(["priority responses", "h", "elapsed (s)", "comm (s)"]);
     for pt in &outcome.points {
         table.row([
@@ -563,7 +579,7 @@ fn topology(opts: &Opts) {
         spec.net_model = model;
         specs.push(spec);
     }
-    let outcome = opts.engine().run(specs).expect_complete();
+    let outcome = opts.sweep(specs).expect_complete();
     let mut table = Table::new(["network", "elapsed (s)", "comm (s)", "net contention (cy)"]);
     for pt in &outcome.points {
         table.row([
@@ -620,6 +636,63 @@ fn fig4() {
         sum.events, sum.slices, sum.asyncs
     );
     println!("digest: {}", sum.digest);
+}
+
+/// Processor-count scaling: FFT at a fixed per-PE size with the processor
+/// count swept out to the 1024-PE packed-address limit
+/// (`emx::core::addr::MAX_PES`). At `full` scale the largest point is
+/// n = 8M (1024 PEs x 8K points/PE) — the biggest problem size the paper
+/// reports on real hardware. Runs through the engine like every other
+/// figure sweep, so `--shards N` splits each machine across N calendars
+/// (byte-identical results at any value) and finished points are cached.
+fn scaling(opts: &Opts) {
+    use emx::core::addr::MAX_PES;
+
+    let (pes, per_pe): (Vec<usize>, usize) = match opts.scale {
+        Scale::Quick => (vec![16, 64, 256], 128),
+        Scale::Standard => (vec![64, 256, MAX_PES], 512),
+        Scale::Full => (vec![256, MAX_PES], 8192),
+    };
+    let h = 4;
+    println!(
+        "\n=== Scaling: FFT, {} points/PE, h={h}, P up to {} ===",
+        fmt_n(per_pe),
+        pes.last().unwrap()
+    );
+    let specs: Vec<RunSpec> = pes
+        .iter()
+        .map(|&p| RunSpec::new(Workload::Fft, p, per_pe, h))
+        .collect();
+    let outcome = opts.sweep(specs).expect_complete();
+    let mut table = Table::new(["P", "n", "cycles", "elapsed (s)", "comm (s)", "speedup"]);
+    let base = &outcome.points[0];
+    for pt in &outcome.points {
+        // Fixed work per PE: throughput relative to the smallest panel is
+        // (P / P_base) x (elapsed_base / elapsed) — P under ideal scaling.
+        let rel = (pt.spec.pes as f64 / base.spec.pes as f64)
+            * (base.report.elapsed_secs() / pt.report.elapsed_secs());
+        table.row([
+            pt.spec.pes.to_string(),
+            fmt_n(pt.spec.n()),
+            pt.report.elapsed.get().to_string(),
+            format!("{:.6e}", pt.report.elapsed_secs()),
+            format!("{:.6e}", pt.report.comm_sync_time_secs()),
+            format!("{rel:.1}x"),
+        ]);
+    }
+    println!("{}", table.render());
+    save_csv_with_provenance(
+        "scaling_fft",
+        &table,
+        &outcome,
+        opts,
+        &[("per_pe", per_pe.to_string()), ("threads", h.to_string())],
+    );
+    println!(
+        "fixed work per PE: ideal scaling keeps elapsed flat, so speedup\n\
+         (throughput relative to the smallest panel) tracks P; the gap is\n\
+         the network's growing hop count and butterfly exchange distance."
+    );
 }
 
 /// Criterion-free timing harness: wall-clock the simulator itself on a
@@ -706,12 +779,92 @@ fn bench(opts: &Opts) {
             println!("  [json] {}", path.display());
         }
     }
+
+    bench_shards(opts);
+}
+
+/// Shard-count timing: simulated cycles/second for each workload at shard
+/// counts 1/2/4/8, written to repo-root `BENCH_shard.json`. Every point
+/// runs P=64 so the shards have real cross-shard traffic; the report
+/// digest is asserted identical across every shard count — this doubles
+/// as a determinism smoke test on the exact configurations being timed.
+/// `cycles` and `digest` are deterministic; `wall_ns` (and therefore
+/// `cycles_per_sec`) is host timing and varies run to run.
+fn bench_shards(opts: &Opts) {
+    use emx::stats::report_digest;
+    use std::time::Instant;
+
+    const REPS: usize = 3;
+    const SHARDS: [usize; 4] = [1, 2, 4, 8];
+    let (p, h) = (64, 4);
+    println!("\n=== bench: sharded execution throughput ({REPS} reps, P={p}, uncached) ===");
+
+    let mut table = Table::new(["workload", "shards", "cycles", "wall (ms)", "Mcycles/s"]);
+    let mut entries = Vec::new();
+    for w in [Workload::Sort, Workload::Fft] {
+        let r = sizes_for(w, opts.scale)[0];
+        let mut oracle_digest = String::new();
+        for &shards in &SHARDS {
+            let mut spec = RunSpec::new(w, p, r, h);
+            spec.shards = shards;
+            let mut best_ns = u64::MAX;
+            let mut cycles = 0u64;
+            for _ in 0..REPS {
+                let t0 = Instant::now();
+                let out = spec
+                    .execute()
+                    .unwrap_or_else(|e| panic!("{}: {e}", spec.label()));
+                let ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                let d = report_digest(&out);
+                if shards == SHARDS[0] && oracle_digest.is_empty() {
+                    oracle_digest = d;
+                } else {
+                    assert_eq!(
+                        d,
+                        oracle_digest,
+                        "{}: sharded run diverged from the oracle",
+                        spec.label()
+                    );
+                }
+                best_ns = best_ns.min(ns);
+                cycles = out.elapsed.get();
+            }
+            let mcps = cycles as f64 / (best_ns as f64 / 1e9) / 1e6;
+            table.row([
+                w.name().to_string(),
+                shards.to_string(),
+                cycles.to_string(),
+                format!("{:.3}", best_ns as f64 / 1e6),
+                format!("{mcps:.2}"),
+            ]);
+            entries.push(format!(
+                "    {{\"workload\": \"{}\", \"p\": {p}, \"h\": {h}, \"r\": {r}, \
+                 \"shards\": {shards}, \"cycles\": {cycles}, \"wall_ns\": {best_ns}, \
+                 \"cycles_per_sec\": {:.0}, \"digest\": \"{oracle_digest}\"}}",
+                w.name(),
+                cycles as f64 / (best_ns as f64 / 1e9),
+            ));
+        }
+    }
+    println!("{}", table.render());
+
+    let json = format!(
+        "{{\n  \"schema\": \"emx-bench-shard/1\",\n  \"scale\": \"{}\",\n  \"reps\": {REPS},\n  \
+         \"host_threads\": {},\n  \"points\": [\n{}\n  ]\n}}\n",
+        opts.scale.name(),
+        std::thread::available_parallelism().map_or(1, |n| n.get()),
+        entries.join(",\n"),
+    );
+    let path = Path::new("BENCH_shard.json");
+    if fs::write(path, &json).is_ok() {
+        println!("  [json] {}", path.display());
+    }
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: figures [fig4|fig6|fig7|fig8|fig9|latency|model|ablation|block|priority|runlength|topology|bench|all]\n\
-         \x20              [quick|standard|full] [--jobs N] [--no-cache]"
+        "usage: figures [fig4|fig6|fig7|fig8|fig9|latency|model|ablation|block|priority|runlength|topology|scaling|bench|all]\n\
+         \x20              [quick|standard|full] [--jobs N] [--shards N] [--no-cache]"
     );
     std::process::exit(2);
 }
@@ -721,6 +874,7 @@ fn main() {
     let mut positional = Vec::new();
     let mut jobs = None;
     let mut no_cache = false;
+    let mut shards = 1;
     let mut it = raw.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -728,6 +882,13 @@ fn main() {
                 Some(n) if n >= 1 => jobs = Some(n),
                 _ => {
                     eprintln!("--jobs needs a positive integer");
+                    usage();
+                }
+            },
+            "--shards" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => shards = n,
+                _ => {
+                    eprintln!("--shards needs a positive integer");
                     usage();
                 }
             },
@@ -756,6 +917,7 @@ fn main() {
         scale,
         jobs,
         no_cache,
+        shards,
     };
 
     println!("EM-X figure regeneration -- {cmd} at {scale:?} scale");
@@ -776,6 +938,7 @@ fn main() {
         "priority" => priority(&opts),
         "runlength" => runlength(&opts),
         "topology" => topology(&opts),
+        "scaling" => scaling(&opts),
         "bench" => bench(&opts),
         "all" => {
             fig4();
@@ -790,6 +953,7 @@ fn main() {
             priority(&opts);
             runlength(&opts);
             topology(&opts);
+            scaling(&opts);
         }
         other => {
             eprintln!("unknown figure {other:?}");

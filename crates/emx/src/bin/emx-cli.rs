@@ -1,6 +1,7 @@
 //! `emx-cli` — run EM-X workloads and tools from the command line.
 //!
 //! ```text
+//! emx-cli run     <sort|fft> --pes 64 --n 4096 --threads 4 [--shards S] [--comm-only] [--seed N] [--csv]
 //! emx-cli sort    --pes 16 --n 16384 --threads 4 [--dist uniform] [--seed 1] [--block] [--em4] [--csv]
 //! emx-cli fft     --pes 16 --n 16384 --threads 4 [--comm-only] [--csv]
 //! emx-cli trace   <sort|fft|fig4> [--pes N --n N --threads N --seed N]
@@ -20,6 +21,16 @@
 //! emx-cli asm     <file.s>            # assemble and list a kernel
 //! emx-cli info    [--pes 80]          # dump the machine configuration
 //! ```
+//!
+//! `run` executes one workload with the streaming trace digest attached
+//! and prints the run report followed by two stable fingerprints: a
+//! `report digest:` line (canonical report text) and the final `digest:`
+//! line hashing the complete `emx-trace` event stream. Because sharded
+//! execution is byte-deterministic, both lines must be identical at any
+//! `--shards` value — the shard smoke test in CI asserts exactly that.
+//! Every subcommand taking machine options also accepts `--shards S` to
+//! split the simulated machine across S host threads (see
+//! `docs/SHARDING.md`).
 //!
 //! `trace` runs a workload with the observability recorder attached and
 //! exports the `emx-trace/2` event stream as Chrome-trace/Perfetto JSON
@@ -133,6 +144,7 @@ fn machine_cfg(args: &Args, default_pes: usize) -> Result<MachineConfig, String>
     if args.has("priority-responses") {
         cfg.priority_read_responses = true;
     }
+    cfg.shards = args.usize_or("shards", 1)?;
     Ok(cfg)
 }
 
@@ -176,6 +188,50 @@ fn print_report(report: &RunReport, csv: bool) {
     } else {
         print!("{}", t.render());
     }
+}
+
+fn cmd_run(args: &Args) -> Result<(), String> {
+    let workload = args.positional.first().map(String::as_str).unwrap_or("fft");
+    let cfg = machine_cfg(args, 64)?;
+    let n = args.usize_or("n", 4096)?;
+    let threads = args.usize_or("threads", 4)?;
+    let (probe, handle) = DigestProbe::new();
+    let report = match workload {
+        "sort" => {
+            let mut params = SortParams::new(n, threads);
+            params.seed = args.u64_or("seed", params.seed)?;
+            params.block_read = args.has("block");
+            run_bitonic_observed(&cfg, &params, |m| m.attach_probe(Box::new(probe)))
+                .map_err(|e| e.to_string())?
+                .report
+        }
+        "fft" => {
+            let mut params = if args.has("comm-only") {
+                FftParams::comm_only(n, threads)
+            } else {
+                FftParams::new(n, threads)
+            };
+            params.seed = args.u64_or("seed", params.seed)?;
+            run_fft_observed(&cfg, &params, |m| m.attach_probe(Box::new(probe)))
+                .map_err(|e| e.to_string())?
+                .report
+        }
+        other => return Err(format!("unknown workload {other:?} (sort|fft)")),
+    };
+    if !args.has("csv") {
+        println!(
+            "{workload}: {} elements on {} PEs, h={}, {} shard(s), {} trace events",
+            n,
+            cfg.num_pes,
+            threads,
+            cfg.shards,
+            handle.events()
+        );
+    }
+    print_report(&report, args.has("csv"));
+    println!("report digest: {}", emx::stats::report_digest(&report));
+    println!("digest: {}", handle.hex());
+    Ok(())
 }
 
 fn cmd_sort(args: &Args) -> Result<(), String> {
@@ -483,7 +539,12 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
     if args.has("no-cache") {
         engine = engine.cache(None);
     }
-    let outcome = engine.run(grid(workload, pes, &sizes, &threads));
+    let shards = args.usize_or("shards", 1)?;
+    let mut specs = grid(workload, pes, &sizes, &threads);
+    for s in &mut specs {
+        s.shards = shards;
+    }
+    let outcome = engine.run(specs);
 
     let mut t = Table::new(["n", "h", "elapsed (s)", "comm+sync (s)", "cached"]);
     for pt in &outcome.points {
@@ -545,6 +606,7 @@ fn cmd_faults(args: &Args) -> Result<(), String> {
     let backoff_cap = args.u64_or("backoff-cap", 4096)? as u32;
     let max_attempts = args.u64_or("max-attempts", 0)? as u32;
     let check = args.has("check-invariants");
+    let shards = args.usize_or("shards", 1)?;
 
     // Grid order: size-major, then threads, then loss — every loss column
     // of one (n, h) row is adjacent in the CSV.
@@ -569,6 +631,7 @@ fn cmd_faults(args: &Args) -> Result<(), String> {
                 // leave the fault machinery unarmed so the run (and its
                 // digest and cache entry) is identical to a plain sweep.
                 spec.faults = (!fs.is_noop()).then_some(fs);
+                spec.shards = shards;
                 specs.push(spec);
             }
         }
@@ -761,7 +824,7 @@ fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = raw.first().cloned() else {
         eprintln!(
-            "usage: emx-cli <sort|fft|trace|metrics|profile|profile-diff|sweep|faults|nullloop|latency|asm|info> [options]"
+            "usage: emx-cli <run|sort|fft|trace|metrics|profile|profile-diff|sweep|faults|nullloop|latency|asm|info> [options]"
         );
         return ExitCode::from(2);
     };
@@ -770,6 +833,7 @@ fn main() -> ExitCode {
         return cmd_profile_diff(&args);
     }
     let result = match cmd.as_str() {
+        "run" => cmd_run(&args),
         "sort" => cmd_sort(&args),
         "fft" => cmd_fft(&args),
         "trace" => cmd_trace(&args),

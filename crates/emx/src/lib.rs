@@ -70,8 +70,8 @@ pub mod prelude {
     pub use emx_model::{ModelParams, Region};
     pub use emx_net::{build_network, Network};
     pub use emx_obs::{
-        chrome_trace_json, events_csv, validate_chrome_trace, MetricsRegistry, Observation,
-        Recorder,
+        chrome_trace_json, events_csv, validate_chrome_trace, DigestHandle, DigestProbe,
+        MetricsRegistry, Observation, Recorder,
     };
     pub use emx_profile::{
         diff_profiles, parse_text, DiffOutcome, ProfileReport, Profiler, ProfilerHandle,

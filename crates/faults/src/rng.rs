@@ -100,6 +100,23 @@ impl FaultPlan {
     pub fn dma_rng(&self) -> Rng64 {
         Rng64::new(mix(self.spec.seed, 0x0044_4D41)) // "DMA"
     }
+
+    /// The forced-spill stream of one processor.
+    ///
+    /// Per-PE streams (rather than one machine-global stream consumed in
+    /// event order) make each processor's fault decisions a function of the
+    /// seed and that processor alone, so a machine partitioned into shards
+    /// draws exactly the faults a single-calendar run draws.
+    pub fn spill_rng_for(&self, pe: usize) -> Rng64 {
+        Rng64::new(mix(mix(self.spec.seed, 0x0053_504C), pe as u64 + 1))
+    }
+
+    /// The DMA-stall stream of one processor; see
+    /// [`spill_rng_for`](FaultPlan::spill_rng_for) for why streams are
+    /// per-PE.
+    pub fn dma_rng_for(&self, pe: usize) -> Rng64 {
+        Rng64::new(mix(mix(self.spec.seed, 0x0044_4D41), pe as u64 + 1))
+    }
 }
 
 #[cfg(test)]
@@ -154,6 +171,20 @@ mod tests {
         assert_ne!(n, d);
         // And reproducible.
         assert_eq!(plan.net_rng().next_u64(), n);
+    }
+
+    #[test]
+    fn per_pe_streams_are_independent_and_reproducible() {
+        let plan = FaultPlan::new(FaultSpec::new(5));
+        let a0 = plan.spill_rng_for(0).next_u64();
+        let a1 = plan.spill_rng_for(1).next_u64();
+        assert_ne!(a0, a1, "distinct PEs must draw distinct streams");
+        assert_eq!(plan.spill_rng_for(0).next_u64(), a0);
+        assert_ne!(
+            plan.spill_rng_for(3).next_u64(),
+            plan.dma_rng_for(3).next_u64(),
+            "layers stay independent per PE"
+        );
     }
 
     #[test]

@@ -52,12 +52,14 @@
 
 mod chrome;
 mod csv;
+mod digest;
 mod json;
 mod metrics;
 mod recorder;
 
 pub use chrome::chrome_trace_json;
 pub use csv::events_csv;
+pub use digest::{DigestHandle, DigestProbe};
 pub use json::{parse_json, validate_chrome_trace, ChromeSummary, JsonValue};
 pub use metrics::{Histogram, MetricsRegistry, PeMetrics, METRICS_SCHEMA};
 pub use recorder::{EventLog, Observation, Recorder, RecorderHandle};

@@ -72,7 +72,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod calendar;
 mod machine;
+mod shard;
 mod thread;
 mod trace;
 

@@ -9,17 +9,37 @@
 //! ([`ServiceMode::ExuThread`]) is selected, in which case requests join the
 //! packet queue and steal processor time exactly as the paper describes for
 //! the EM-X's predecessor.
+//!
+//! ## Execution split: core vs. shared vs. global
+//!
+//! The machine's run-time state is split so a run can execute on several
+//! host threads (see [`MachineConfig::shards`] and `docs/SHARDING.md`)
+//! while staying byte-identical to the single-calendar run:
+//!
+//! * [`Core`] — everything a disjoint group of processors mutates while
+//!   executing its own events: the PEs, an event [`Calendar`] keyed by the
+//!   canonical [`EvKey`] order, and buffers of trace emissions and network
+//!   [`RouteIntent`]s produced but not yet applied;
+//! * [`Shared`] — the immutable tables every shard reads: configuration,
+//!   entry definitions, barrier membership;
+//! * the **global, order-sensitive** resources — the one stateful network
+//!   model, the trace/probe consumers, and the invariant checker — are
+//!   never touched during event processing. [`Core::process_event`] only
+//!   *stages* their effects; a replay pass (`shard.rs`) applies them in
+//!   canonical merged order, which is what makes the sharded execution
+//!   deterministic.
 
 use emx_core::{
-    Continuation, Cycle, EventQueue, FaultSpec, FrameId, GlobalAddr, MachineConfig, Packet,
-    PacketKind, PeId, Priority, Probe, ServiceMode, SimError, SlotId, SuspendCause,
+    Continuation, Cycle, FrameId, GlobalAddr, MachineConfig, Packet, PacketKind, PeId, Priority,
+    Probe, ServiceMode, SimError, SlotId, SuspendCause, TraceEvent,
 };
-use emx_faults::{FaultPlan, FaultReport, FaultyNetwork, InvariantChecker, Rng64};
+use emx_faults::{FaultPlan, FaultyNetwork, InvariantChecker, Rng64};
 use emx_isa::{Effect, Program, Reg, ThreadState};
-use emx_net::{build_network, DeliveryClass, Network};
+use emx_net::{build_network, Network};
 use emx_proc::{BypassDma, FrameTable, LocalMemory, PacketQueue};
 use emx_stats::{FaultSummary, PeStats, RunReport};
 
+use crate::calendar::{Calendar, EvKey, LANE_DISPATCH, LANE_LOCAL, LANE_RETRY};
 use crate::thread::{Action, BarrierId, ThreadBody, ThreadCtx, WorkKind};
 use crate::trace::{Trace, TraceKind};
 
@@ -64,9 +84,12 @@ pub const FRAME_WORDS: u32 = 64;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct EntryId(pub u32);
 
-type Factory = Box<dyn Fn(PeId, u32) -> Box<dyn ThreadBody> + Send>;
+/// Entry factories are invoked from shard worker threads, so they must be
+/// `Sync` as well as `Send` (they are only ever *called* for a PE the
+/// calling shard owns, but the table itself is shared by reference).
+pub(crate) type Factory = Box<dyn Fn(PeId, u32) -> Box<dyn ThreadBody> + Send + Sync>;
 
-enum EntryDef {
+pub(crate) enum EntryDef {
     Native { name: String, factory: Factory },
     Template(Program),
 }
@@ -133,24 +156,13 @@ impl Frame {
     }
 }
 
-/// Live fault-injection state: the seeded decision streams for the machine
-/// layers (the network layer draws inside [`FaultyNetwork`]), the recovery
-/// tallies, and the optional invariant checker.
-struct FaultState {
-    spec: FaultSpec,
-    spill_rng: Rng64,
-    dma_rng: Rng64,
-    summary: FaultSummary,
-    checker: Option<InvariantChecker>,
-}
-
 #[derive(Debug, Clone, Copy, Default)]
 struct LocalBarrier {
     arrived: usize,
     releases: u64,
 }
 
-struct Pe {
+pub(crate) struct Pe {
     mem: LocalMemory,
     queue: PacketQueue,
     frames: FrameTable<Frame>,
@@ -164,10 +176,23 @@ struct Pe {
     stats: PeStats,
     /// Source of per-frame [`Frame::uid`] values.
     next_uid: u64,
+    /// Per-PE seeded fault-decision streams (present iff fault injection is
+    /// configured). Per-PE rather than machine-global so each processor's
+    /// draws are a function of the seed and that processor alone — a
+    /// sharded run then draws exactly the faults the single-calendar run
+    /// draws, in any interleaving.
+    spill_rng: Option<Rng64>,
+    dma_rng: Option<Rng64>,
+    /// Canonical-key counters, one per [`EvKey`] lane homed on this PE.
+    /// They advance only while this PE's own events execute (or during
+    /// pre-run setup), so key assignment is identical at any shard count.
+    ev_dispatch_seq: u64,
+    ev_local_seq: u64,
+    ev_retry_seq: u64,
 }
 
 #[derive(Debug, Clone, Copy)]
-enum Ev {
+pub(crate) enum Ev {
     /// Packet arrival; the flag records whether it travelled the network
     /// (local scheduler wake-ups and loader spawns did not), which the
     /// invariant checker's conservation ledger needs.
@@ -190,25 +215,25 @@ struct Charges {
     comm: u64,
 }
 
-/// Fan-out for the machine's two observability consumers: the bounded
-/// in-memory [`Trace`] and the externally attached [`Probe`]. Borrowing the
-/// two `Option` fields out of the machine lets the hot paths emit while
-/// `pes`/`entries`/`barrier_defs` are simultaneously borrowed, and the
-/// [`Sink::as_probe`] gate keeps probed calls on the `None` fast path —
+/// Buffer-writer for trace emissions produced during event processing.
+///
+/// Event handlers never talk to the real [`Trace`]/[`Probe`] consumers:
+/// those are global and order-sensitive, so emissions are appended to the
+/// core's buffer and flushed by the replay pass in canonical merged order.
+/// The [`Sink::as_probe`] gate keeps probed calls on the `None` fast path —
 /// no event is ever constructed — when observation is off.
 struct Sink<'a> {
-    trace: Option<&'a mut Trace>,
-    probe: Option<&'a mut (dyn Probe + Send + 'static)>,
+    buf: Option<&'a mut Vec<TraceEvent>>,
 }
 
 impl Sink<'_> {
     #[inline]
     fn enabled(&self) -> bool {
-        self.trace.is_some() || self.probe.is_some()
+        self.buf.is_some()
     }
 
-    /// `Some(self)` when any consumer is attached, else `None`, for the
-    /// `*_probed` entry points of the processor units and network.
+    /// `Some(self)` when observation is on, else `None`, for the `*_probed`
+    /// entry points of the processor units.
     #[inline]
     fn as_probe(&mut self) -> Option<&mut dyn Probe> {
         if self.enabled() {
@@ -222,11 +247,8 @@ impl Sink<'_> {
 impl Probe for Sink<'_> {
     #[inline]
     fn on(&mut self, at: Cycle, pe: PeId, kind: TraceKind) {
-        if let Some(t) = self.trace.as_deref_mut() {
-            t.record(at, pe, kind);
-        }
-        if let Some(p) = self.probe.as_deref_mut() {
-            p.on(at, pe, kind);
+        if let Some(b) = self.buf.as_deref_mut() {
+            b.push(TraceEvent { at, pe, kind });
         }
     }
 }
@@ -246,6 +268,87 @@ enum Outgoing {
     },
 }
 
+/// A network-bound packet staged during event processing.
+///
+/// The network model is the one piece of mutable state shared by all
+/// processors, so cores never route directly; the replay pass executes the
+/// intents against it in canonical merged order.
+pub(crate) struct RouteIntent {
+    pub(crate) depart: Cycle,
+    pub(crate) src: PeId,
+    pub(crate) pkt: Packet,
+    /// `Some(arrival)` when this is a pure loopback whose arrival the core
+    /// already scheduled inline (so the shard can keep executing inside its
+    /// window); replay then verifies the prediction instead of delivering.
+    pub(crate) predicted: Option<Cycle>,
+}
+
+/// The outcome of processing one event: its canonical key, whether it was a
+/// network arrival (the conservation ledger counts those), how far the
+/// core's emission/intent buffers extend after it (cumulative offsets), and
+/// the error it produced, if any.
+pub(crate) struct PopRecord {
+    pub(crate) key: EvKey,
+    pub(crate) via_net: bool,
+    pub(crate) emit_end: u32,
+    pub(crate) int_end: u32,
+    pub(crate) error: Option<SimError>,
+}
+
+/// The per-shard half of a machine: a contiguous group of processors, their
+/// event calendar, and the buffers of staged effects. A single-shard run
+/// uses one `Core` covering every PE; a sharded run splits the machine's
+/// core into disjoint parts and reassembles them afterwards.
+pub(crate) struct Core {
+    /// Global index of the first PE this core owns.
+    pub(crate) base: usize,
+    pub(crate) pes: Vec<Pe>,
+    pub(crate) cal: Calendar<Ev>,
+    /// Coordinator-side arrival counts per barrier id; only mutated on the
+    /// core owning [`BARRIER_COORDINATOR`].
+    pub(crate) barrier_counts: Vec<usize>,
+    /// Latest meaningful simulated time: advanced by arrivals, dispatches
+    /// and real retry re-issues, but *not* by stale retry timers popping
+    /// after the workload completed — those must not inflate `elapsed`.
+    pub(crate) progress: Cycle,
+    /// Recovery tallies (DMA stalls, retries, stale responses) drawn on
+    /// this core's processors; summed across cores for the report.
+    pub(crate) fsummary: FaultSummary,
+    /// Trace emissions staged by [`Core::process_event`], flushed at replay.
+    pub(crate) emit: Vec<TraceEvent>,
+    /// Route intents staged by [`Core::process_event`], executed at replay.
+    pub(crate) intents: Vec<RouteIntent>,
+    /// Whether any observability consumer is attached (mirrored from the
+    /// machine so cores know to buffer emissions at all).
+    pub(crate) observing: bool,
+    /// The network model's state-free loopback latency, when it has one
+    /// ([`LatencyBound::pure_local`](emx_net::LatencyBound)); lets a core
+    /// predict same-PE arrivals without touching the shared model.
+    pub(crate) pure_local: Option<u64>,
+}
+
+/// The immutable tables every core reads during a run. Shards execute
+/// against one `Shared` by reference from several threads, hence the `Sync`
+/// requirement on [`Factory`].
+pub(crate) struct Shared<'a> {
+    pub(crate) cfg: &'a MachineConfig,
+    pub(crate) entries: &'a [EntryDef],
+    /// Participants per PE for each barrier id.
+    pub(crate) barrier_defs: &'a [usize],
+}
+
+impl Shared<'_> {
+    /// Whether split-phase reads carry sequence numbers and retry timers:
+    /// only when network faults can actually lose or duplicate packets and
+    /// the retry protocol is switched on.
+    fn retry_armed(&self) -> bool {
+        self.cfg
+            .faults
+            .as_ref()
+            .is_some_and(|f| f.any_net_faults() && f.retry_enabled())
+    }
+}
+
 /// The EM-X machine: configuration, processors, network, and event loop.
 ///
 /// See the crate docs for a usage example. A `Machine` simulates one run:
@@ -253,36 +356,36 @@ enum Outgoing {
 /// [`run`](Machine::run), then inspect memories and the returned
 /// [`RunReport`].
 pub struct Machine {
-    cfg: MachineConfig,
-    net: Box<dyn Network>,
-    pes: Vec<Pe>,
-    events: EventQueue<Ev>,
-    entries: Vec<EntryDef>,
+    pub(crate) cfg: MachineConfig,
+    pub(crate) net: Box<dyn Network>,
+    pub(crate) core: Core,
+    pub(crate) entries: Vec<EntryDef>,
     /// Participants per PE for each barrier id.
-    barrier_defs: Vec<usize>,
-    /// Coordinator-side arrival counts per barrier id.
-    barrier_counts: Vec<usize>,
-    trace: Option<Trace>,
+    pub(crate) barrier_defs: Vec<usize>,
+    pub(crate) trace: Option<Trace>,
     /// Externally attached observability sink ([`Machine::attach_probe`]);
     /// receives the same event stream as the trace, unbounded.
-    probe: Option<Box<dyn Probe + Send>>,
-    ran: bool,
-    faults: Option<FaultState>,
-    /// Latest meaningful simulated time: advanced by arrivals, dispatches
-    /// and real retry re-issues, but *not* by stale retry timers popping
-    /// after the workload completed — those must not inflate `elapsed`.
-    progress: Cycle,
+    pub(crate) probe: Option<Box<dyn Probe + Send>>,
+    /// Fault-model invariant checker, fed at replay time so it sees effects
+    /// in canonical order regardless of shard count.
+    pub(crate) checker: Option<InvariantChecker>,
+    pub(crate) ran: bool,
 }
 
 /// `Machine` must stay [`Send`]: the sweep engine (`emx-sweep`) builds and
-/// runs machines on worker threads. `Network` and `ThreadBody` carry
-/// explicit `Send` bounds for the same reason — adding a non-`Send` field
-/// (an `Rc`, a raw pointer, a thread-local handle) breaks parallel figure
-/// regeneration, and this guard turns that mistake into a compile error
-/// here rather than a trait-bound error three crates away.
+/// runs machines on worker threads. `Core` must be `Send` (shards move to
+/// worker threads) and `Shared` must be `Sync` (shards read it
+/// concurrently). `Network` and `ThreadBody` carry explicit `Send` bounds
+/// for the same reason — adding a non-`Send` field (an `Rc`, a raw pointer,
+/// a thread-local handle) breaks parallel execution, and this guard turns
+/// that mistake into a compile error here rather than a trait-bound error
+/// three crates away.
 const _: fn() = || {
     fn assert_send<T: Send>() {}
+    fn assert_sync<T: Sync>() {}
     assert_send::<Machine>();
+    assert_send::<Core>();
+    assert_sync::<Shared<'static>>();
 };
 
 impl Machine {
@@ -290,16 +393,11 @@ impl Machine {
     pub fn new(cfg: MachineConfig) -> Result<Self, SimError> {
         cfg.validate()?;
         let mut net = build_network(&cfg.net, cfg.num_pes)?;
-        let faults = cfg.faults.as_ref().map(|spec| {
-            let plan = FaultPlan::new(spec.clone());
-            FaultState {
-                spill_rng: plan.spill_rng(),
-                dma_rng: plan.dma_rng(),
-                summary: FaultSummary::default(),
-                checker: spec.check_invariants.then(InvariantChecker::new),
-                spec: spec.clone(),
-            }
-        });
+        let plan = cfg.faults.as_ref().map(|spec| FaultPlan::new(spec.clone()));
+        let checker = cfg
+            .faults
+            .as_ref()
+            .and_then(|spec| spec.check_invariants.then(InvariantChecker::new));
         if let Some(spec) = &cfg.faults {
             if spec.any_net_faults() {
                 net = Box::new(FaultyNetwork::new(net, &FaultPlan::new(spec.clone())));
@@ -328,32 +426,37 @@ impl Machine {
                     barriers: Vec::new(),
                     stats: PeStats::default(),
                     next_uid: 0,
+                    spill_rng: plan.as_ref().map(|p| p.spill_rng_for(i)),
+                    dma_rng: plan.as_ref().map(|p| p.dma_rng_for(i)),
+                    ev_dispatch_seq: 0,
+                    ev_local_seq: 0,
+                    ev_retry_seq: 0,
                 }
             })
             .collect();
+        let pure_local = net.latency_bound().pure_local;
         Ok(Machine {
             cfg,
             net,
-            pes,
-            events: EventQueue::with_capacity(1024),
+            core: Core {
+                base: 0,
+                pes,
+                cal: Calendar::new(),
+                barrier_counts: Vec::new(),
+                progress: Cycle::ZERO,
+                fsummary: FaultSummary::default(),
+                emit: Vec::new(),
+                intents: Vec::new(),
+                observing: false,
+                pure_local,
+            },
             entries: Vec::new(),
             barrier_defs: Vec::new(),
-            barrier_counts: Vec::new(),
             trace: None,
             probe: None,
+            checker,
             ran: false,
-            faults,
-            progress: Cycle::ZERO,
         })
-    }
-
-    /// Whether split-phase reads carry sequence numbers and retry timers:
-    /// only when network faults can actually lose or duplicate packets and
-    /// the retry protocol is switched on.
-    fn retry_armed(&self) -> bool {
-        self.faults
-            .as_ref()
-            .is_some_and(|f| f.spec.any_net_faults() && f.spec.retry_enabled())
     }
 
     /// The machine configuration.
@@ -362,11 +465,13 @@ impl Machine {
     }
 
     /// Register a native thread entry: `factory(pe, arg)` builds the body
-    /// when an invocation packet for this entry is dispatched.
+    /// when an invocation packet for this entry is dispatched. The factory
+    /// must be `Sync` because sharded runs read the entry table from
+    /// several worker threads.
     pub fn register_entry(
         &mut self,
         name: impl Into<String>,
-        factory: impl Fn(PeId, u32) -> Box<dyn ThreadBody> + Send + 'static,
+        factory: impl Fn(PeId, u32) -> Box<dyn ThreadBody> + Send + Sync + 'static,
     ) -> EntryId {
         self.entries.push(EntryDef::Native {
             name: name.into(),
@@ -388,6 +493,7 @@ impl Machine {
     /// inspection via [`Machine::trace`].
     pub fn enable_trace(&mut self, capacity: usize) {
         self.trace = Some(Trace::new(capacity));
+        self.core.observing = true;
     }
 
     /// The recorded trace, if tracing was enabled.
@@ -402,28 +508,14 @@ impl Machine {
     /// every emission site is a single `None` check and no event is built.
     pub fn attach_probe(&mut self, probe: Box<dyn Probe + Send>) {
         self.probe = Some(probe);
+        self.core.observing = true;
     }
 
     /// Detach and return the attached probe, if any.
     pub fn detach_probe(&mut self) -> Option<Box<dyn Probe + Send>> {
-        self.probe.take()
-    }
-
-    /// Split-borrow the observability sink alongside nothing else; hot
-    /// paths that already hold field borrows build the [`Sink`] inline.
-    fn emit(&mut self, at: Cycle, pe: PeId, kind: TraceKind) {
-        let mut sink = Sink {
-            trace: self.trace.as_mut(),
-            probe: self.probe.as_deref_mut(),
-        };
-        if sink.enabled() {
-            sink.on(at, pe, kind);
-        }
-    }
-
-    /// Whether any observability consumer is attached.
-    fn observing(&self) -> bool {
-        self.trace.is_some() || self.probe.is_some()
+        let p = self.probe.take();
+        self.core.observing = self.trace.is_some();
+        p
     }
 
     /// Name of a registered entry (for traces; templates report their
@@ -440,8 +532,8 @@ impl Machine {
     pub fn define_barrier(&mut self, participants_per_pe: usize) -> BarrierId {
         let id = self.barrier_defs.len() as u32;
         self.barrier_defs.push(participants_per_pe);
-        self.barrier_counts.push(0);
-        for pe in &mut self.pes {
+        self.core.barrier_counts.push(0);
+        for pe in &mut self.core.pes {
             pe.barriers.push(LocalBarrier::default());
         }
         BarrierId(id)
@@ -450,14 +542,15 @@ impl Machine {
     /// Give every processor `count` sequence cells (initialized to zero) for
     /// [`Action::WaitSeq`]/[`Action::SignalSeq`] ordering.
     pub fn define_seq_cells(&mut self, count: usize) {
-        for pe in &mut self.pes {
+        for pe in &mut self.core.pes {
             pe.seq_cells = vec![0; count];
         }
     }
 
     /// Immutable access to a processor's local memory.
     pub fn mem(&self, pe: PeId) -> Result<&LocalMemory, SimError> {
-        self.pes
+        self.core
+            .pes
             .get(pe.index())
             .map(|p| &p.mem)
             .ok_or(SimError::BadPe { pe: pe.index() })
@@ -465,7 +558,8 @@ impl Machine {
 
     /// Mutable access to a processor's local memory (workload setup).
     pub fn mem_mut(&mut self, pe: PeId) -> Result<&mut LocalMemory, SimError> {
-        self.pes
+        self.core
+            .pes
             .get_mut(pe.index())
             .map(|p| &mut p.mem)
             .ok_or(SimError::BadPe { pe: pe.index() })
@@ -474,7 +568,7 @@ impl Machine {
     /// Enqueue an invocation of `entry` on `pe` at cycle zero (free of
     /// charge: models the program loader, not a runtime spawn).
     pub fn spawn_at_start(&mut self, pe: PeId, entry: EntryId, arg: u32) -> Result<(), SimError> {
-        if pe.index() >= self.pes.len() {
+        if pe.index() >= self.core.pes.len() {
             return Err(SimError::BadPe { pe: pe.index() });
         }
         if entry.0 as usize >= self.entries.len() {
@@ -483,7 +577,8 @@ impl Machine {
             });
         }
         let pkt = Packet::spawn(pe, GlobalAddr::new(pe, entry.0)?, arg);
-        self.events.push(Cycle::ZERO, Ev::Arrive(pe, pkt, false))
+        let key = self.core.lane_key(Cycle::ZERO, pe, LANE_LOCAL);
+        self.core.cal.push(key, Ev::Arrive(pe, pkt, false))
     }
 
     /// Run to quiescence with a default cycle limit of 2^42 (~61 hours of
@@ -494,6 +589,15 @@ impl Machine {
 
     /// Run to quiescence, failing if simulated time passes `limit` (guards
     /// against livelock from a barrier that can never be satisfied).
+    ///
+    /// With [`MachineConfig::shards`] > 1 and a network model whose
+    /// [`latency_bound`](Network::latency_bound) admits a positive lookahead
+    /// window, the run executes on one host thread per shard of consecutive
+    /// processors under a conservative synchronization protocol that
+    /// reproduces the single-calendar result byte for byte (reports, trace
+    /// stream, and errors); see `docs/SHARDING.md`. Configurations the
+    /// protocol cannot accelerate fall back to the single-calendar loop
+    /// silently.
     pub fn run_until(&mut self, limit: Cycle) -> Result<RunReport, SimError> {
         if self.ran {
             return Err(SimError::Workload {
@@ -501,61 +605,247 @@ impl Machine {
             });
         }
         self.ran = true;
-        while let Some((t, ev)) = self.events.pop() {
-            if t > limit {
-                return Err(SimError::Workload {
-                    reason: format!("simulation passed the cycle limit {limit}"),
-                });
-            }
-            if let Some(ck) = self.faults.as_mut().and_then(|f| f.checker.as_mut()) {
-                ck.observe_event(t).map_err(FaultReport::into_error)?;
-            }
-            match ev {
-                Ev::Arrive(pe, pkt, via_net) => {
-                    self.progress = self.progress.max(t);
-                    if via_net {
-                        if let Some(ck) = self.faults.as_mut().and_then(|f| f.checker.as_mut()) {
-                            ck.observe_arrival();
-                        }
-                        if self.observing() {
-                            let kind = TraceKind::NetDeliver {
-                                pkt: pkt.kind,
-                                src: pkt.src,
-                            };
-                            self.emit(t, pe, kind);
-                        }
-                    }
-                    self.on_arrive(t, pe, pkt)?;
+        let shards = self.effective_shards();
+        if shards > 1 {
+            self.run_parallel(limit, shards)
+        } else {
+            self.run_single(limit)
+        }
+    }
+
+    /// The conservative lookahead window: cross-PE effects staged at `t`
+    /// cannot arrive before `t + lookahead()`. With a pure loopback model
+    /// same-PE arrivals are predicted inline and only remote hops bound the
+    /// window; otherwise loopback also goes through deferred replay and the
+    /// local minimum binds too.
+    pub(crate) fn lookahead(&self) -> u64 {
+        let b = self.net.latency_bound();
+        match b.pure_local {
+            Some(_) => b.min_remote,
+            None => b.min_remote.min(b.min_local),
+        }
+    }
+
+    /// How many shards this run actually uses: the configured count clamped
+    /// to the PE count, forced to 1 when the network model admits no
+    /// positive lookahead window (conservative synchronization could then
+    /// never advance) or when OBU forwarding is instantaneous (departure
+    /// cycles then no longer uniquely identify a processor's sends, which
+    /// the canonical network-arrival keys rely on).
+    fn effective_shards(&self) -> usize {
+        let req = self.cfg.shards.min(self.cfg.num_pes);
+        if req <= 1 || self.cfg.costs.obu_forward == 0 || self.lookahead() == 0 {
+            return 1;
+        }
+        req
+    }
+
+    /// Assemble the run report from the (reassembled) core.
+    pub(crate) fn report(&self) -> RunReport {
+        let net_stats = self.net.stats();
+        // The last dispatch event starts before its burst finishes: the true
+        // end of the run is the latest EXU activity, not the last event.
+        let elapsed = self
+            .core
+            .pes
+            .iter()
+            .map(|p| p.busy_until)
+            .fold(self.core.progress, Cycle::max);
+        RunReport {
+            per_pe: self
+                .core
+                .pes
+                .iter()
+                .map(|p| {
+                    let mut s = p.stats.clone();
+                    s.max_queue_depth = p.queue.max_depth;
+                    s.ibu_spills = p.queue.spills;
+                    s.high_spills = p.queue.high_spills;
+                    s.low_spills = p.queue.low_spills;
+                    s.forced_spills = p.queue.forced_spills;
+                    s.max_high_depth = p.queue.max_high_depth;
+                    s.max_low_depth = p.queue.max_low_depth;
+                    s
+                })
+                .collect(),
+            elapsed,
+            clock_hz: self.cfg.clock_hz,
+            net_packets: net_stats.packets,
+            net_contention: net_stats.contention_wait,
+            faults: self.cfg.faults.as_ref().map(|_| {
+                let c = self.net.fault_counters().unwrap_or_default();
+                FaultSummary {
+                    dropped: c.dropped,
+                    duplicated: c.duplicated,
+                    delayed: c.delayed,
+                    forced_spills: self.core.pes.iter().map(|p| p.queue.forced_spills).sum(),
+                    dma_stalls: self.core.fsummary.dma_stalls,
+                    retries: self.core.fsummary.retries,
+                    stale_responses: self.core.fsummary.stale_responses,
                 }
-                Ev::Dispatch(pe) => {
-                    self.progress = self.progress.max(t);
-                    self.on_dispatch(t, pe)?;
-                }
-                Ev::Retry(pe, fid, uid, seq) => self.on_retry(t, pe, fid, uid, seq)?,
+            }),
+        }
+    }
+}
+
+impl Core {
+    /// Partition this (pre-run, emptied in place) core into parts of
+    /// `chunk` consecutive processors, distributing pending calendar
+    /// entries by their home PE. Counters, fault streams, and local state
+    /// travel with their processor, so each part picks up exactly where the
+    /// unsplit core would have.
+    pub(crate) fn split(&mut self, chunk: usize) -> Vec<Core> {
+        let entries = self.cal.drain_entries();
+        let pes = std::mem::take(&mut self.pes);
+        let shards = pes.len().div_ceil(chunk);
+        let mut parts: Vec<Core> = (0..shards)
+            .map(|s| Core {
+                base: s * chunk,
+                pes: Vec::with_capacity(chunk),
+                cal: Calendar::new(),
+                barrier_counts: self.barrier_counts.clone(),
+                progress: Cycle::ZERO,
+                fsummary: FaultSummary::default(),
+                emit: Vec::new(),
+                intents: Vec::new(),
+                observing: self.observing,
+                pure_local: self.pure_local,
+            })
+            .collect();
+        for (i, pe) in pes.into_iter().enumerate() {
+            parts[i / chunk].pes.push(pe);
+        }
+        for (key, ev) in entries {
+            parts[key.pe as usize / chunk]
+                .cal
+                .push(key, ev)
+                .expect("pre-run event behind a fresh calendar");
+        }
+        parts
+    }
+
+    /// Merge `parts` (in shard order) back into this emptied core so the
+    /// machine can report and be inspected exactly as after a single-shard
+    /// run. Pending calendar entries are dropped — reassembly happens at
+    /// quiescence or after an error, and in both cases the oracle's
+    /// leftover events are equally unobservable.
+    pub(crate) fn reassemble(&mut self, parts: Vec<Core>) {
+        debug_assert!(self.pes.is_empty(), "reassemble into a non-split core");
+        for (i, part) in parts.into_iter().enumerate() {
+            if i == 0 {
+                // Only the coordinator-owning shard ever mutates the
+                // barrier arrival counts.
+                self.barrier_counts = part.barrier_counts;
+            }
+            self.progress = self.progress.max(part.progress);
+            self.fsummary.dma_stalls += part.fsummary.dma_stalls;
+            self.fsummary.retries += part.fsummary.retries;
+            self.fsummary.stale_responses += part.fsummary.stale_responses;
+            self.pes.extend(part.pes);
+        }
+    }
+
+    /// Threads still live (suspended or queued) on this core's processors.
+    pub(crate) fn suspended(&self) -> usize {
+        self.pes.iter().map(|p| p.live_threads).sum()
+    }
+
+    /// FIFO-within-priority violations observed by this core's queues.
+    pub(crate) fn fifo_violations(&self) -> u64 {
+        self.pes.iter().map(|p| p.queue.fifo_violations).sum()
+    }
+
+    /// Mint the canonical key for the next lane-`lane` event homed on `pe`.
+    fn lane_key(&mut self, at: Cycle, pe: PeId, lane: u8) -> EvKey {
+        let p = &mut self.pes[pe.index() - self.base];
+        let ctr = match lane {
+            LANE_DISPATCH => &mut p.ev_dispatch_seq,
+            LANE_LOCAL => &mut p.ev_local_seq,
+            _ => &mut p.ev_retry_seq,
+        };
+        let a = *ctr;
+        *ctr += 1;
+        EvKey {
+            at,
+            pe: pe.0,
+            lane,
+            a,
+            b: 0,
+        }
+    }
+
+    /// Stage a trace emission (no-op when observation is off).
+    #[inline]
+    fn record(&mut self, at: Cycle, pe: PeId, kind: TraceKind) {
+        if self.observing {
+            self.emit.push(TraceEvent { at, pe, kind });
+        }
+    }
+
+    /// Stage a packet for the network. When the model's loopback is pure
+    /// and the packet stays on `src`, the arrival is predicted and
+    /// scheduled inline so the core can keep executing inside its window;
+    /// replay verifies the prediction against the real route call instead
+    /// of delivering a second copy.
+    fn stage_route(&mut self, depart: Cycle, src: PeId, pkt: Packet) -> Result<(), SimError> {
+        let mut predicted = None;
+        if let Some(hop) = self.pure_local {
+            if pkt.dst() == src {
+                let arrival = depart + hop;
+                self.cal.push(
+                    EvKey::net(arrival, src, src, depart, 0),
+                    Ev::Arrive(src, pkt, true),
+                )?;
+                predicted = Some(arrival);
             }
         }
-        let suspended: usize = self.pes.iter().map(|p| p.live_threads).sum();
-        if suspended > 0 {
-            return Err(SimError::Deadlock {
-                at: self.events.now().get(),
-                suspended,
-            });
+        self.intents.push(RouteIntent {
+            depart,
+            src,
+            pkt,
+            predicted,
+        });
+        Ok(())
+    }
+
+    /// Process one popped event entirely against core-local state, staging
+    /// trace emissions and network route intents instead of applying them.
+    /// The returned record tells the replay pass how far this event's
+    /// staged effects extend and whether processing failed.
+    pub(crate) fn process_event(&mut self, sh: &Shared<'_>, key: EvKey, ev: Ev) -> PopRecord {
+        let via_net = matches!(ev, Ev::Arrive(_, _, true));
+        let error = self.handle(sh, key.at, ev).err();
+        PopRecord {
+            key,
+            via_net,
+            emit_end: self.emit.len() as u32,
+            int_end: self.intents.len() as u32,
+            error,
         }
-        if let Some(fs) = &self.faults {
-            if let Some(ck) = &fs.checker {
-                ck.final_check(self.net.fault_counters())
-                    .map_err(FaultReport::into_error)?;
-                let fifo: u64 = self.pes.iter().map(|p| p.queue.fifo_violations).sum();
-                if fifo > 0 {
-                    return Err(FaultReport::new(
-                        "fifo-within-priority",
-                        format!("{fifo} packet(s) popped out of enqueue order"),
-                    )
-                    .into_error());
+    }
+
+    fn handle(&mut self, sh: &Shared<'_>, t: Cycle, ev: Ev) -> Result<(), SimError> {
+        match ev {
+            Ev::Arrive(pe, pkt, via_net) => {
+                self.progress = self.progress.max(t);
+                if via_net {
+                    self.record(
+                        t,
+                        pe,
+                        TraceKind::NetDeliver {
+                            pkt: pkt.kind,
+                            src: pkt.src,
+                        },
+                    );
                 }
+                self.on_arrive(sh, t, pe, pkt)
             }
+            Ev::Dispatch(pe) => {
+                self.progress = self.progress.max(t);
+                self.on_dispatch(sh, t, pe)
+            }
+            Ev::Retry(pe, fid, uid, seq) => self.on_retry(sh, t, pe, fid, uid, seq),
         }
-        Ok(self.report())
     }
 
     /// A retry timer fired: if the read it guards is still outstanding,
@@ -564,24 +854,25 @@ impl Machine {
     /// ignored without advancing `progress`.
     fn on_retry(
         &mut self,
+        sh: &Shared<'_>,
         t: Cycle,
         pe_id: PeId,
         fid: FrameId,
         uid: u64,
         seq: u16,
     ) -> Result<(), SimError> {
-        let Some((timeout, backoff_cap, max_attempts)) = self.faults.as_ref().map(|f| {
-            (
-                f.spec.retry_timeout,
-                f.spec.retry_backoff_cap,
-                f.spec.max_attempts,
-            )
-        }) else {
+        let Some((timeout, backoff_cap, max_attempts)) = sh
+            .cfg
+            .faults
+            .as_ref()
+            .map(|f| (f.retry_timeout, f.retry_backoff_cap, f.max_attempts))
+        else {
             return Ok(());
         };
         let pe_idx = pe_id.index();
+        let li = pe_idx - self.base;
         let (pkt, attempts) = {
-            let pe = &mut self.pes[pe_idx];
+            let pe = &mut self.pes[li];
             let Some(frame) = pe.frames.get_mut(fid) else {
                 return Ok(());
             };
@@ -606,124 +897,110 @@ impl Machine {
             (pkt, frame.attempts)
         };
         self.progress = self.progress.max(t);
-        if let Some(fs) = self.faults.as_mut() {
-            fs.summary.retries += 1;
-        }
-        let depart = self.pes[pe_idx].dma.obu_depart(t);
-        self.route(depart, pe_id, pkt)?;
+        self.fsummary.retries += 1;
+        let depart = self.pes[li].dma.obu_depart(t);
+        self.stage_route(depart, pe_id, pkt)?;
         let shift = attempts.min(16);
         let delay = (u64::from(timeout) << shift).min(u64::from(backoff_cap.max(timeout)));
-        self.events
-            .push(depart + delay, Ev::Retry(pe_id, fid, uid, seq))
-    }
-
-    fn report(&self) -> RunReport {
-        let net_stats = self.net.stats();
-        // The last dispatch event starts before its burst finishes: the true
-        // end of the run is the latest EXU activity, not the last event.
-        let elapsed = self
-            .pes
-            .iter()
-            .map(|p| p.busy_until)
-            .fold(self.progress, Cycle::max);
-        RunReport {
-            per_pe: self
-                .pes
-                .iter()
-                .map(|p| {
-                    let mut s = p.stats.clone();
-                    s.max_queue_depth = p.queue.max_depth;
-                    s.ibu_spills = p.queue.spills;
-                    s.high_spills = p.queue.high_spills;
-                    s.low_spills = p.queue.low_spills;
-                    s.forced_spills = p.queue.forced_spills;
-                    s.max_high_depth = p.queue.max_high_depth;
-                    s.max_low_depth = p.queue.max_low_depth;
-                    s
-                })
-                .collect(),
-            elapsed,
-            clock_hz: self.cfg.clock_hz,
-            net_packets: net_stats.packets,
-            net_contention: net_stats.contention_wait,
-            faults: self.faults.as_ref().map(|fs| {
-                let c = self.net.fault_counters().unwrap_or_default();
-                FaultSummary {
-                    dropped: c.dropped,
-                    duplicated: c.duplicated,
-                    delayed: c.delayed,
-                    forced_spills: self.pes.iter().map(|p| p.queue.forced_spills).sum(),
-                    dma_stalls: fs.summary.dma_stalls,
-                    retries: fs.summary.retries,
-                    stale_responses: fs.summary.stale_responses,
-                }
-            }),
-        }
+        let key = self.lane_key(depart + delay, pe_id, LANE_RETRY);
+        self.cal.push(key, Ev::Retry(pe_id, fid, uid, seq))
     }
 
     /// Enqueue `pkt` on `pe`'s packet queue at time `t` and make sure a
     /// dispatch is scheduled.
-    fn enqueue(&mut self, t: Cycle, pe_id: PeId, pkt: Packet) -> Result<(), SimError> {
-        let force_spill = match self.faults.as_mut() {
-            Some(fs) => fs.spill_rng.chance_ppm(fs.spec.spill_ppm),
-            None => false,
-        };
-        let Machine {
+    fn enqueue(
+        &mut self,
+        sh: &Shared<'_>,
+        t: Cycle,
+        pe_id: PeId,
+        pkt: Packet,
+    ) -> Result<(), SimError> {
+        let spill_ppm = sh.cfg.faults.as_ref().map_or(0, |s| s.spill_ppm);
+        let Core {
+            base,
             pes,
-            trace,
-            probe,
-            events,
+            cal,
+            emit,
+            observing,
             ..
         } = self;
-        let pe = &mut pes[pe_id.index()];
+        let pe = &mut pes[pe_id.index() - *base];
+        let force_spill = match pe.spill_rng.as_mut() {
+            Some(rng) => rng.chance_ppm(spill_ppm),
+            None => false,
+        };
         let mut sink = Sink {
-            trace: trace.as_mut(),
-            probe: probe.as_deref_mut(),
+            buf: if *observing { Some(emit) } else { None },
         };
         pe.queue
             .push_probed(pkt, force_spill, t, pe_id, sink.as_probe());
         if !pe.dispatch_scheduled {
             let at = t.max(pe.busy_until);
             pe.dispatch_scheduled = true;
-            events.push(at, Ev::Dispatch(pe_id))?;
+            let a = pe.ev_dispatch_seq;
+            pe.ev_dispatch_seq += 1;
+            cal.push(
+                EvKey {
+                    at,
+                    pe: pe_id.0,
+                    lane: LANE_DISPATCH,
+                    a,
+                    b: 0,
+                },
+                Ev::Dispatch(pe_id),
+            )?;
         }
         Ok(())
     }
 
-    fn on_arrive(&mut self, t: Cycle, pe_id: PeId, pkt: Packet) -> Result<(), SimError> {
-        let bypass = self.cfg.service_mode == ServiceMode::BypassDma;
+    fn on_arrive(
+        &mut self,
+        sh: &Shared<'_>,
+        t: Cycle,
+        pe_id: PeId,
+        pkt: Packet,
+    ) -> Result<(), SimError> {
+        let bypass = sh.cfg.service_mode == ServiceMode::BypassDma;
         match pkt.kind {
             // Remote accesses are serviced by the IBU/by-pass DMA without
             // touching the EXU — the EM-X's key feature. In the EM-4
             // ablation they fall through to the packet queue instead.
             PacketKind::ReadReq | PacketKind::ReadBlockReq | PacketKind::Write if bypass => {
-                // An injected DMA stall holds the request at the IBU before
-                // the by-pass path services it.
-                let t = match self.faults.as_mut() {
-                    Some(fs) => {
-                        if fs.dma_rng.chance_ppm(fs.spec.dma_stall_ppm) {
-                            fs.summary.dma_stalls += 1;
-                            t + u64::from(fs.spec.dma_stall_cycles)
-                        } else {
-                            t
-                        }
-                    }
-                    None => t,
-                };
+                let (stall_ppm, stall_cycles) = sh
+                    .cfg
+                    .faults
+                    .as_ref()
+                    .map_or((0, 0), |s| (s.dma_stall_ppm, s.dma_stall_cycles));
                 let outcome = {
-                    let Machine {
-                        pes, trace, probe, ..
+                    let Core {
+                        base,
+                        pes,
+                        emit,
+                        observing,
+                        fsummary,
+                        ..
                     } = self;
-                    let pe = &mut pes[pe_id.index()];
+                    let pe = &mut pes[pe_id.index() - *base];
+                    // An injected DMA stall holds the request at the IBU
+                    // before the by-pass path services it.
+                    let stalled = pe
+                        .dma_rng
+                        .as_mut()
+                        .is_some_and(|rng| rng.chance_ppm(stall_ppm));
+                    let t = if stalled {
+                        fsummary.dma_stalls += 1;
+                        t + u64::from(stall_cycles)
+                    } else {
+                        t
+                    };
                     let mut sink = Sink {
-                        trace: trace.as_mut(),
-                        probe: probe.as_deref_mut(),
+                        buf: if *observing { Some(emit) } else { None },
                     };
                     pe.dma
                         .service_probed(t, &pkt, &mut pe.mem, sink.as_probe())?
                 };
                 for (depart, resp) in outcome.responses {
-                    self.route(depart, pe_id, resp)?;
+                    self.stage_route(depart, pe_id, resp)?;
                 }
                 Ok(())
             }
@@ -732,8 +1009,8 @@ impl Machine {
             // the queue.
             PacketKind::ReadResp if bypass && pkt.continuation().slot == SLOT_DATA => {
                 let cont = pkt.continuation();
-                let retry_armed = self.retry_armed();
-                let pe = &mut self.pes[pe_id.index()];
+                let retry_armed = sh.retry_armed();
+                let pe = &mut self.pes[pe_id.index() - self.base];
                 let is_block = matches!(
                     pe.frames.get(cont.frame).map(|f| f.wait),
                     Some(Wait::Block { .. })
@@ -759,9 +1036,7 @@ impl Machine {
                     // or one already deposited, is discarded at the IBU.
                     let idx = if retry_armed { pkt.idx } else { received };
                     if retry_armed && (pkt.seq != frame.cur_seq || frame.seen_test_and_set(idx)) {
-                        if let Some(fs) = self.faults.as_mut() {
-                            fs.summary.stale_responses += 1;
-                        }
+                        self.fsummary.stale_responses += 1;
                         return Ok(());
                     }
                     let done = pe.dma.ibu_deposit(t);
@@ -780,81 +1055,66 @@ impl Machine {
                         } else {
                             resume
                         };
-                        self.enqueue(done, pe_id, resume)?;
+                        self.enqueue(sh, done, pe_id, resume)?;
                     }
                     return Ok(());
                 }
-                self.enqueue(t, pe_id, self.prioritize(pkt))
+                self.enqueue(sh, t, pe_id, prioritize(sh.cfg, pkt))
             }
-            _ => self.enqueue(t, pe_id, self.prioritize(pkt)),
+            _ => self.enqueue(sh, t, pe_id, prioritize(sh.cfg, pkt)),
         }
     }
+}
 
-    /// Apply the optional scheduler policy: read responses jump to the
-    /// high-priority IBU FIFO so suspended threads resume before new
-    /// invocations.
-    fn prioritize(&self, pkt: Packet) -> Packet {
-        if self.cfg.priority_read_responses
-            && pkt.kind == PacketKind::ReadResp
-            && pkt.continuation().slot == SLOT_DATA
-        {
-            pkt.with_priority(Priority::High)
-        } else {
-            pkt
-        }
+/// Apply the optional scheduler policy: read responses jump to the
+/// high-priority IBU FIFO so suspended threads resume before new
+/// invocations.
+fn prioritize(cfg: &MachineConfig, pkt: Packet) -> Packet {
+    if cfg.priority_read_responses
+        && pkt.kind == PacketKind::ReadResp
+        && pkt.continuation().slot == SLOT_DATA
+    {
+        pkt.with_priority(Priority::High)
+    } else {
+        pkt
     }
+}
 
-    /// Route a packet from `src` into the network and schedule its
-    /// arrival(s). Under fault injection a data-plane packet may arrive
-    /// zero times (dropped — the retry protocol recovers) or twice
-    /// (duplicated — sequence matching suppresses the extra copy).
-    fn route(&mut self, depart: Cycle, src: PeId, pkt: Packet) -> Result<(), SimError> {
-        let dst = pkt.dst();
-        if dst.index() >= self.pes.len() {
-            return Err(SimError::BadPe { pe: dst.index() });
-        }
-        let class = match pkt.kind {
-            PacketKind::ReadReq | PacketKind::ReadBlockReq | PacketKind::ReadResp => {
-                DeliveryClass::Data
-            }
-            _ => DeliveryClass::Control,
-        };
-        let deliveries = {
-            let Machine {
-                net, trace, probe, ..
-            } = self;
-            let mut sink = Sink {
-                trace: trace.as_mut(),
-                probe: probe.as_deref_mut(),
-            };
-            if sink.enabled() {
-                sink.on(depart, src, TraceKind::Send { pkt: pkt.kind, dst });
-            }
-            net.route_probed(depart, src, dst, class, pkt.kind, sink.as_probe())
-        };
-        if let Some(ck) = self.faults.as_mut().and_then(|f| f.checker.as_mut()) {
-            ck.observe_send(src, dst, deliveries.as_slice())
-                .map_err(FaultReport::into_error)?;
-        }
-        for &arrival in deliveries.as_slice() {
-            self.events.push(arrival, Ev::Arrive(dst, pkt, true))?;
-        }
-        Ok(())
-    }
+/// Build the thread body for a spawn of `entry`.
+fn instantiate(sh: &Shared<'_>, entry: u32, pe: PeId, arg: u32) -> Result<ThreadKind, SimError> {
+    let def = sh
+        .entries
+        .get(entry as usize)
+        .ok_or_else(|| SimError::Workload {
+            reason: format!("spawn of unregistered entry {entry}"),
+        })?;
+    Ok(match def {
+        EntryDef::Native { factory, .. } => ThreadKind::Native(factory(pe, arg)),
+        EntryDef::Template(_) => ThreadKind::Isa {
+            state: ThreadState::at_entry(pe.0, sh.cfg.num_pes as u32, 0, arg),
+            template: entry,
+        },
+    })
+}
 
-    fn on_dispatch(&mut self, t: Cycle, pe_id: PeId) -> Result<(), SimError> {
+impl Core {
+    fn on_dispatch(&mut self, sh: &Shared<'_>, t: Cycle, pe_id: PeId) -> Result<(), SimError> {
         let pe_idx = pe_id.index();
-        let costs = self.cfg.costs;
+        let li = pe_idx - self.base;
+        let costs = sh.cfg.costs;
         let (pkt, spilled, start) = {
-            let Machine {
-                pes, trace, probe, ..
+            let Core {
+                base,
+                pes,
+                emit,
+                observing,
+                ..
             } = &mut *self;
-            let pe = &mut pes[pe_idx];
+            let pe = &mut pes[pe_idx - *base];
             pe.dispatch_scheduled = false;
             let start = t.max(pe.busy_until);
             let mut sink = Sink {
-                trace: trace.as_mut(),
-                probe: probe.as_deref_mut(),
+                buf: if *observing { Some(emit) } else { None },
             };
             let Some((pkt, spilled)) = pe.queue.pop_probed(start, pe_id, sink.as_probe()) else {
                 return Ok(());
@@ -887,11 +1147,11 @@ impl Machine {
             PacketKind::Spawn => {
                 let entry = pkt.global_addr().offset;
                 let arg = pkt.data;
-                let thread = self.instantiate(entry, pe_id, arg)?;
+                let thread = instantiate(sh, entry, pe_id, arg)?;
                 now += u64::from(costs.context_switch);
                 ch.switch += u64::from(costs.context_switch);
                 let fid = {
-                    let pe = &mut self.pes[pe_idx];
+                    let pe = &mut self.pes[li];
                     pe.live_threads += 1;
                     pe.next_uid += 1;
                     let fid = pe.frames.alloc(Frame {
@@ -915,10 +1175,8 @@ impl Machine {
                     }
                     fid
                 };
-                if self.observing() {
-                    self.emit(now, pe_id, TraceKind::ThreadSpawn { frame: fid, entry });
-                }
-                self.run_burst(pe_idx, fid, &mut now, &mut ch, &mut out)?;
+                self.record(now, pe_id, TraceKind::ThreadSpawn { frame: fid, entry });
+                self.run_burst(sh, pe_idx, fid, &mut now, &mut ch, &mut out)?;
             }
             PacketKind::ReadResp => {
                 let cont = pkt.continuation();
@@ -935,11 +1193,11 @@ impl Machine {
                         // read — or that lands on a dead, recycled, or
                         // already-resumed frame — is a late duplicate of a
                         // retried request and is discarded silently.
-                        let retry_armed = self.retry_armed();
+                        let retry_armed = sh.retry_armed();
                         let mut resume = true;
                         let mut stale = false;
                         {
-                            let pe = &mut self.pes[pe_idx];
+                            let pe = &mut self.pes[li];
                             match pe.frames.get_mut(fid) {
                                 None if retry_armed => stale = true,
                                 None => {
@@ -969,7 +1227,7 @@ impl Machine {
                                             received,
                                         } => {
                                             debug_assert_eq!(
-                                                self.cfg.service_mode,
+                                                sh.cfg.service_mode,
                                                 ServiceMode::ExuThread,
                                                 "partial block deposits reach the EXU only in EM-4 mode"
                                             );
@@ -1011,21 +1269,17 @@ impl Machine {
                             }
                         }
                         if stale {
-                            if let Some(fs) = self.faults.as_mut() {
-                                fs.summary.stale_responses += 1;
-                            }
+                            self.fsummary.stale_responses += 1;
                         } else if resume {
                             now += u64::from(costs.context_switch);
                             ch.switch += u64::from(costs.context_switch);
-                            if self.observing() {
-                                self.emit(now, pe_id, TraceKind::ThreadResume { frame: fid });
-                            }
-                            self.run_burst(pe_idx, fid, &mut now, &mut ch, &mut out)?;
+                            self.record(now, pe_id, TraceKind::ThreadResume { frame: fid });
+                            self.run_burst(sh, pe_idx, fid, &mut now, &mut ch, &mut out)?;
                         }
                     }
                     SLOT_POLL => {
                         let released = {
-                            let pe = &self.pes[pe_idx];
+                            let pe = &self.pes[li];
                             let frame = pe.frames.get(fid).ok_or_else(|| SimError::Workload {
                                 reason: format!("poll for dead frame {fid} on {pe_id}"),
                             })?;
@@ -1039,15 +1293,13 @@ impl Machine {
                         if released {
                             now += u64::from(costs.context_switch);
                             ch.switch += u64::from(costs.context_switch);
-                            self.pes[pe_idx]
+                            self.pes[li]
                                 .frames
                                 .get_mut(fid)
                                 .ok_or(SimError::FrameOutOfRange { frame: fid.index() })?
                                 .wait = Wait::Ready;
-                            if self.observing() {
-                                self.emit(now, pe_id, TraceKind::ThreadResume { frame: fid });
-                            }
-                            self.run_burst(pe_idx, fid, &mut now, &mut ch, &mut out)?;
+                            self.record(now, pe_id, TraceKind::ThreadResume { frame: fid });
+                            self.run_burst(sh, pe_idx, fid, &mut now, &mut ch, &mut out)?;
                         } else {
                             // Unsuccessful check: the iteration-sync switch
                             // of Figure 9. Its cycles are synchronization
@@ -1055,7 +1307,7 @@ impl Machine {
                             // Re-poll after the configured interval.
                             now += 2;
                             ch.comm += 2;
-                            self.pes[pe_idx].stats.switches.iter_sync += 1;
+                            self.pes[li].stats.switches.iter_sync += 1;
                             out.push(Outgoing::LocalAt {
                                 at: now
                                     + u64::from(costs.barrier_poll_interval)
@@ -1066,7 +1318,7 @@ impl Machine {
                     }
                     SLOT_SEQ => {
                         let satisfied = {
-                            let pe = &self.pes[pe_idx];
+                            let pe = &self.pes[li];
                             let frame = pe.frames.get(fid).ok_or_else(|| SimError::Workload {
                                 reason: format!("seq wake for dead frame {fid} on {pe_id}"),
                             })?;
@@ -1084,22 +1336,20 @@ impl Machine {
                         if satisfied {
                             now += u64::from(costs.context_switch);
                             ch.switch += u64::from(costs.context_switch);
-                            self.pes[pe_idx]
+                            self.pes[li]
                                 .frames
                                 .get_mut(fid)
                                 .ok_or(SimError::FrameOutOfRange { frame: fid.index() })?
                                 .wait = Wait::Ready;
-                            if self.observing() {
-                                self.emit(now, pe_id, TraceKind::ThreadResume { frame: fid });
-                            }
-                            self.run_burst(pe_idx, fid, &mut now, &mut ch, &mut out)?;
+                            self.record(now, pe_id, TraceKind::ThreadResume { frame: fid });
+                            self.run_burst(sh, pe_idx, fid, &mut now, &mut ch, &mut out)?;
                         } else {
                             // Spurious wake (signal raced a higher
                             // threshold): re-register and count the
                             // thread-sync switch.
                             now += 2;
                             ch.switch += 2;
-                            let pe = &mut self.pes[pe_idx];
+                            let pe = &mut self.pes[li];
                             pe.stats.switches.thread_sync += 1;
                             let frame = pe
                                 .frames
@@ -1113,16 +1363,16 @@ impl Machine {
                     SLOT_YIELD => {
                         now += u64::from(costs.context_switch);
                         ch.switch += u64::from(costs.context_switch);
-                        let frame = self.pes[pe_idx].frames.get_mut(fid).ok_or_else(|| {
-                            SimError::Workload {
-                                reason: format!("yield resume for dead frame {fid}"),
-                            }
-                        })?;
+                        let frame =
+                            self.pes[li]
+                                .frames
+                                .get_mut(fid)
+                                .ok_or_else(|| SimError::Workload {
+                                    reason: format!("yield resume for dead frame {fid}"),
+                                })?;
                         frame.wait = Wait::Ready;
-                        if self.observing() {
-                            self.emit(now, pe_id, TraceKind::ThreadResume { frame: fid });
-                        }
-                        self.run_burst(pe_idx, fid, &mut now, &mut ch, &mut out)?;
+                        self.record(now, pe_id, TraceKind::ThreadResume { frame: fid });
+                        self.run_burst(sh, pe_idx, fid, &mut now, &mut ch, &mut out)?;
                     }
                     other => {
                         return Err(SimError::Workload {
@@ -1137,13 +1387,13 @@ impl Machine {
                 now += 2;
                 ch.switch += 2;
                 self.barrier_counts[id] += 1;
-                if self.barrier_counts[id] == self.cfg.num_pes {
+                if self.barrier_counts[id] == sh.cfg.num_pes {
                     self.barrier_counts[id] = 0;
                     // Release broadcast: one send instruction per processor.
-                    for j in 0..self.cfg.num_pes {
+                    for j in 0..sh.cfg.num_pes {
                         now += u64::from(costs.send_packet);
                         ch.switch += u64::from(costs.send_packet);
-                        let depart = self.pes[pe_idx].dma.obu_depart(now);
+                        let depart = self.pes[li].dma.obu_depart(now);
                         let target = PeId(j as u16);
                         let rel = Packet {
                             kind: PacketKind::SyncRelease,
@@ -1156,7 +1406,7 @@ impl Machine {
                             idx: 0,
                         };
                         out.push(Outgoing::Net { depart, pkt: rel });
-                        self.pes[pe_idx].stats.packets_sent += 1;
+                        self.pes[li].stats.packets_sent += 1;
                     }
                 }
             }
@@ -1164,67 +1414,72 @@ impl Machine {
                 let id = pkt.global_addr().offset as usize;
                 now += 2;
                 ch.switch += 2;
-                self.pes[pe_idx].barriers[id].releases += 1;
+                self.pes[li].barriers[id].releases += 1;
             }
             // EM-4 ablation: remote accesses consume EXU cycles as
             // one-instruction threads.
             PacketKind::ReadReq | PacketKind::ReadBlockReq | PacketKind::Write => {
-                debug_assert_eq!(self.cfg.service_mode, ServiceMode::ExuThread);
-                self.exu_service(pe_idx, &pkt, &mut now, &mut ch, &mut out)?;
+                debug_assert_eq!(sh.cfg.service_mode, ServiceMode::ExuThread);
+                self.exu_service(sh, pe_idx, &pkt, &mut now, &mut ch, &mut out)?;
             }
         }
 
         // Commit charges and schedule follow-ups.
         {
-            let pe = &mut self.pes[pe_idx];
+            let pe = &mut self.pes[li];
             pe.busy_until = now;
             pe.stats.breakdown.compute += ch.compute;
             pe.stats.breakdown.overhead += ch.overhead;
             pe.stats.breakdown.switch += ch.switch;
             pe.stats.breakdown.comm += Cycle::new(ch.comm);
         }
-        {
-            // The burst's occupied span is exactly [start, now]: `now` is the
-            // value committed to busy_until above, so the profiler can
-            // reconstruct per-PE occupancy without the cost model.
-            let mut sink = Sink {
-                trace: self.trace.as_mut(),
-                probe: self.probe.as_deref_mut(),
-            };
-            if sink.enabled() {
-                sink.on(now, pe_id, TraceKind::DispatchEnd);
-            }
-        }
+        // The burst's occupied span is exactly [start, now]: `now` is the
+        // value committed to busy_until above, so the profiler can
+        // reconstruct per-PE occupancy without the cost model.
+        self.record(now, pe_id, TraceKind::DispatchEnd);
         for o in out {
             match o {
-                Outgoing::Net { depart, pkt } => self.route(depart, pe_id, pkt)?,
+                Outgoing::Net { depart, pkt } => self.stage_route(depart, pe_id, pkt)?,
                 Outgoing::LocalAt { at, pkt } => {
-                    self.events.push(at, Ev::Arrive(pe_id, pkt, false))?
+                    let key = self.lane_key(at, pe_id, LANE_LOCAL);
+                    self.cal.push(key, Ev::Arrive(pe_id, pkt, false))?
                 }
                 Outgoing::RetryAt { at, fid, uid, seq } => {
-                    self.events.push(at, Ev::Retry(pe_id, fid, uid, seq))?
+                    let key = self.lane_key(at, pe_id, LANE_RETRY);
+                    self.cal.push(key, Ev::Retry(pe_id, fid, uid, seq))?
                 }
             }
         }
-        let pe = &mut self.pes[pe_idx];
-        if !pe.queue.is_empty() && !pe.dispatch_scheduled {
-            pe.dispatch_scheduled = true;
-            self.events.push(pe.busy_until, Ev::Dispatch(pe_id))?;
+        let redispatch = {
+            let pe = &mut self.pes[li];
+            if !pe.queue.is_empty() && !pe.dispatch_scheduled {
+                pe.dispatch_scheduled = true;
+                Some(pe.busy_until)
+            } else {
+                None
+            }
+        };
+        if let Some(at) = redispatch {
+            let key = self.lane_key(at, pe_id, LANE_DISPATCH);
+            self.cal.push(key, Ev::Dispatch(pe_id))?;
         }
         Ok(())
     }
+}
 
+impl Core {
     /// EM-4-mode servicing of a remote access on the EXU.
     fn exu_service(
         &mut self,
+        sh: &Shared<'_>,
         pe_idx: usize,
         pkt: &Packet,
         now: &mut Cycle,
         ch: &mut Charges,
         out: &mut Vec<Outgoing>,
     ) -> Result<(), SimError> {
-        let costs = self.cfg.costs;
-        let pe = &mut self.pes[pe_idx];
+        let costs = sh.cfg.costs;
+        let pe = &mut self.pes[pe_idx - self.base];
         match pkt.kind {
             PacketKind::Write => {
                 *now += u64::from(costs.dma_service);
@@ -1262,58 +1517,39 @@ impl Machine {
         Ok(())
     }
 
-    /// In EM-4 mode, block-read words resume through the queue and must be
-    /// deposited on dispatch; route them here from the ReadResp path.
-    fn instantiate(&self, entry: u32, pe: PeId, arg: u32) -> Result<ThreadKind, SimError> {
-        let def = self
-            .entries
-            .get(entry as usize)
-            .ok_or_else(|| SimError::Workload {
-                reason: format!("spawn of unregistered entry {entry}"),
-            })?;
-        Ok(match def {
-            EntryDef::Native { factory, .. } => ThreadKind::Native(factory(pe, arg)),
-            EntryDef::Template(_) => ThreadKind::Isa {
-                state: ThreadState::at_entry(pe.0, self.cfg.num_pes as u32, 0, arg),
-                template: entry,
-            },
-        })
-    }
-
     /// Execute a thread burst: repeatedly step the thread, applying
     /// non-suspending actions inline, until it suspends or ends.
     fn run_burst(
         &mut self,
+        sh: &Shared<'_>,
         pe_idx: usize,
         fid: FrameId,
         now: &mut Cycle,
         ch: &mut Charges,
         out: &mut Vec<Outgoing>,
     ) -> Result<(), SimError> {
-        let costs = self.cfg.costs;
-        let npes = self.cfg.num_pes as u32;
+        let costs = sh.cfg.costs;
+        let npes = sh.cfg.num_pes as u32;
         let pe_id = PeId(pe_idx as u16);
         // Base retry timeout, when the protocol is armed for this run.
-        let retry_timeout = if self.retry_armed() {
-            self.faults.as_ref().map(|f| f.spec.retry_timeout)
+        let retry_timeout = if sh.retry_armed() {
+            sh.cfg.faults.as_ref().map(|f| f.retry_timeout)
         } else {
             None
         };
-        let Machine {
+        let entries = sh.entries;
+        let barrier_defs = sh.barrier_defs;
+        let Core {
+            base,
             pes,
-            entries,
-            barrier_defs,
-            trace,
-            probe,
+            emit,
+            observing,
             ..
         } = self;
-        let entries = &*entries;
-        let barrier_defs = &*barrier_defs;
         let mut sink = Sink {
-            trace: trace.as_mut(),
-            probe: probe.as_deref_mut(),
+            buf: if *observing { Some(emit) } else { None },
         };
-        let pe = &mut pes[pe_idx];
+        let pe = &mut pes[pe_idx - *base];
 
         loop {
             let Pe {
@@ -1408,12 +1644,7 @@ impl Machine {
                             }
                         }
                     }
-                    let (a, r) = translated.expect("loop exits only when set");
-                    // ISA send effects are actions that have already been
-                    // charged; mark that with a negative flag via isa_dst
-                    // trick is unnecessary — Write/Spawn handling below
-                    // checks thread kind.
-                    (a, r)
+                    translated.expect("loop exits only when set")
                 }
             };
 

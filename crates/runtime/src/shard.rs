@@ -1,0 +1,520 @@
+//! The two execution drivers: the single-calendar oracle loop and the
+//! sharded parallel loop, plus the shared replay pass that applies staged
+//! event effects in canonical order.
+//!
+//! # Conservative windows
+//!
+//! The sharded driver partitions the machine's processors into contiguous
+//! groups ([`Core::split`]), each with its own calendar and clock, run on
+//! scoped host threads. Synchronization is conservative: with `T` the
+//! earliest pending event time across all shards (including undelivered
+//! cross-shard packets) and `L` the network's minimum delivery latency
+//! ([`Network::latency_bound`]), every packet sent by an event at `t >= T`
+//! arrives no earlier than `t + L >= T + L`. All events in `[T, T + L)` are
+//! therefore causally independent across shards and can execute in
+//! parallel. The coordinator repeatedly computes the horizon
+//! `H = min(T + L, limit + 1)`, tells every shard to advance to `H`, then
+//! merges the shards' pop records in canonical [`EvKey`] order, replaying
+//! each record's staged trace emissions and network routes and exchanging
+//! the resulting cross-shard arrivals for the next window.
+//!
+//! # Why the merge reproduces the oracle byte-for-byte
+//!
+//! The oracle pops events in canonical key order (see `calendar.rs`), and
+//! within a window each shard pops *its* events in the same order, so the
+//! oracle's pop sequence is exactly the k-way merge of the per-shard record
+//! streams by current head key. Every externally visible effect — trace and
+//! probe emissions, network route calls (and thus contention state and
+//! fault draws), invariant-checker observations, and the final error if any
+//! — happens at replay time, on one thread, in that merged order, through
+//! the same [`replay_record`] code path the oracle driver uses. Sharded and
+//! single-calendar runs are therefore byte-identical: same `RunReport`,
+//! same trace stream, same digest. `docs/SHARDING.md` walks the full
+//! argument.
+
+use std::sync::mpsc;
+use std::thread;
+
+use emx_core::{Cycle, MachineConfig, PacketKind, PeId, Probe, SimError, TraceEvent, TraceKind};
+use emx_faults::{FaultReport, InvariantChecker};
+use emx_net::{DeliveryClass, Network};
+use emx_stats::RunReport;
+
+use crate::calendar::EvKey;
+use crate::machine::{Core, Ev, Machine, PopRecord, RouteIntent, Shared};
+use crate::trace::Trace;
+
+/// Replay-side observation sink fanning out to the ring trace and the
+/// attached probe. (The processing side buffers into `Core::emit` instead;
+/// this sink exists so network-layer emissions keep their oracle order.)
+struct FanSink<'a> {
+    trace: Option<&'a mut Trace>,
+    probe: Option<&'a mut (dyn Probe + Send + 'static)>,
+}
+
+impl FanSink<'_> {
+    fn enabled(&self) -> bool {
+        self.trace.is_some() || self.probe.is_some()
+    }
+
+    fn as_probe(&mut self) -> Option<&mut dyn Probe> {
+        if self.enabled() {
+            Some(self)
+        } else {
+            None
+        }
+    }
+}
+
+impl Probe for FanSink<'_> {
+    fn on(&mut self, at: Cycle, pe: PeId, kind: TraceKind) {
+        if let Some(t) = self.trace.as_mut() {
+            t.record(at, pe, kind);
+        }
+        if let Some(p) = self.probe.as_mut() {
+            p.on(at, pe, kind);
+        }
+    }
+}
+
+/// Apply one pop record's staged effects: checker observations, buffered
+/// trace emissions, then each staged network route (send emission, the
+/// route call itself, checker send observation, and arrival scheduling via
+/// `deliver`), and finally the record's processing error, if any.
+///
+/// This is the *only* place staged effects touch shared state, and both
+/// drivers funnel through it, so effect order is the oracle's by
+/// construction: everything an event emits precedes everything it routes,
+/// and records are replayed in canonical key order.
+#[allow(clippy::too_many_arguments)]
+fn replay_record(
+    cfg: &MachineConfig,
+    net: &mut dyn Network,
+    trace: &mut Option<Trace>,
+    probe: &mut Option<Box<dyn Probe + Send>>,
+    checker: &mut Option<InvariantChecker>,
+    rec: PopRecord,
+    emit: &[TraceEvent],
+    intents: &[RouteIntent],
+    deliver: &mut dyn FnMut(EvKey, Ev) -> Result<(), SimError>,
+) -> Result<(), SimError> {
+    if let Some(ck) = checker.as_mut() {
+        ck.observe_event(rec.key.at)
+            .map_err(FaultReport::into_error)?;
+        if rec.via_net {
+            ck.observe_arrival();
+        }
+    }
+    let mut sink = FanSink {
+        trace: trace.as_mut(),
+        probe: probe.as_deref_mut(),
+    };
+    if sink.enabled() {
+        for e in emit {
+            sink.on(e.at, e.pe, e.kind);
+        }
+    }
+    for intent in intents {
+        let pkt = intent.pkt;
+        let dst = pkt.dst();
+        if dst.index() >= cfg.num_pes {
+            return Err(SimError::BadPe { pe: dst.index() });
+        }
+        let class = match pkt.kind {
+            PacketKind::ReadReq | PacketKind::ReadBlockReq | PacketKind::ReadResp => {
+                DeliveryClass::Data
+            }
+            _ => DeliveryClass::Control,
+        };
+        if sink.enabled() {
+            sink.on(
+                intent.depart,
+                intent.src,
+                TraceKind::Send { pkt: pkt.kind, dst },
+            );
+        }
+        let deliveries = net.route_probed(
+            intent.depart,
+            intent.src,
+            dst,
+            class,
+            pkt.kind,
+            sink.as_probe(),
+        );
+        if let Some(ck) = checker.as_mut() {
+            ck.observe_send(intent.src, dst, deliveries.as_slice())
+                .map_err(FaultReport::into_error)?;
+        }
+        if let Some(predicted) = intent.predicted {
+            // Pure loopback: the owning core already scheduled the arrival
+            // inline; the route call above exists for its stats, emissions,
+            // and checker observations. The model's purity contract says it
+            // must agree with the prediction.
+            debug_assert_eq!(
+                deliveries.as_slice(),
+                &[predicted],
+                "pure loopback prediction diverged from the network model"
+            );
+        } else {
+            for (dup, &arrival) in deliveries.as_slice().iter().enumerate() {
+                deliver(
+                    EvKey::net(arrival, dst, intent.src, intent.depart, dup as u64),
+                    Ev::Arrive(dst, pkt, true),
+                )?;
+            }
+        }
+    }
+    if let Some(err) = rec.error {
+        return Err(err);
+    }
+    Ok(())
+}
+
+/// Messages from the coordinator to a shard worker.
+enum ToShard {
+    /// Absorb `arrivals` and process every local event strictly before
+    /// `horizon`, then report a [`WindowBatch`].
+    Window {
+        horizon: Cycle,
+        arrivals: Vec<(EvKey, Ev)>,
+    },
+    /// The run is over (quiescent or aborted); return the core.
+    Finish,
+}
+
+/// One shard's contribution to a window: its pop records in local canonical
+/// order, the staged emissions/intents they index into, and the time of its
+/// next pending local event.
+struct WindowBatch {
+    records: Vec<PopRecord>,
+    emit: Vec<TraceEvent>,
+    intents: Vec<RouteIntent>,
+    next_time: Option<Cycle>,
+}
+
+/// Messages from a shard worker back to the coordinator.
+enum FromShard {
+    Batch(WindowBatch),
+    Done(Box<Core>),
+}
+
+/// A shard worker: advance the local calendar window by window until told
+/// to finish, then hand the core back for reassembly.
+fn shard_worker(
+    index: usize,
+    mut core: Core,
+    sh: &Shared<'_>,
+    rx: &mpsc::Receiver<ToShard>,
+    tx: &mpsc::Sender<(usize, FromShard)>,
+) {
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            ToShard::Window { horizon, arrivals } => {
+                for (key, ev) in arrivals {
+                    core.cal
+                        .push(key, ev)
+                        .expect("cross-shard arrival behind the shard clock");
+                }
+                let mut records = Vec::new();
+                while core.cal.peek_key().is_some_and(|k| k.at < horizon) {
+                    let (key, ev) = core.cal.pop().expect("an event was just peeked");
+                    let rec = core.process_event(sh, key, ev);
+                    let failed = rec.error.is_some();
+                    records.push(rec);
+                    if failed {
+                        // The merged replay will abort at this record; no
+                        // later local event can precede it in merge order.
+                        break;
+                    }
+                }
+                let batch = WindowBatch {
+                    records,
+                    emit: std::mem::take(&mut core.emit),
+                    intents: std::mem::take(&mut core.intents),
+                    next_time: core.cal.peek_time(),
+                };
+                if tx.send((index, FromShard::Batch(batch))).is_err() {
+                    break;
+                }
+            }
+            ToShard::Finish => break,
+        }
+    }
+    let _ = tx.send((index, FromShard::Done(Box::new(core))));
+}
+
+/// The coordinator's window loop. Returns the time of the last merged
+/// event once every shard is quiescent, or the first error in merge order.
+#[allow(clippy::too_many_arguments)]
+fn coordinate(
+    cfg: &MachineConfig,
+    net: &mut dyn Network,
+    trace: &mut Option<Trace>,
+    probe: &mut Option<Box<dyn Probe + Send>>,
+    checker: &mut Option<InvariantChecker>,
+    lookahead: u64,
+    limit: Cycle,
+    chunk: usize,
+    mut next_times: Vec<Option<Cycle>>,
+    to_txs: &[mpsc::Sender<ToShard>],
+    res_rx: &mpsc::Receiver<(usize, FromShard)>,
+) -> Result<Cycle, SimError> {
+    let nshards = to_txs.len();
+    let mut pending: Vec<Vec<(EvKey, Ev)>> = (0..nshards).map(|_| Vec::new()).collect();
+    let mut merged_now = Cycle::ZERO;
+    let dead = || SimError::Workload {
+        reason: "shard worker exited unexpectedly".into(),
+    };
+    loop {
+        // T: the earliest pending event anywhere — a shard's local head or
+        // an undelivered cross-shard arrival.
+        let mut t0: Option<Cycle> = None;
+        for s in 0..nshards {
+            let local = pending[s].iter().map(|(k, _)| k.at).min();
+            let head = match (next_times[s], local) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            };
+            t0 = match (t0, head) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            };
+        }
+        let Some(t0) = t0 else {
+            // Quiescent: no shard has events and nothing is in flight.
+            return Ok(merged_now);
+        };
+        if t0 > limit {
+            // The oracle pops this event and errors; match it exactly.
+            return Err(SimError::Workload {
+                reason: format!("simulation passed the cycle limit {limit}"),
+            });
+        }
+        let horizon = (t0 + lookahead).min(limit + 1);
+        for (s, tx) in to_txs.iter().enumerate() {
+            let arrivals = std::mem::take(&mut pending[s]);
+            tx.send(ToShard::Window { horizon, arrivals })
+                .map_err(|_| dead())?;
+        }
+        let mut slots: Vec<Option<WindowBatch>> = (0..nshards).map(|_| None).collect();
+        let mut got = 0;
+        while got < nshards {
+            let (i, msg) = res_rx.recv().map_err(|_| dead())?;
+            if let FromShard::Batch(b) = msg {
+                if slots[i].is_none() {
+                    got += 1;
+                }
+                slots[i] = Some(b);
+            }
+        }
+        let mut batches: Vec<WindowBatch> = slots
+            .into_iter()
+            .map(|b| b.expect("every shard reported"))
+            .collect();
+        for (s, b) in batches.iter().enumerate() {
+            next_times[s] = b.next_time;
+        }
+        // k-way merge of the shards' pop-record streams by canonical key:
+        // this recovers the oracle's exact pop order for the window.
+        let mut cursors = vec![(0usize, 0usize, 0usize); nshards];
+        loop {
+            let mut best: Option<usize> = None;
+            for s in 0..nshards {
+                if let Some(r) = batches[s].records.get(cursors[s].0) {
+                    let better = match best {
+                        None => true,
+                        Some(b) => r.key < batches[b].records[cursors[b].0].key,
+                    };
+                    if better {
+                        best = Some(s);
+                    }
+                }
+            }
+            let Some(s) = best else { break };
+            let (ri, es, is_) = cursors[s];
+            let batch = &mut batches[s];
+            let rec = {
+                let r = &mut batch.records[ri];
+                PopRecord {
+                    key: r.key,
+                    via_net: r.via_net,
+                    emit_end: r.emit_end,
+                    int_end: r.int_end,
+                    error: r.error.take(),
+                }
+            };
+            let (ee, ie) = (rec.emit_end as usize, rec.int_end as usize);
+            cursors[s] = (ri + 1, ee, ie);
+            merged_now = rec.key.at;
+            replay_record(
+                cfg,
+                net,
+                trace,
+                probe,
+                checker,
+                rec,
+                &batch.emit[es..ee],
+                &batch.intents[is_..ie],
+                &mut |k, e| {
+                    pending[k.pe as usize / chunk].push((k, e));
+                    Ok(())
+                },
+            )?;
+        }
+    }
+}
+
+impl Machine {
+    /// The single-calendar event loop — identical semantics to the sharded
+    /// driver, kept as its differential-testing oracle.
+    pub(crate) fn run_single(&mut self, limit: Cycle) -> Result<RunReport, SimError> {
+        while let Some(head) = self.core.cal.peek_key() {
+            if head.at > limit {
+                return Err(SimError::Workload {
+                    reason: format!("simulation passed the cycle limit {limit}"),
+                });
+            }
+            let (key, ev) = self.core.cal.pop().expect("an event was just peeked");
+            let sh = Shared {
+                cfg: &self.cfg,
+                entries: &self.entries,
+                barrier_defs: &self.barrier_defs,
+            };
+            let rec = self.core.process_event(&sh, key, ev);
+            let Machine {
+                cfg,
+                net,
+                core,
+                trace,
+                probe,
+                checker,
+                ..
+            } = self;
+            let Core {
+                cal, emit, intents, ..
+            } = core;
+            let res = replay_record(
+                cfg,
+                net.as_mut(),
+                trace,
+                probe,
+                checker,
+                rec,
+                emit,
+                intents,
+                &mut |k, e| cal.push(k, e),
+            );
+            emit.clear();
+            intents.clear();
+            res?;
+        }
+        let now = self.core.cal.now();
+        self.finish(now)
+    }
+
+    /// The sharded parallel driver; see the module docs for the protocol.
+    pub(crate) fn run_parallel(
+        &mut self,
+        limit: Cycle,
+        shards: usize,
+    ) -> Result<RunReport, SimError> {
+        let lookahead = self.lookahead();
+        debug_assert!(lookahead > 0, "caller guarantees a positive lookahead");
+        let chunk = self.cfg.num_pes.div_ceil(shards);
+        let mut parts = self.core.split(chunk);
+        let nshards = parts.len();
+        if nshards <= 1 {
+            self.core.reassemble(parts);
+            return self.run_single(limit);
+        }
+        let next_times: Vec<Option<Cycle>> = parts.iter().map(|c| c.cal.peek_time()).collect();
+        let Machine {
+            cfg,
+            net,
+            entries,
+            barrier_defs,
+            trace,
+            probe,
+            checker,
+            ..
+        } = self;
+        let sh = Shared {
+            cfg,
+            entries,
+            barrier_defs,
+        };
+        let (outcome, parts) = thread::scope(|scope| {
+            let (res_tx, res_rx) = mpsc::channel::<(usize, FromShard)>();
+            let mut to_txs = Vec::with_capacity(nshards);
+            for (i, core) in parts.drain(..).enumerate() {
+                let (tx, rx) = mpsc::channel::<ToShard>();
+                to_txs.push(tx);
+                let res_tx = res_tx.clone();
+                let shref = &sh;
+                scope.spawn(move || shard_worker(i, core, shref, &rx, &res_tx));
+            }
+            drop(res_tx);
+            let outcome = coordinate(
+                cfg,
+                net.as_mut(),
+                trace,
+                probe,
+                checker,
+                lookahead,
+                limit,
+                chunk,
+                next_times,
+                &to_txs,
+                &res_rx,
+            );
+            // Wind down — workers idle at `recv` whether the run finished or
+            // aborted; a worker that already exited has dropped its receiver.
+            for tx in &to_txs {
+                let _ = tx.send(ToShard::Finish);
+            }
+            let mut slots: Vec<Option<Core>> = (0..nshards).map(|_| None).collect();
+            let mut got = 0;
+            while got < nshards {
+                match res_rx.recv() {
+                    Ok((i, FromShard::Done(core))) => {
+                        slots[i] = Some(*core);
+                        got += 1;
+                    }
+                    // A batch from a window the coordinator abandoned.
+                    Ok((_, FromShard::Batch(_))) => {}
+                    Err(_) => break,
+                }
+            }
+            (outcome, slots.into_iter().flatten().collect::<Vec<Core>>())
+        });
+        // Reassemble even on error so the machine stays inspectable.
+        self.core.reassemble(parts);
+        let now = outcome?;
+        self.finish(now)
+    }
+
+    /// End-of-run checks shared by both drivers: deadlock detection, the
+    /// invariant checker's final pass, and report assembly.
+    fn finish(&mut self, now: Cycle) -> Result<RunReport, SimError> {
+        let suspended = self.core.suspended();
+        if suspended > 0 {
+            return Err(SimError::Deadlock {
+                at: now.get(),
+                suspended,
+            });
+        }
+        if let Some(ck) = &self.checker {
+            ck.final_check(self.net.fault_counters())
+                .map_err(FaultReport::into_error)?;
+            let fifo = self.core.fifo_violations();
+            if fifo > 0 {
+                return Err(FaultReport::new(
+                    "fifo-within-priority",
+                    format!("{fifo} packet(s) popped out of enqueue order"),
+                )
+                .into_error());
+            }
+        }
+        Ok(self.report())
+    }
+}

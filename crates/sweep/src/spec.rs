@@ -81,6 +81,11 @@ pub struct RunSpec {
     /// machinery (and so reports a zeroed fault summary) — callers wanting
     /// byte-identical baselines pass `None`.
     pub faults: Option<FaultSpec>,
+    /// Host shard count for parallel machine execution. Purely a host
+    /// performance knob — results are byte-identical at any value — so it
+    /// is deliberately *excluded* from [`RunSpec::canonical`]: a cached
+    /// result is valid at every shard count.
+    pub shards: usize,
 }
 
 impl RunSpec {
@@ -100,6 +105,7 @@ impl RunSpec {
             priority_read_responses: false,
             net_model: NetModelKind::CircularOmega,
             faults: None,
+            shards: 1,
         }
     }
 
@@ -127,6 +133,7 @@ impl RunSpec {
         cfg.priority_read_responses = self.priority_read_responses;
         cfg.net.model = self.net_model;
         cfg.faults = self.faults.clone();
+        cfg.shards = self.shards;
         cfg
     }
 

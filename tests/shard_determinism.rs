@@ -1,0 +1,139 @@
+//! Sharded parallel execution is byte-deterministic: any `shards` value
+//! produces the same `RunReport` and the same `emx-trace` stream (checked
+//! by 128-bit digest) as the single-calendar oracle loop, on real
+//! workloads with cross-shard network traffic.
+
+use emx::prelude::*;
+use emx::stats::digest::report_canonical_text;
+
+fn cfg(p: usize, shards: usize) -> MachineConfig {
+    let mut c = MachineConfig::with_pes(p);
+    c.local_memory_words = 1 << 17;
+    c.shards = shards;
+    c
+}
+
+/// Report text, trace-stream digest, and trace-event count of one FFT run.
+fn fft_fingerprint(shards: usize) -> (String, String, u64) {
+    let c = cfg(64, shards);
+    let (probe, handle) = DigestProbe::new();
+    let out = run_fft_observed(&c, &FftParams::comm_only(64 * 64, 4), |m| {
+        m.attach_probe(Box::new(probe));
+    })
+    .unwrap();
+    (
+        report_canonical_text(&out.report),
+        handle.hex(),
+        handle.events(),
+    )
+}
+
+fn bitonic_fingerprint(shards: usize) -> (String, String, u64) {
+    let c = cfg(64, shards);
+    let (probe, handle) = DigestProbe::new();
+    let out = run_bitonic_observed(&c, &SortParams::new(64 * 64, 4), |m| {
+        m.attach_probe(Box::new(probe));
+    })
+    .unwrap();
+    (
+        report_canonical_text(&out.report),
+        handle.hex(),
+        handle.events(),
+    )
+}
+
+#[test]
+fn fft_is_byte_identical_at_any_shard_count() {
+    let oracle = fft_fingerprint(1);
+    assert!(oracle.2 > 0, "oracle run must emit trace events");
+    for shards in [2usize, 4, 8] {
+        let sharded = fft_fingerprint(shards);
+        assert_eq!(
+            oracle.0, sharded.0,
+            "FFT report diverged at {shards} shards"
+        );
+        assert_eq!(
+            oracle.1, sharded.1,
+            "FFT trace digest diverged at {shards} shards"
+        );
+        assert_eq!(oracle.2, sharded.2);
+    }
+}
+
+#[test]
+fn bitonic_is_byte_identical_at_any_shard_count() {
+    let oracle = bitonic_fingerprint(1);
+    assert!(oracle.2 > 0, "oracle run must emit trace events");
+    for shards in [2usize, 4, 8] {
+        let sharded = bitonic_fingerprint(shards);
+        assert_eq!(
+            oracle.0, sharded.0,
+            "bitonic report diverged at {shards} shards"
+        );
+        assert_eq!(
+            oracle.1, sharded.1,
+            "bitonic trace digest diverged at {shards} shards"
+        );
+        assert_eq!(oracle.2, sharded.2);
+    }
+}
+
+/// A thread that performs its scripted actions then runs off the end.
+struct Scripted {
+    actions: Vec<Action>,
+    at: usize,
+}
+
+impl ThreadBody for Scripted {
+    fn step(&mut self, _ctx: &mut ThreadCtx<'_>) -> Action {
+        let a = self.actions.get(self.at).copied().unwrap_or(Action::End);
+        self.at += 1;
+        a
+    }
+}
+
+/// The deadlock outcome (`at`, `suspended`) of two threads that exchange
+/// cross-shard remote reads and then wait on a sequence signal that never
+/// arrives. At `shards = 2` on a 64-PE machine, PE 0 and PE 63 live in
+/// different shards, so both the reads and the final quiescence detection
+/// cross the shard boundary.
+fn stuck_exchange(shards: usize) -> (u64, usize) {
+    let mut m = Machine::new(cfg(64, shards)).unwrap();
+    m.define_seq_cells(1);
+    m.mem_mut(PeId(0)).unwrap().write(0, 7).unwrap();
+    m.mem_mut(PeId(63)).unwrap().write(0, 9).unwrap();
+    let entry = m.register_entry("stuck-exchange", |pe, _| {
+        let partner = if pe.0 == 0 { 63 } else { 0 };
+        Box::new(Scripted {
+            actions: vec![
+                Action::Read {
+                    addr: GlobalAddr::new(PeId(partner), 0).unwrap(),
+                },
+                Action::WaitSeq {
+                    cell: 0,
+                    threshold: 99,
+                },
+            ],
+            at: 0,
+        })
+    });
+    m.spawn_at_start(PeId(0), entry, 0).unwrap();
+    m.spawn_at_start(PeId(63), entry, 0).unwrap();
+    match m.run() {
+        Err(SimError::Deadlock { at, suspended }) => (at, suspended),
+        other => panic!("expected deadlock, got {other:?}"),
+    }
+}
+
+#[test]
+fn deadlock_detection_fires_identically_across_shard_boundaries() {
+    let oracle = stuck_exchange(1);
+    assert_eq!(oracle.1, 2, "both threads must be reported suspended");
+    for shards in [2usize, 4] {
+        assert_eq!(
+            stuck_exchange(shards),
+            oracle,
+            "deadlock report diverged at {shards} shards"
+        );
+    }
+}

@@ -1,0 +1,155 @@
+//! Offline stand-in for the `bytes` crate (see `vendor/README.md`).
+//!
+//! Provides exactly the surface the workspace uses: big-endian `Buf` /
+//! `BufMut` cursors and a growable `BytesMut` that freezes into a readable
+//! `Bytes`. Semantics match the real crate for this subset (network byte
+//! order, panics on read underflow after a `remaining` check is skipped).
+
+/// Read cursor over a byte sequence, big-endian accessors.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+    /// Copy out the next `n` bytes.
+    fn copy_next(&mut self, n: usize) -> [u8; 8];
+
+    fn get_u8(&mut self) -> u8 {
+        self.copy_next(1)[0]
+    }
+    fn get_u16(&mut self) -> u16 {
+        let b = self.copy_next(2);
+        u16::from_be_bytes([b[0], b[1]])
+    }
+    fn get_u32(&mut self) -> u32 {
+        let b = self.copy_next(4);
+        u32::from_be_bytes([b[0], b[1], b[2], b[3]])
+    }
+    fn get_u64(&mut self) -> u64 {
+        let b = self.copy_next(8);
+        u64::from_be_bytes(b)
+    }
+}
+
+/// Write cursor appending big-endian values.
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+}
+
+impl<T: Buf + ?Sized> Buf for &mut T {
+    fn remaining(&self) -> usize {
+        (**self).remaining()
+    }
+    fn copy_next(&mut self, n: usize) -> [u8; 8] {
+        (**self).copy_next(n)
+    }
+}
+
+impl<T: BufMut + ?Sized> BufMut for &mut T {
+    fn put_slice(&mut self, src: &[u8]) {
+        (**self).put_slice(src)
+    }
+}
+
+/// An immutable readable byte buffer with a read cursor.
+#[derive(Debug, Clone, Default)]
+pub struct Bytes {
+    data: Vec<u8>,
+    pos: usize,
+}
+
+impl Bytes {
+    /// Total length including already-read bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer was empty to begin with.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+    fn copy_next(&mut self, n: usize) -> [u8; 8] {
+        assert!(n <= 8 && self.remaining() >= n, "buffer underflow");
+        let mut out = [0u8; 8];
+        out[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+        self.pos += n;
+        out
+    }
+}
+
+/// A growable write buffer.
+#[derive(Debug, Clone, Default)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> BytesMut {
+        BytesMut::default()
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Convert into an immutable readable buffer.
+    pub fn freeze(self) -> Bytes {
+        Bytes {
+            data: self.data,
+            pos: 0,
+        }
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_big_endian() {
+        let mut w = BytesMut::new();
+        w.put_u8(0xAB);
+        w.put_u16(0x1234);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(0x0102_0304_0506_0708);
+        assert_eq!(w.len(), 15);
+        let mut r = w.freeze();
+        assert_eq!(r.remaining(), 15);
+        assert_eq!(r.get_u8(), 0xAB);
+        assert_eq!(r.get_u16(), 0x1234);
+        assert_eq!(r.get_u32(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64(), 0x0102_0304_0506_0708);
+        assert_eq!(r.remaining(), 0);
+    }
+}

@@ -1,0 +1,173 @@
+//! Offline stand-in for `criterion` (see `vendor/README.md`).
+//!
+//! Implements the API subset the workspace benches use — groups,
+//! `bench_function` / `bench_with_input`, `BenchmarkId`, `Throughput`,
+//! `sample_size`, and the `criterion_group!` / `criterion_main!` macros —
+//! with a simple measure-and-print harness instead of criterion's
+//! statistical analysis. Good enough to smoke-run `cargo bench` offline;
+//! the repo's committed numbers come from `figures bench`, not this.
+
+use std::fmt;
+use std::time::Instant;
+
+/// Prevent the optimizer from discarding a computed value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation attached to a group (recorded, not analyzed).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A two-part benchmark identifier, `function/parameter`.
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Identifier from a function name and a parameter display.
+    pub fn new<P: fmt::Display>(function: &str, parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            name: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Timing handle passed to bench closures.
+pub struct Bencher {
+    samples: usize,
+    nanos: Vec<u128>,
+}
+
+impl Bencher {
+    /// Time `routine` over the configured number of samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        self.nanos.clear();
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            self.nanos.push(start.elapsed().as_nanos());
+        }
+    }
+
+    fn median_nanos(&mut self) -> u128 {
+        if self.nanos.is_empty() {
+            return 0;
+        }
+        self.nanos.sort_unstable();
+        self.nanos[self.nanos.len() / 2]
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup {
+    name: String,
+    samples: usize,
+}
+
+impl BenchmarkGroup {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Record the group's throughput annotation.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark identified by a plain string.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(id.to_string(), &mut f);
+        self
+    }
+
+    /// Run one benchmark with an input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(id.name, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Finish the group (separator line, matching criterion's rhythm).
+    pub fn finish(&mut self) {
+        println!();
+    }
+
+    fn run(&mut self, id: String, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut b = Bencher {
+            samples: self.samples,
+            nanos: Vec::with_capacity(self.samples),
+        };
+        f(&mut b);
+        let med = b.median_nanos();
+        println!(
+            "{}/{}: median {:.3} ms over {} samples",
+            self.name,
+            id,
+            med as f64 / 1e6,
+            b.samples
+        );
+    }
+}
+
+/// Top-level harness; one per bench binary.
+pub struct Criterion {
+    default_samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            default_samples: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.to_string(),
+            samples: self.default_samples,
+        }
+    }
+}
+
+/// Declare a benchmark group function list, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declare the bench entry point, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

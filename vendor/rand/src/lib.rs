@@ -1,0 +1,155 @@
+//! Offline stand-in for `rand` (see `vendor/README.md`).
+//!
+//! Deterministic SplitMix64 generator behind the `StdRng` /
+//! `SeedableRng::seed_from_u64` / `RngExt::{random, random_range}` surface
+//! the workloads use. The streams differ from upstream `rand` — committed
+//! results are generated against *this* generator, which is stable and
+//! fully specified here, so artifacts reproduce on any machine.
+
+/// Core trait: a source of raw 64-bit output.
+pub trait RngCore {
+    /// Next raw 64 bits from the stream.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// A sample drawn uniformly from an `RngCore`.
+pub trait Random: Sized {
+    /// Draw one value.
+    fn random(rng: &mut impl RngCore) -> Self;
+}
+
+impl Random for u64 {
+    fn random(rng: &mut impl RngCore) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Random for u32 {
+    fn random(rng: &mut impl RngCore) -> u32 {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Random for u16 {
+    fn random(rng: &mut impl RngCore) -> u16 {
+        (rng.next_u64() >> 48) as u16
+    }
+}
+
+impl Random for u8 {
+    fn random(rng: &mut impl RngCore) -> u8 {
+        (rng.next_u64() >> 56) as u8
+    }
+}
+
+impl Random for bool {
+    fn random(rng: &mut impl RngCore) -> bool {
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+/// A sample drawn uniformly from a half-open range.
+pub trait UniformRange: Sized {
+    /// Draw one value in `[range.start, range.end)`.
+    fn random_range(rng: &mut impl RngCore, range: std::ops::Range<Self>) -> Self;
+}
+
+impl UniformRange for f32 {
+    fn random_range(rng: &mut impl RngCore, range: std::ops::Range<f32>) -> f32 {
+        // 24 high bits give a uniform sample in [0, 1) exactly representable
+        // in f32; scale into the requested range.
+        let unit = (rng.next_u64() >> 40) as f32 / (1u64 << 24) as f32;
+        range.start + unit * (range.end - range.start)
+    }
+}
+
+impl UniformRange for u64 {
+    fn random_range(rng: &mut impl RngCore, range: std::ops::Range<u64>) -> u64 {
+        let span = range.end - range.start;
+        assert!(span > 0, "empty range");
+        range.start + rng.next_u64() % span
+    }
+}
+
+impl UniformRange for usize {
+    fn random_range(rng: &mut impl RngCore, range: std::ops::Range<usize>) -> usize {
+        u64::random_range(rng, range.start as u64..range.end as u64) as usize
+    }
+}
+
+/// Convenience sampling methods, mirroring `rand::Rng`.
+pub trait RngExt: RngCore {
+    /// Uniform sample of `T`.
+    fn random<T: Random>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::random(self)
+    }
+
+    /// Uniform sample in `[range.start, range.end)`.
+    fn random_range<T: UniformRange>(&mut self, range: std::ops::Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        T::random_range(self, range)
+    }
+}
+
+impl<R: RngCore> RngExt for R {}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic SplitMix64 generator.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            StdRng { state: seed }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn streams_are_reproducible() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..16 {
+            assert_eq!(a.random::<u32>(), b.random::<u32>());
+        }
+    }
+
+    #[test]
+    fn range_sample_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1024 {
+            let x = rng.random_range(-1.0f32..1.0);
+            assert!((-1.0..1.0).contains(&x));
+        }
+    }
+}

@@ -1,0 +1,14 @@
+//! Offline stand-in for the `serde` facade (see `vendor/README.md`).
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its data types for
+//! downstream consumers, but never invokes serde serialization itself (all
+//! JSON/CSV in this repo is hand-rendered). The traits are therefore pure
+//! markers and the derives emit no code.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,23 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace builds in a container with no registry access, so the real
+//! serde stack is replaced by minimal local stand-ins (see `vendor/README.md`).
+//! Nothing in-tree performs serde serialization at runtime — every JSON/CSV
+//! artifact is hand-rendered — so the derives only need to *accept* the
+//! derive attributes and emit nothing.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` (and `#[serde(...)]` helpers) and emits
+/// no code.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` (and `#[serde(...)]` helpers) and emits
+/// no code.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
