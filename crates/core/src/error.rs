@@ -69,6 +69,16 @@ pub enum SimError {
         /// Number of threads still suspended.
         suspended: usize,
     },
+    /// Simulated time passed the run's fuel limit while events were still
+    /// pending: the workload livelocked (e.g. a barrier that polls forever)
+    /// or genuinely needs a larger limit. Unlike [`SimError::Deadlock`] the
+    /// machine still had work to do — it just never quiesced.
+    FuelExhausted {
+        /// The first pending cycle beyond the limit.
+        cycle: u64,
+        /// Threads still live (suspended or queued) when the run stopped.
+        live_threads: usize,
+    },
     /// A split-phase read was re-issued up to the configured attempt limit
     /// without a response arriving (fault injection with packet loss).
     RetryExhausted {
@@ -132,6 +142,14 @@ impl fmt::Display for SimError {
                 f,
                 "deadlock at cycle {at}: {suspended} threads suspended with no pending events"
             ),
+            SimError::FuelExhausted {
+                cycle,
+                live_threads,
+            } => write!(
+                f,
+                "fuel exhausted: event pending at cycle {cycle} passed the cycle limit, \
+                 {live_threads} threads still live"
+            ),
             SimError::RetryExhausted {
                 pe,
                 frame,
@@ -173,6 +191,18 @@ mod tests {
     fn implements_std_error() {
         fn takes_err(_: &dyn std::error::Error) {}
         takes_err(&SimError::EmptyBlockRead);
+    }
+
+    #[test]
+    fn fuel_exhausted_reports_cycle_and_threads() {
+        let e = SimError::FuelExhausted {
+            cycle: 123,
+            live_threads: 5,
+        };
+        let s = e.to_string();
+        assert!(s.contains("cycle 123"));
+        assert!(s.contains("5 threads"));
+        assert!(s.contains("cycle limit"));
     }
 
     #[test]

@@ -16,6 +16,9 @@
 //!                 --loss 0,1000,10000 [--seed 1] [--dup PPM] [--delay PPM --max-delay N]
 //!                 [--timeout N] [--backoff-cap N] [--max-attempts N] [--check-invariants]
 //!                 [--jobs N] [--no-cache] [--csv] [--out results/faults.csv]
+//! emx-cli fuzz run    [--cases N] [--seed S] [--perturb] [--shrink-failures DIR]
+//! emx-cli fuzz replay <file.emxfuzz> [<file2> ...]
+//! emx-cli fuzz shrink <file.emxfuzz> [--out FILE]
 //! emx-cli nullloop --pes 4 --threads 2 --packets 100
 //! emx-cli latency --pes 16 --readers 4 [--reads 64]
 //! emx-cli asm     <file.s>            # assemble and list a kernel
@@ -68,6 +71,17 @@
 //! `digest:` line is a stable content digest of every report — rerunning
 //! with the same seed must reproduce it byte-for-byte, and the `--loss 0`
 //! rows match a fault-free `sweep` exactly (see `docs/FAULTS.md`).
+//!
+//! `fuzz run` drives the deterministic fuzzing campaign (`emx-fuzz`):
+//! seeded random programs crossed with random machine shapes and fault
+//! plans, each judged by the three-way replay/shard/invariant oracle. The
+//! summary is byte-identical for the same `--cases`/`--seed` pair and ends
+//! with the canonical `digest:` line; the exit code is nonzero when any
+//! oracle failure was recorded. `--perturb` (or `EMX_FUZZ_PERTURB=1`)
+//! arms the test-only network-latency mutation that a sound oracle must
+//! catch as digest mismatches. `fuzz replay` re-runs committed `.emxfuzz`
+//! cases and checks their pinned verdicts and digests; `fuzz shrink`
+//! minimizes a failing case. See `docs/FUZZING.md`.
 
 use std::process::ExitCode;
 
@@ -714,6 +728,130 @@ fn cmd_faults(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_fuzz(args: &Args) -> Result<(), String> {
+    match args.positional.first().map(String::as_str) {
+        Some("run") => fuzz_run(args),
+        Some("replay") => fuzz_replay(args),
+        Some("shrink") => fuzz_shrink(args),
+        _ => Err("fuzz wants a subcommand: run | replay | shrink".into()),
+    }
+}
+
+fn fuzz_run(args: &Args) -> Result<(), String> {
+    let opts = emx::fuzz::CampaignOptions {
+        cases: args.usize_or("cases", 100)?,
+        seed: args.u64_or("seed", 7)?,
+        perturb_replay: args.has("perturb")
+            || std::env::var("EMX_FUZZ_PERTURB").is_ok_and(|v| v == "1"),
+    };
+    let summary = emx::fuzz::run_campaign(&opts);
+    print!("{}", summary.render());
+    if let Some(dir) = args.get("shrink-failures") {
+        let dir = std::path::Path::new(dir);
+        std::fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+        for f in &summary.failures {
+            let shrunk = emx::fuzz::shrink(&f.case, &emx::fuzz::ShrinkOptions::default());
+            let mut case = shrunk.case;
+            case.name = format!("shrunk-{:016x}", f.case_seed);
+            let outcome = emx::fuzz::run_case(&case, false);
+            case.expect = Some(emx::fuzz::Expected {
+                verdict: outcome.verdict.as_str(),
+                trace_digest: Some(outcome.trace_digest),
+            });
+            let path = dir.join(format!("case-{:06}-{}.emxfuzz", f.index, outcome.verdict));
+            std::fs::write(&path, case.to_text())
+                .map_err(|e| format!("{}: {e}", path.display()))?;
+            eprintln!(
+                "wrote {} ({} shrink attempts)",
+                path.display(),
+                shrunk.attempts
+            );
+        }
+    }
+    let failures = summary.failure_count();
+    if failures > 0 {
+        return Err(format!("{failures} oracle failure(s)"));
+    }
+    Ok(())
+}
+
+fn fuzz_replay(args: &Args) -> Result<(), String> {
+    let files = &args.positional[1..];
+    if files.is_empty() {
+        return Err("fuzz replay wants one or more .emxfuzz files".into());
+    }
+    let mut digest = emx::stats::Digest128::new();
+    let mut mismatches = 0usize;
+    for path in files {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let case = emx::fuzz::CaseSpec::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+        let outcome = emx::fuzz::run_case(&case, false);
+        let mut status = "ok";
+        if let Some(expect) = &case.expect {
+            if expect.verdict != outcome.verdict.as_str() {
+                status = "VERDICT MISMATCH";
+            } else if expect
+                .trace_digest
+                .as_ref()
+                .is_some_and(|d| *d != outcome.trace_digest)
+            {
+                status = "DIGEST MISMATCH";
+            }
+        }
+        if status != "ok" {
+            mismatches += 1;
+        }
+        let line = format!(
+            "replay {path}: verdict={} digest={} {status}",
+            outcome.verdict, outcome.trace_digest
+        );
+        println!("{line}");
+        digest.write_str(&line);
+        digest.write_str("\n");
+    }
+    println!("digest: {}", digest.hex());
+    if mismatches > 0 {
+        return Err(format!(
+            "{mismatches} case(s) diverged from their pinned outcome"
+        ));
+    }
+    Ok(())
+}
+
+fn fuzz_shrink(args: &Args) -> Result<(), String> {
+    let path = args
+        .positional
+        .get(1)
+        .ok_or("fuzz shrink wants a .emxfuzz file")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let case = emx::fuzz::CaseSpec::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let before = case.total_ops() + case.roots.len();
+    let result = emx::fuzz::shrink(&case, &emx::fuzz::ShrinkOptions::default());
+    let mut shrunk = result.case;
+    let outcome = emx::fuzz::run_case(&shrunk, false);
+    shrunk.expect = Some(emx::fuzz::Expected {
+        verdict: outcome.verdict.as_str(),
+        trace_digest: Some(outcome.trace_digest),
+    });
+    let after = shrunk.total_ops() + shrunk.roots.len();
+    eprintln!(
+        "shrink: verdict={} {} -> {} ops+roots in {} attempts / {} rounds",
+        result.verdict, before, after, result.attempts, result.rounds
+    );
+    match args.get("out") {
+        Some(out) => {
+            let p = std::path::Path::new(out);
+            if let Some(dir) = p.parent().filter(|d| !d.as_os_str().is_empty()) {
+                std::fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+            }
+            std::fs::write(p, shrunk.to_text()).map_err(|e| format!("{out}: {e}"))?;
+            eprintln!("wrote {}", p.display());
+        }
+        None => print!("{}", shrunk.to_text()),
+    }
+    Ok(())
+}
+
 fn cmd_nullloop(args: &Args) -> Result<(), String> {
     let cfg = machine_cfg(args, 4)?;
     let params = NullLoopParams::new(
@@ -824,7 +962,7 @@ fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = raw.first().cloned() else {
         eprintln!(
-            "usage: emx-cli <run|sort|fft|trace|metrics|profile|profile-diff|sweep|faults|nullloop|latency|asm|info> [options]"
+            "usage: emx-cli <run|sort|fft|trace|metrics|profile|profile-diff|sweep|faults|fuzz|nullloop|latency|asm|info> [options]"
         );
         return ExitCode::from(2);
     };
@@ -841,6 +979,7 @@ fn main() -> ExitCode {
         "profile" => cmd_profile(&args),
         "sweep" => cmd_sweep(&args),
         "faults" => cmd_faults(&args),
+        "fuzz" => cmd_fuzz(&args),
         "nullloop" => cmd_nullloop(&args),
         "latency" => cmd_latency(&args),
         "asm" => cmd_asm(&args),

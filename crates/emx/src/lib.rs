@@ -22,6 +22,7 @@
 //! | [`model`] | the Saavedra-Barrera analytic multithreading model |
 //! | [`stats`] | breakdowns, switch censuses, reporters, stable digests |
 //! | [`sweep`] | parallel deterministic cached sweep engine + provenance |
+//! | [`fuzz`] | deterministic fuzzing: random programs, replay/shard oracle, shrinking |
 //! | [`faults`] | deterministic fault injection, invariant checking |
 //! | [`obs`] | trace recorder, Perfetto/Chrome-trace + CSV export, metrics |
 //! | [`profile`] | trace-driven profiler: attribution, read blame, critical path |
@@ -48,6 +49,7 @@
 
 pub use emx_core as core;
 pub use emx_faults as faults;
+pub use emx_fuzz as fuzz;
 pub use emx_isa as isa;
 pub use emx_model as model;
 pub use emx_net as net;

@@ -1,0 +1,338 @@
+//! The three-way oracle: run a case and judge it.
+//!
+//! Every case is executed up to three times, always fuel-bounded and with
+//! the invariant checker armed:
+//!
+//! 1. **Reference run** — single calendar. Structural failures surface
+//!    here: a deadlock, fuel exhaustion, an invariant violation.
+//! 2. **Replay run** — identical configuration. The complete fingerprint
+//!    (outcome, `emx-trace` stream digest, event count, canonical report
+//!    text) must be byte-identical; any difference is nondeterminism.
+//! 3. **Shard run** — `shards = k` from the case. The sharded driver must
+//!    reproduce the single-calendar fingerprint byte for byte.
+//!
+//! Structured simulation errors *other* than the failure classes (e.g.
+//! [`SimError::OutOfFrames`] under a frame-cap fault) are legitimate
+//! recorded outcomes: the oracle only requires them to be byte-identical
+//! across all arms.
+
+use std::sync::Arc;
+
+use emx_core::{Cycle, GlobalAddr, MachineConfig, NetModelKind, PeId, SimError};
+use emx_obs::DigestProbe;
+use emx_runtime::{Action, BarrierId, EntryId, Machine, ThreadBody, ThreadCtx, WorkKind};
+use emx_stats::digest::report_canonical_text;
+
+use crate::case::{CaseSpec, Op};
+
+/// The oracle's judgement of one case.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// All arms agree and the run quiesced cleanly.
+    Pass,
+    /// All arms agree the run ends in a structured, non-failure simulation
+    /// error (short kind string, e.g. `out-of-frames`).
+    Error(String),
+    /// The machine deadlocked: events drained with threads suspended.
+    Deadlock,
+    /// The run passed its fuel limit: a livelock, by construction.
+    FuelExhausted,
+    /// The invariant checker (or the FIFO census) fired.
+    Invariant,
+    /// The replay run's fingerprint differed from the reference run.
+    DigestMismatch,
+    /// The sharded run's fingerprint differed from the single-calendar run.
+    ShardDivergence,
+    /// The case panicked the simulator (caught by the campaign driver).
+    Panic,
+}
+
+impl Verdict {
+    /// Whether this verdict is an oracle failure (a bug in the simulator,
+    /// the generator, or the determinism argument), as opposed to a
+    /// recorded-but-acceptable outcome.
+    pub fn is_failure(&self) -> bool {
+        !matches!(self, Verdict::Pass | Verdict::Error(_))
+    }
+
+    /// Stable short string, used in campaign lines and `expect =` fields.
+    pub fn as_str(&self) -> String {
+        match self {
+            Verdict::Pass => "pass".into(),
+            Verdict::Error(kind) => format!("error:{kind}"),
+            Verdict::Deadlock => "deadlock".into(),
+            Verdict::FuelExhausted => "fuel-exhausted".into(),
+            Verdict::Invariant => "invariant".into(),
+            Verdict::DigestMismatch => "digest-mismatch".into(),
+            Verdict::ShardDivergence => "shard-divergence".into(),
+            Verdict::Panic => "panic".into(),
+        }
+    }
+
+    /// Parse the string form back (inverse of [`Verdict::as_str`]).
+    pub fn parse(s: &str) -> Option<Verdict> {
+        Some(match s {
+            "pass" => Verdict::Pass,
+            "deadlock" => Verdict::Deadlock,
+            "fuel-exhausted" => Verdict::FuelExhausted,
+            "invariant" => Verdict::Invariant,
+            "digest-mismatch" => Verdict::DigestMismatch,
+            "shard-divergence" => Verdict::ShardDivergence,
+            "panic" => Verdict::Panic,
+            other => Verdict::Error(other.strip_prefix("error:")?.to_string()),
+        })
+    }
+}
+
+impl std::fmt::Display for Verdict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.as_str())
+    }
+}
+
+/// Everything externally observable about one execution of a case.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fingerprint {
+    /// `"ok"`, or the error's full display text.
+    pub outcome: String,
+    /// 32-hex digest of the complete `emx-trace` stream.
+    pub trace_digest: String,
+    /// Number of trace events the stream carried.
+    pub events: u64,
+    /// Canonical report text on success, empty on error.
+    pub report: String,
+}
+
+/// The oracle's full result for one case.
+#[derive(Debug, Clone)]
+pub struct CaseOutcome {
+    /// The judgement.
+    pub verdict: Verdict,
+    /// Reference-run trace digest (the value `expect-digest` pins).
+    pub trace_digest: String,
+    /// One-line human detail: the error text, or which arm diverged.
+    pub detail: String,
+}
+
+/// A generated thread: executes its op list one op per scheduler step.
+struct OpThread {
+    ops: Arc<[Op]>,
+    pc: usize,
+}
+
+impl ThreadBody for OpThread {
+    fn step(&mut self, _ctx: &mut ThreadCtx<'_>) -> Action {
+        let Some(op) = self.ops.get(self.pc) else {
+            return Action::End;
+        };
+        self.pc += 1;
+        match *op {
+            Op::Work { cycles } => Action::Work {
+                cycles,
+                kind: WorkKind::Compute,
+            },
+            Op::Read { pe, offset } => match GlobalAddr::new(PeId(pe), offset) {
+                Ok(addr) => Action::Read { addr },
+                Err(_) => Action::End,
+            },
+            Op::ReadBlock {
+                pe,
+                offset,
+                len,
+                dst,
+            } => match GlobalAddr::new(PeId(pe), offset) {
+                Ok(addr) => Action::ReadBlock {
+                    addr,
+                    len,
+                    local_dst: dst,
+                },
+                Err(_) => Action::End,
+            },
+            Op::Write { pe, offset, value } => match GlobalAddr::new(PeId(pe), offset) {
+                Ok(addr) => Action::Write { addr, value },
+                Err(_) => Action::End,
+            },
+            Op::Spawn { pe, prog, arg } => Action::Spawn {
+                pe: PeId(pe),
+                entry: EntryId(u32::from(prog)),
+                arg,
+            },
+            Op::SignalSeq { cell } => Action::SignalSeq { cell },
+            Op::WaitSeq { cell, threshold } => Action::WaitSeq { cell, threshold },
+            Op::Barrier => Action::Barrier { id: BarrierId(0) },
+            Op::Yield => Action::Yield,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "fuzz-op"
+    }
+}
+
+/// Short stable kind string for a structured simulation error.
+pub fn error_kind(e: &SimError) -> &'static str {
+    match e {
+        SimError::BadPe { .. } => "bad-pe",
+        SimError::AddressOutOfRange { .. } => "address-range",
+        SimError::MemoryFault { .. } => "memory-fault",
+        SimError::FrameOutOfRange { .. } => "frame-range",
+        SimError::OutOfFrames { .. } => "out-of-frames",
+        SimError::BadPacketKind { .. } => "bad-packet-kind",
+        SimError::EmptyBlockRead => "empty-block-read",
+        SimError::TruncatedWirePacket { .. } => "truncated-packet",
+        SimError::EventInPast { .. } => "event-in-past",
+        SimError::Deadlock { .. } => "deadlock",
+        SimError::FuelExhausted { .. } => "fuel-exhausted",
+        SimError::RetryExhausted { .. } => "retry-exhausted",
+        SimError::InvariantViolation { .. } => "invariant",
+        SimError::BadConfig { .. } => "bad-config",
+        SimError::IsaFault { .. } => "isa-fault",
+        SimError::Workload { .. } => "workload",
+        _ => "other",
+    }
+}
+
+/// Expand a case into a machine configuration. `shards` overrides the
+/// case's shard count (the reference and replay arms force 1); `perturb`
+/// is the test-only mutation hook: it nudges the network latency by one
+/// cycle so the replay oracle demonstrably catches behavior changes.
+fn machine_config(case: &CaseSpec, shards: usize, perturb: bool) -> MachineConfig {
+    let mut cfg = MachineConfig::with_pes(case.pes);
+    cfg.local_memory_words = case.memory_words;
+    cfg.ibu_fifo_capacity = case.ibu_capacity;
+    cfg.frames_per_pe = case.frames_per_pe;
+    cfg.service_mode = case.service_mode;
+    cfg.priority_read_responses = case.priority_read_responses;
+    cfg.net.model = case.net;
+    cfg.shards = shards;
+    let mut faults = case.faults.clone();
+    faults.check_invariants = true;
+    cfg.faults = Some(faults);
+    if perturb {
+        match cfg.net.model {
+            NetModelKind::Ideal { latency } => {
+                cfg.net.model = NetModelKind::Ideal {
+                    latency: latency + 1,
+                }
+            }
+            _ => cfg.net.hop_cycles += 1,
+        }
+    }
+    cfg
+}
+
+/// One execution: the comparable fingerprint plus the structured error (a
+/// setup failure or the run's own error), kept for classification.
+struct RunResult {
+    fp: Fingerprint,
+    err: Option<SimError>,
+}
+
+/// Execute the case once and collect its fingerprint. Never panics for a
+/// buildable case: setup failures fold into the fingerprint too, so the
+/// arms stay comparable.
+fn exec(case: &CaseSpec, shards: usize, perturb: bool) -> RunResult {
+    let cfg = machine_config(case, shards, perturb);
+    let mut m = match Machine::new(cfg) {
+        Ok(m) => m,
+        Err(e) => return setup_failure(e),
+    };
+    if case.seq_cells > 0 {
+        m.define_seq_cells(case.seq_cells);
+    }
+    if case.barrier_participants > 0 {
+        m.define_barrier(case.barrier_participants);
+    }
+    for prog in &case.programs {
+        let ops: Arc<[Op]> = prog.ops.clone().into();
+        m.register_entry("fuzz-op", move |_pe, _arg| {
+            Box::new(OpThread {
+                ops: ops.clone(),
+                pc: 0,
+            })
+        });
+    }
+    for r in &case.roots {
+        if let Err(e) = m.spawn_at_start(PeId(r.pe), EntryId(u32::from(r.prog)), r.arg) {
+            return setup_failure(e);
+        }
+    }
+    let (probe, handle) = DigestProbe::new();
+    m.attach_probe(Box::new(probe));
+    let res = m.run_until(Cycle::new(case.fuel));
+    let (outcome, report, err) = match res {
+        Ok(report) => ("ok".to_string(), report_canonical_text(&report), None),
+        Err(e) => (e.to_string(), String::new(), Some(e)),
+    };
+    RunResult {
+        fp: Fingerprint {
+            outcome,
+            trace_digest: handle.hex(),
+            events: handle.events(),
+            report,
+        },
+        err,
+    }
+}
+
+fn setup_failure(e: SimError) -> RunResult {
+    RunResult {
+        fp: Fingerprint {
+            outcome: format!("setup: {e}"),
+            trace_digest: "-".repeat(32),
+            events: 0,
+            report: String::new(),
+        },
+        err: Some(e),
+    }
+}
+
+/// Map a structured error to its verdict class.
+fn verdict_for_error(e: &SimError) -> Verdict {
+    match e {
+        SimError::Deadlock { .. } => Verdict::Deadlock,
+        SimError::FuelExhausted { .. } => Verdict::FuelExhausted,
+        SimError::InvariantViolation { .. } => Verdict::Invariant,
+        other => Verdict::Error(error_kind(other).to_string()),
+    }
+}
+
+/// Run the full three-way oracle on `case`.
+///
+/// `perturb_replay` is the mutation hook: when set, the replay arm runs
+/// with a one-cycle network-latency perturbation, which a sound oracle
+/// must report as [`Verdict::DigestMismatch`] for any case with network
+/// traffic.
+pub fn run_case(case: &CaseSpec, perturb_replay: bool) -> CaseOutcome {
+    let reference = exec(case, 1, false);
+    let replay = exec(case, 1, perturb_replay);
+    if replay.fp != reference.fp {
+        return CaseOutcome {
+            verdict: Verdict::DigestMismatch,
+            trace_digest: reference.fp.trace_digest,
+            detail: "replay run diverged from the reference run".into(),
+        };
+    }
+    if case.shards > 1 {
+        let sharded = exec(case, case.shards, false);
+        if sharded.fp != reference.fp {
+            return CaseOutcome {
+                verdict: Verdict::ShardDivergence,
+                trace_digest: reference.fp.trace_digest,
+                detail: format!(
+                    "shards={} run diverged from the single-calendar oracle",
+                    case.shards
+                ),
+            };
+        }
+    }
+    let (verdict, detail) = match &reference.err {
+        None => (Verdict::Pass, String::new()),
+        Some(e) => (verdict_for_error(e), e.to_string()),
+    };
+    CaseOutcome {
+        verdict,
+        trace_digest: reference.fp.trace_digest,
+        detail,
+    }
+}

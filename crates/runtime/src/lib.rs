@@ -78,6 +78,6 @@ mod shard;
 mod thread;
 mod trace;
 
-pub use machine::{EntryId, Machine, BARRIER_COORDINATOR, FRAME_WORDS};
+pub use machine::{EntryId, Machine, BARRIER_COORDINATOR, DEFAULT_FUEL, FRAME_WORDS};
 pub use thread::{Action, BarrierId, ThreadBody, ThreadCtx, WorkKind};
 pub use trace::{FaultKind, SuspendCause, Trace, TraceEvent, TraceKind, TRACE_SCHEMA};

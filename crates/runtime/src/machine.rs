@@ -80,6 +80,13 @@ fn poll_jitter(pe: usize, fid: FrameId, now: Cycle) -> u64 {
 /// (the `fp` register points at `frame_index * FRAME_WORDS`).
 pub const FRAME_WORDS: u32 = 64;
 
+/// Default fuel limit of [`Machine::run`], in cycles: 2^32, about 3.6
+/// minutes of simulated 20 MHz time and more than 180x the longest
+/// committed experiment (the P=1024 FFT at 22.8M cycles). Generous enough
+/// that no legitimate workload hits it, small enough that a livelocked run
+/// fails in bounded host time with [`SimError::FuelExhausted`].
+pub const DEFAULT_FUEL: u64 = 1 << 32;
+
 /// Identifier of a registered thread entry (native factory or ISA template).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct EntryId(pub u32);
@@ -581,10 +588,14 @@ impl Machine {
         self.core.cal.push(key, Ev::Arrive(pe, pkt, false))
     }
 
-    /// Run to quiescence with a default cycle limit of 2^42 (~61 hours of
-    /// simulated 20 MHz time).
+    /// Run to quiescence under the default fuel limit [`DEFAULT_FUEL`].
+    ///
+    /// The limit is real: a run that passes it fails with
+    /// [`SimError::FuelExhausted`] carrying the offending cycle and the
+    /// live-thread count, so livelocks surface as diagnosable structured
+    /// errors instead of wall-clock hangs.
     pub fn run(&mut self) -> Result<RunReport, SimError> {
-        self.run_until(Cycle::new(1 << 42))
+        self.run_until(Cycle::new(DEFAULT_FUEL))
     }
 
     /// Run to quiescence, failing if simulated time passes `limit` (guards
@@ -606,11 +617,18 @@ impl Machine {
         }
         self.ran = true;
         let shards = self.effective_shards();
-        if shards > 1 {
+        let mut res = if shards > 1 {
             self.run_parallel(limit, shards)
         } else {
             self.run_single(limit)
+        };
+        // Both drivers reassemble the core before returning, so the
+        // live-thread census is consistent here and byte-identical across
+        // shard counts; the drivers themselves report 0 as a placeholder.
+        if let Err(SimError::FuelExhausted { live_threads, .. }) = &mut res {
+            *live_threads = self.core.suspended();
         }
+        res
     }
 
     /// The conservative lookahead window: cross-PE effects staged at `t`
@@ -693,8 +711,11 @@ impl Core {
     /// `chunk` consecutive processors, distributing pending calendar
     /// entries by their home PE. Counters, fault streams, and local state
     /// travel with their processor, so each part picks up exactly where the
-    /// unsplit core would have.
-    pub(crate) fn split(&mut self, chunk: usize) -> Vec<Core> {
+    /// unsplit core would have. Fails only if a pending entry cannot be
+    /// rescheduled on a fresh calendar (impossible for a pre-run core, but
+    /// surfaced as an error rather than a panic so a fuzz campaign records
+    /// it instead of aborting).
+    pub(crate) fn split(&mut self, chunk: usize) -> Result<Vec<Core>, SimError> {
         let entries = self.cal.drain_entries();
         let pes = std::mem::take(&mut self.pes);
         let shards = pes.len().div_ceil(chunk);
@@ -716,12 +737,9 @@ impl Core {
             parts[i / chunk].pes.push(pe);
         }
         for (key, ev) in entries {
-            parts[key.pe as usize / chunk]
-                .cal
-                .push(key, ev)
-                .expect("pre-run event behind a fresh calendar");
+            parts[key.pe as usize / chunk].cal.push(key, ev)?;
         }
-        parts
+        Ok(parts)
     }
 
     /// Merge `parts` (in shard order) back into this emptied core so the

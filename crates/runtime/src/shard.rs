@@ -190,6 +190,11 @@ struct WindowBatch {
     emit: Vec<TraceEvent>,
     intents: Vec<RouteIntent>,
     next_time: Option<Cycle>,
+    /// A calendar fault inside the worker (an arrival behind the shard
+    /// clock, or a peeked event vanishing): a protocol violation the
+    /// coordinator surfaces as the run's error instead of panicking a
+    /// worker thread.
+    error: Option<SimError>,
 }
 
 /// Messages from a shard worker back to the coordinator.
@@ -210,14 +215,21 @@ fn shard_worker(
     while let Ok(msg) = rx.recv() {
         match msg {
             ToShard::Window { horizon, arrivals } => {
+                let mut error = None;
                 for (key, ev) in arrivals {
-                    core.cal
-                        .push(key, ev)
-                        .expect("cross-shard arrival behind the shard clock");
+                    if let Err(e) = core.cal.push(key, ev) {
+                        // A cross-shard arrival behind the shard clock: the
+                        // conservative window protocol guarantees this never
+                        // happens, so report it instead of executing on.
+                        error = Some(e);
+                        break;
+                    }
                 }
                 let mut records = Vec::new();
-                while core.cal.peek_key().is_some_and(|k| k.at < horizon) {
-                    let (key, ev) = core.cal.pop().expect("an event was just peeked");
+                while error.is_none() && core.cal.peek_key().is_some_and(|k| k.at < horizon) {
+                    let Some((key, ev)) = core.cal.pop() else {
+                        break;
+                    };
                     let rec = core.process_event(sh, key, ev);
                     let failed = rec.error.is_some();
                     records.push(rec);
@@ -232,6 +244,7 @@ fn shard_worker(
                     emit: std::mem::take(&mut core.emit),
                     intents: std::mem::take(&mut core.intents),
                     next_time: core.cal.peek_time(),
+                    error,
                 };
                 if tx.send((index, FromShard::Batch(batch))).is_err() {
                     break;
@@ -285,9 +298,12 @@ fn coordinate(
             return Ok(merged_now);
         };
         if t0 > limit {
-            // The oracle pops this event and errors; match it exactly.
-            return Err(SimError::Workload {
-                reason: format!("simulation passed the cycle limit {limit}"),
+            // The oracle sees this event at its head and errors; match it
+            // exactly. (The caller patches in the live-thread census after
+            // the cores reassemble.)
+            return Err(SimError::FuelExhausted {
+                cycle: t0.get(),
+                live_threads: 0,
             });
         }
         let horizon = (t0 + lookahead).min(limit + 1);
@@ -307,12 +323,15 @@ fn coordinate(
                 slots[i] = Some(b);
             }
         }
-        let mut batches: Vec<WindowBatch> = slots
-            .into_iter()
-            .map(|b| b.expect("every shard reported"))
-            .collect();
-        for (s, b) in batches.iter().enumerate() {
+        let mut batches: Vec<WindowBatch> = Vec::with_capacity(nshards);
+        for slot in slots {
+            batches.push(slot.ok_or_else(dead)?);
+        }
+        for (s, b) in batches.iter_mut().enumerate() {
             next_times[s] = b.next_time;
+            if let Some(e) = b.error.take() {
+                return Err(e);
+            }
         }
         // k-way merge of the shards' pop-record streams by canonical key:
         // this recovers the oracle's exact pop order for the window.
@@ -370,11 +389,15 @@ impl Machine {
     pub(crate) fn run_single(&mut self, limit: Cycle) -> Result<RunReport, SimError> {
         while let Some(head) = self.core.cal.peek_key() {
             if head.at > limit {
-                return Err(SimError::Workload {
-                    reason: format!("simulation passed the cycle limit {limit}"),
+                // `run_until` patches in the live-thread census.
+                return Err(SimError::FuelExhausted {
+                    cycle: head.at.get(),
+                    live_threads: 0,
                 });
             }
-            let (key, ev) = self.core.cal.pop().expect("an event was just peeked");
+            let Some((key, ev)) = self.core.cal.pop() else {
+                break;
+            };
             let sh = Shared {
                 cfg: &self.cfg,
                 entries: &self.entries,
@@ -421,7 +444,7 @@ impl Machine {
         let lookahead = self.lookahead();
         debug_assert!(lookahead > 0, "caller guarantees a positive lookahead");
         let chunk = self.cfg.num_pes.div_ceil(shards);
-        let mut parts = self.core.split(chunk);
+        let mut parts = self.core.split(chunk)?;
         let nshards = parts.len();
         if nshards <= 1 {
             self.core.reassemble(parts);

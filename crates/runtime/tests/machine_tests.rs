@@ -595,6 +595,16 @@ fn run_until_bounds_a_livelocked_barrier() {
     });
     m.spawn_at_start(PeId(0), entry, 0).unwrap();
     let err = m.run_until(Cycle::new(50_000)).unwrap_err();
+    match &err {
+        SimError::FuelExhausted {
+            cycle,
+            live_threads,
+        } => {
+            assert!(*cycle > 50_000, "offending cycle {cycle} is past the limit");
+            assert_eq!(*live_threads, 1, "the lonely barrier waiter is live");
+        }
+        other => panic!("expected FuelExhausted, got {other:?}"),
+    }
     assert!(err.to_string().contains("cycle limit"), "{err}");
 }
 

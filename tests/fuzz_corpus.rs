@@ -1,0 +1,112 @@
+//! Regression corpus replay plus campaign-level determinism checks.
+//!
+//! Every committed `.emxfuzz` case under `tests/corpus/` pins the oracle
+//! verdict (and usually the reference trace digest) it produced when it
+//! was minimized. Replaying the corpus on every CI run turns each past
+//! finding — and each deliberately constructed oracle exercise — into a
+//! permanent regression test.
+
+use emx::fuzz::{run_campaign, run_case, CampaignOptions, CaseSpec};
+
+fn corpus_dir() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../tests/corpus")
+        .canonicalize()
+        .expect("tests/corpus directory exists")
+}
+
+fn corpus_files() -> Vec<std::path::PathBuf> {
+    let mut files: Vec<_> = std::fs::read_dir(corpus_dir())
+        .expect("readable corpus directory")
+        .map(|e| e.expect("readable corpus entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "emxfuzz"))
+        .collect();
+    files.sort();
+    files
+}
+
+#[test]
+fn corpus_is_committed_and_nonempty() {
+    let files = corpus_files();
+    assert!(
+        files.len() >= 3,
+        "expected at least 3 committed corpus cases, found {}",
+        files.len()
+    );
+}
+
+#[test]
+fn corpus_cases_reproduce_their_pinned_outcomes() {
+    for path in corpus_files() {
+        let text = std::fs::read_to_string(&path).unwrap();
+        let case = CaseSpec::parse(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let expect = case
+            .expect
+            .clone()
+            .unwrap_or_else(|| panic!("{}: corpus case pins no expectation", path.display()));
+        let outcome = run_case(&case, false);
+        assert_eq!(
+            outcome.verdict.as_str(),
+            expect.verdict,
+            "{}: verdict drifted ({})",
+            path.display(),
+            outcome.detail
+        );
+        if let Some(d) = &expect.trace_digest {
+            assert_eq!(
+                &outcome.trace_digest,
+                d,
+                "{}: reference trace digest drifted",
+                path.display()
+            );
+        }
+    }
+}
+
+#[test]
+fn corpus_files_roundtrip_through_the_text_format() {
+    for path in corpus_files() {
+        let text = std::fs::read_to_string(&path).unwrap();
+        let case = CaseSpec::parse(&text).unwrap();
+        let reparsed = CaseSpec::parse(&case.to_text())
+            .unwrap_or_else(|e| panic!("{}: re-parse failed: {e}", path.display()));
+        assert_eq!(
+            case,
+            reparsed,
+            "{}: format round trip drifted",
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn campaign_digest_is_reproducible() {
+    let opts = CampaignOptions {
+        cases: 40,
+        seed: 7,
+        perturb_replay: false,
+    };
+    let a = run_campaign(&opts);
+    let b = run_campaign(&opts);
+    assert_eq!(a.failure_count(), 0, "unexpected failures:\n{}", a.render());
+    assert_eq!(a.render(), b.render());
+}
+
+#[test]
+fn perturbation_hook_is_caught_by_the_oracle() {
+    let clean = run_campaign(&CampaignOptions {
+        cases: 20,
+        seed: 7,
+        perturb_replay: false,
+    });
+    let perturbed = run_campaign(&CampaignOptions {
+        cases: 20,
+        seed: 7,
+        perturb_replay: true,
+    });
+    assert!(
+        perturbed.failure_count() > 0,
+        "a one-cycle latency perturbation must surface as digest mismatches"
+    );
+    assert_ne!(clean.digest, perturbed.digest);
+}

@@ -137,3 +137,32 @@ fn deadlock_detection_fires_identically_across_shard_boundaries() {
         );
     }
 }
+
+/// Report text of one fault-matrix point (bitonic sort, armed fault
+/// machinery at zero packet loss) executed at the given shard count.
+fn loss0_point_fingerprint(shards: usize) -> String {
+    let mut spec = RunSpec::new(emx::sweep::Workload::Sort, 16, 256, 4);
+    let mut fs = FaultSpec::with_loss(0x10ad, 0);
+    fs.retry_timeout = 128;
+    fs.retry_backoff_cap = 4096;
+    fs.check_invariants = true;
+    spec.faults = Some(fs);
+    spec.shards = shards;
+    let report = spec.execute().expect("loss-0 fault point completes");
+    report_canonical_text(&report)
+}
+
+#[test]
+fn fault_matrix_loss0_point_is_shard_invariant() {
+    // The fuzz campaign's shard-equivalence arm, asserted directly on a
+    // fault-matrix point: armed fault machinery at loss 0 must produce a
+    // byte-identical canonical report at any shard count.
+    let oracle = loss0_point_fingerprint(1);
+    for shards in [2usize, 4] {
+        assert_eq!(
+            loss0_point_fingerprint(shards),
+            oracle,
+            "loss-0 fault point diverged at {shards} shards"
+        );
+    }
+}
