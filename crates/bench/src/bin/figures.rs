@@ -14,7 +14,9 @@
 //! simulation), `ablation` (by-pass DMA vs EM-4 servicing), `block`
 //! (block-read send instruction), `priority` (two-priority IBU scheduling),
 //! `runlength` (computation-to-communication sensitivity), `topology`
-//! (network-model ablation), `scaling` (FFT processor-count scaling out to
+//! (network-model ablation), `workloads` (every kernel — regular and
+//! irregular — compared across the Omega, 2D-mesh and fat-tree fabrics;
+//! see `docs/WORKLOADS.md`), `scaling` (FFT processor-count scaling out to
 //! the 1024-PE limit — n = 8M at `full` scale), `bench` (criterion-free
 //! wall-clock timing of the simulator itself, written to
 //! `results/BENCH_profile.json` plus the sharded-execution throughput
@@ -127,6 +129,10 @@ fn sizes_for(w: Workload, scale: Scale) -> Vec<usize> {
     match w {
         Workload::Sort => scale.sort_per_pe(),
         Workload::Fft => scale.fft_per_pe(),
+        Workload::Bfs | Workload::Histogram | Workload::Stencil => scale.irregular_per_pe(),
+        // spmv reads two words per nonzero (8 nonzeros/row), so halve the
+        // row count to keep the panel's packet volume comparable.
+        Workload::Spmv => scale.irregular_per_pe().iter().map(|n| n / 2).collect(),
     }
 }
 
@@ -594,6 +600,73 @@ fn topology(opts: &Opts) {
     println!("the EM-X behaviour is not Omega-specific: any low-latency fabric masks\nsimilarly once h covers the round trip.");
 }
 
+/// Workload x topology comparison: every kernel (regular and irregular)
+/// on the paper's circular Omega, a 2D mesh with XY dimension-order
+/// routing, and a 4-ary fat-tree, at h = 1/2/4 on 16 PEs. The irregular
+/// suite (BFS, histogram, spmv, stencil) runs on exactly the same
+/// spawn/remote-read primitives as sorting and FFT, so this single sweep
+/// answers "which kernels care which fabric they run on" — see
+/// `docs/WORKLOADS.md` for the per-kernel traffic patterns behind the
+/// shapes.
+fn workloads(opts: &Opts) {
+    println!("\n=== Workload x topology comparison (P=16, omega vs mesh vs fat-tree) ===");
+    let nets = [
+        (NetModelKind::CircularOmega, "omega"),
+        (NetModelKind::Mesh2D, "mesh"),
+        (NetModelKind::FatTree { arity: 4 }, "fattree4"),
+    ];
+    let threads = [1usize, 2, 4];
+    let mut specs = Vec::new();
+    for w in Workload::all() {
+        let per_pe = sizes_for(w, opts.scale)[0];
+        for (net, _) in &nets {
+            for &h in &threads {
+                let mut s = RunSpec::new(w, 16, per_pe, h);
+                s.net_model = *net;
+                specs.push(s);
+            }
+        }
+    }
+    let outcome = opts.sweep(specs).expect_complete();
+    let mut table = Table::new([
+        "workload",
+        "network",
+        "h",
+        "cycles",
+        "comm (s)",
+        "reads",
+        "contention (cy)",
+    ]);
+    for pt in &outcome.points {
+        let net = nets
+            .iter()
+            .find(|(kind, _)| *kind == pt.spec.net_model)
+            .map_or("?", |(_, name)| name);
+        table.row([
+            pt.spec.workload.name().to_string(),
+            net.to_string(),
+            pt.spec.threads.to_string(),
+            pt.report.elapsed.get().to_string(),
+            format!("{:.6e}", pt.report.comm_sync_time_secs()),
+            pt.report.total_reads().to_string(),
+            pt.report.net_contention.get().to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    save_csv_with_provenance(
+        "workloads_compare",
+        &table,
+        &outcome,
+        opts,
+        &[("pes", "16".to_string())],
+    );
+    println!(
+        "neighbour-heavy kernels (stencil halos, FFT butterflies) barely feel the\n\
+         fabric; all-to-all kernels (histogram, spmv, BFS probes) pay the mesh's\n\
+         extra hops and recover most of it on the fat-tree's upper links."
+    );
+}
+
 /// Figure 4: the hand-walked scheduling interleaving, regenerated from a
 /// real probe-recorded trace instead of by hand. Runs the 2-PE × 2-thread
 /// merge scenario, machine-checks the FIFO schedule the paper narrates,
@@ -863,7 +936,7 @@ fn bench_shards(opts: &Opts) {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: figures [fig4|fig6|fig7|fig8|fig9|latency|model|ablation|block|priority|runlength|topology|scaling|bench|all]\n\
+        "usage: figures [fig4|fig6|fig7|fig8|fig9|latency|model|ablation|block|priority|runlength|topology|workloads|scaling|bench|all]\n\
          \x20              [quick|standard|full] [--jobs N] [--shards N] [--no-cache]"
     );
     std::process::exit(2);
@@ -938,6 +1011,7 @@ fn main() {
         "priority" => priority(&opts),
         "runlength" => runlength(&opts),
         "topology" => topology(&opts),
+        "workloads" => workloads(&opts),
         "scaling" => scaling(&opts),
         "bench" => bench(&opts),
         "all" => {
@@ -953,6 +1027,7 @@ fn main() {
             priority(&opts);
             runlength(&opts);
             topology(&opts);
+            workloads(&opts);
             scaling(&opts);
         }
         other => {

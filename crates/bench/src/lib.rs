@@ -91,6 +91,19 @@ impl Scale {
         }
     }
 
+    /// Per-PE size series for the irregular workloads (BFS vertices,
+    /// histogram updates, spmv rows, stencil cells per PE). Smaller than
+    /// the regular series: every element of an irregular kernel costs at
+    /// least one fine-grain remote read, so these sizes produce similar
+    /// packet counts to the sorting/FFT panels.
+    pub fn irregular_per_pe(self) -> Vec<usize> {
+        match self {
+            Scale::Quick => vec![64, 128],
+            Scale::Standard => vec![128, 256],
+            Scale::Full => vec![256, 1024],
+        }
+    }
+
     /// Thread counts swept on the x axis (the paper sweeps 1..16).
     pub fn threads(self) -> Vec<usize> {
         match self {

@@ -47,6 +47,21 @@ pub enum NetModelKind {
     /// A 2D torus with dimension-order routing and per-link contention, for
     /// cross-topology ablations against the Omega fabric.
     Torus2D,
+    /// A 2D mesh with XY dimension-order routing and per-link contention —
+    /// the torus without wraparound links, so edge nodes pay the full
+    /// Manhattan distance. XY routing is deterministic and orders every
+    /// path X-then-Y, which makes the channel dependency graph acyclic
+    /// (deadlock freedom) and preserves message non-overtaking.
+    Mesh2D,
+    /// A k-ary fat-tree: processors at the leaves, switches above, and
+    /// link bundles that widen by a factor of `arity` per level toward the
+    /// root, so the bisection does not thin out the way a plain tree's
+    /// does. Routing climbs to the lowest common ancestor and descends.
+    FatTree {
+        /// Children per switch (k >= 2). Level-l edges carry k^l
+        /// sub-links.
+        arity: u32,
+    },
 }
 
 /// Network timing parameters.
@@ -122,6 +137,63 @@ impl Default for CostModel {
             fdiv: 8,
             mem_exchange: 2,
             barrier_poll_interval: 64,
+        }
+    }
+}
+
+/// A named calibration of the cycle cost model and network timing.
+///
+/// The paper's EM-X runs its network at processor speed: a hop costs one
+/// 20 MHz cycle and a switch port turns a packet around every second
+/// cycle. Modern machines sit at the opposite latency/bandwidth ratio —
+/// cores run an order of magnitude faster than a network traversal, while
+/// per-link bandwidth has grown even faster than latency has shrunk. The
+/// `Modern` preset shifts the simulator to that regime so the latency-
+/// masking story can be asked about today's machines: hops are several
+/// core cycles, but ports accept a packet every cycle and thread switches
+/// are cheaper relative to the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum CostPreset {
+    /// The paper-calibrated EM-X defaults (every struct `Default`).
+    #[default]
+    Paper,
+    /// Modern latency/bandwidth ratio: hop latency 8 cycles (a network
+    /// traversal costs many core cycles), port service 1 cycle (wide
+    /// links — bandwidth outgrew latency), DMA service 2 and context
+    /// switch 2 (fast cores shrink the fixed overheads relative to the
+    /// wire).
+    Modern,
+}
+
+impl CostPreset {
+    /// Stable lowercase name, used in CLI flags and provenance sidecars.
+    pub fn name(self) -> &'static str {
+        match self {
+            CostPreset::Paper => "paper",
+            CostPreset::Modern => "modern",
+        }
+    }
+
+    /// Parse a CLI word (inverse of [`CostPreset::name`]).
+    pub fn parse(s: &str) -> Option<CostPreset> {
+        match s {
+            "paper" | "emx" => Some(CostPreset::Paper),
+            "modern" => Some(CostPreset::Modern),
+            _ => None,
+        }
+    }
+
+    /// Apply the preset's timing to `cfg`, leaving the topology model and
+    /// every non-timing field untouched.
+    pub fn apply(self, cfg: &mut MachineConfig) {
+        match self {
+            CostPreset::Paper => {}
+            CostPreset::Modern => {
+                cfg.net.hop_cycles = 8;
+                cfg.net.port_service = 1;
+                cfg.costs.dma_service = 2;
+                cfg.costs.context_switch = 2;
+            }
         }
     }
 }
@@ -254,6 +326,11 @@ impl MachineConfig {
         if self.net.port_service == 0 {
             return fail("network port service time must be at least one cycle".into());
         }
+        if let NetModelKind::FatTree { arity } = self.net.model {
+            if arity < 2 {
+                return fail(format!("fat-tree arity must be at least 2, got {arity}"));
+            }
+        }
         if let Some(faults) = &self.faults {
             faults.validate()?;
         }
@@ -356,5 +433,44 @@ mod tests {
     #[test]
     fn service_mode_default_is_bypass_dma() {
         assert_eq!(ServiceMode::default(), ServiceMode::BypassDma);
+    }
+
+    #[test]
+    fn fat_tree_arity_is_validated() {
+        let mut c = MachineConfig::paper_p16();
+        c.net.model = NetModelKind::FatTree { arity: 4 };
+        c.validate().unwrap();
+        c.net.model = NetModelKind::FatTree { arity: 1 };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn modern_preset_shifts_the_latency_bandwidth_ratio() {
+        let mut paper = MachineConfig::paper_p16();
+        CostPreset::Paper.apply(&mut paper);
+        assert_eq!(
+            paper,
+            MachineConfig::paper_p16(),
+            "paper preset is identity"
+        );
+
+        let mut modern = MachineConfig::paper_p16();
+        CostPreset::Modern.apply(&mut modern);
+        // Latency up (hop cycles), bandwidth up (port service down), fixed
+        // processor overheads down relative to the wire.
+        assert!(modern.net.hop_cycles > paper.net.hop_cycles);
+        assert!(modern.net.port_service < paper.net.port_service);
+        assert!(modern.costs.context_switch < paper.costs.context_switch);
+        assert_eq!(modern.net.model, paper.net.model, "topology untouched");
+        modern.validate().unwrap();
+    }
+
+    #[test]
+    fn preset_names_round_trip() {
+        for p in [CostPreset::Paper, CostPreset::Modern] {
+            assert_eq!(CostPreset::parse(p.name()), Some(p));
+        }
+        assert_eq!(CostPreset::parse("quantum"), None);
+        assert_eq!(CostPreset::default(), CostPreset::Paper);
     }
 }

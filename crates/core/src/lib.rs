@@ -42,7 +42,7 @@ pub mod probe;
 pub mod time;
 
 pub use addr::{Continuation, FrameId, GlobalAddr, PeId, SlotId};
-pub use config::{CostModel, MachineConfig, NetConfig, NetModelKind, ServiceMode};
+pub use config::{CostModel, CostPreset, MachineConfig, NetConfig, NetModelKind, ServiceMode};
 pub use error::SimError;
 pub use event::EventQueue;
 pub use faults::{FaultSpec, PPM_SCALE};

@@ -1,20 +1,23 @@
 //! `emx-cli` — run EM-X workloads and tools from the command line.
 //!
 //! ```text
-//! emx-cli run     <sort|fft> --pes 64 --n 4096 --threads 4 [--shards S] [--comm-only] [--seed N] [--csv]
+//! emx-cli run     <sort|fft|bfs|histogram|spmv|stencil> --pes 64 --n 4096 --threads 4
+//!                 [--shards S] [--comm-only] [--seed N] [--net MODEL] [--preset paper|modern] [--csv]
 //! emx-cli sort    --pes 16 --n 16384 --threads 4 [--dist uniform] [--seed 1] [--block] [--em4] [--csv]
 //! emx-cli fft     --pes 16 --n 16384 --threads 4 [--comm-only] [--csv]
 //! emx-cli trace   <sort|fft|fig4> [--pes N --n N --threads N --seed N]
 //!                 [--format chrome|csv] [--events CAP] [--check] [--out FILE]
 //! emx-cli metrics <sort|fft|fig4> [--pes N --n N --threads N --seed N] [--csv]
-//! emx-cli profile <sort|fft> [--pes N --n N --threads N --seed N] [--comm-only]
-//!                 [--json] [--out FILE]
+//! emx-cli profile <sort|fft|bfs|histogram|spmv|stencil> [--pes N --n N --threads N --seed N]
+//!                 [--comm-only] [--json] [--out FILE]
 //! emx-cli profile-diff <report> [<report2>] [--baseline-dir DIR] [--threshold PPM]
-//! emx-cli sweep   --workload sort --pes 16 --sizes 512,2048 --threads 1,2,4
+//! emx-cli sweep   --workload <sort|fft|bfs|histogram|spmv|stencil> --pes 16 --sizes 512,2048
+//!                 --threads 1,2,4 [--net MODEL] [--preset paper|modern]
 //!                 [--jobs N] [--no-cache] [--csv] [--out results/sweep.csv]
 //! emx-cli faults  --workload sort --pes 16 --sizes 512 --threads 1,2,4
 //!                 --loss 0,1000,10000 [--seed 1] [--dup PPM] [--delay PPM --max-delay N]
 //!                 [--timeout N] [--backoff-cap N] [--max-attempts N] [--check-invariants]
+//!                 [--net MODEL] [--preset paper|modern]
 //!                 [--jobs N] [--no-cache] [--csv] [--out results/faults.csv]
 //! emx-cli fuzz run    [--cases N] [--seed S] [--perturb] [--shrink-failures DIR]
 //! emx-cli fuzz replay <file.emxfuzz> [<file2> ...]
@@ -24,6 +27,12 @@
 //! emx-cli asm     <file.s>            # assemble and list a kernel
 //! emx-cli info    [--pes 80]          # dump the machine configuration
 //! ```
+//!
+//! Subcommands taking machine options also accept `--net MODEL` with
+//! `MODEL` one of `omega | ideal[:LAT] | crossbar | torus | mesh |
+//! fattree[:ARITY]` (the network routing the packets) and `--preset
+//! paper|modern` (the cost model: the paper's calibrated charges, or a
+//! modern latency/bandwidth ratio — see `docs/WORKLOADS.md`).
 //!
 //! `run` executes one workload with the streaming trace digest attached
 //! and prints the run report followed by two stable fingerprints: a
@@ -148,6 +157,43 @@ impl Args {
     }
 }
 
+/// Parse a `--net` word: `omega | ideal[:LAT] | crossbar | torus | mesh |
+/// fattree[:ARITY]`.
+fn parse_net(s: &str) -> Result<NetModelKind, String> {
+    let (head, param) = match s.split_once(':') {
+        Some((h, p)) => (h, Some(p)),
+        None => (s, None),
+    };
+    let num = |default: u64| -> Result<u64, String> {
+        match param {
+            None => Ok(default),
+            Some(p) => p
+                .parse()
+                .map_err(|_| format!("--net {head}:{p}: {p:?} is not a number")),
+        }
+    };
+    match head {
+        "omega" => Ok(NetModelKind::CircularOmega),
+        "ideal" => Ok(NetModelKind::Ideal {
+            latency: num(1)? as u32,
+        }),
+        "crossbar" => Ok(NetModelKind::FullCrossbar),
+        "torus" => Ok(NetModelKind::Torus2D),
+        "mesh" => Ok(NetModelKind::Mesh2D),
+        "fattree" | "fat-tree" => Ok(NetModelKind::FatTree {
+            arity: num(4)? as u32,
+        }),
+        other => Err(format!(
+            "unknown network {other:?} (omega|ideal[:LAT]|crossbar|torus|mesh|fattree[:ARITY])"
+        )),
+    }
+}
+
+/// Parse a `--preset` word into a cost-model preset.
+fn parse_preset(s: &str) -> Result<CostPreset, String> {
+    CostPreset::parse(s).ok_or(format!("unknown preset {s:?} (paper|modern)"))
+}
+
 fn machine_cfg(args: &Args, default_pes: usize) -> Result<MachineConfig, String> {
     let pes = args.usize_or("pes", default_pes)?;
     let mut cfg = MachineConfig::with_pes(pes);
@@ -157,6 +203,12 @@ fn machine_cfg(args: &Args, default_pes: usize) -> Result<MachineConfig, String>
     }
     if args.has("priority-responses") {
         cfg.priority_read_responses = true;
+    }
+    if let Some(net) = args.get("net") {
+        cfg.net.model = parse_net(net)?;
+    }
+    if let Some(preset) = args.get("preset") {
+        parse_preset(preset)?.apply(&mut cfg);
     }
     cfg.shards = args.usize_or("shards", 1)?;
     Ok(cfg)
@@ -230,7 +282,39 @@ fn cmd_run(args: &Args) -> Result<(), String> {
                 .map_err(|e| e.to_string())?
                 .report
         }
-        other => return Err(format!("unknown workload {other:?} (sort|fft)")),
+        "bfs" => {
+            let mut params = BfsParams::new(n, threads);
+            params.seed = args.u64_or("seed", params.seed)?;
+            run_bfs_observed(&cfg, &params, |m| m.attach_probe(Box::new(probe)))
+                .map_err(|e| e.to_string())?
+                .report
+        }
+        "histogram" => {
+            let mut params = HistogramParams::new(n, threads);
+            params.seed = args.u64_or("seed", params.seed)?;
+            run_histogram_observed(&cfg, &params, |m| m.attach_probe(Box::new(probe)))
+                .map_err(|e| e.to_string())?
+                .report
+        }
+        "spmv" => {
+            let mut params = SpmvParams::new(n, threads);
+            params.seed = args.u64_or("seed", params.seed)?;
+            run_spmv_observed(&cfg, &params, |m| m.attach_probe(Box::new(probe)))
+                .map_err(|e| e.to_string())?
+                .report
+        }
+        "stencil" => {
+            let mut params = StencilParams::new(n, threads);
+            params.seed = args.u64_or("seed", params.seed)?;
+            run_stencil_observed(&cfg, &params, |m| m.attach_probe(Box::new(probe)))
+                .map_err(|e| e.to_string())?
+                .report
+        }
+        other => {
+            return Err(format!(
+                "unknown workload {other:?} (sort|fft|bfs|histogram|spmv|stencil)"
+            ))
+        }
     };
     if !args.has("csv") {
         println!(
@@ -450,7 +534,51 @@ fn profiled_run(args: &Args, workload: &str) -> Result<emx::profile::ProfileRepo
             .map_err(|e| e.to_string())?
             .report
         }
-        other => return Err(format!("unknown workload {other:?} (sort|fft)")),
+        "bfs" => {
+            let mut params = BfsParams::new(n, threads);
+            params.seed = args.u64_or("seed", params.seed)?;
+            meta.push(("seed".to_string(), params.seed.to_string()));
+            run_bfs_observed(&cfg, &params, |m| {
+                m.attach_probe(Box::new(probe.take().unwrap()));
+            })
+            .map_err(|e| e.to_string())?
+            .report
+        }
+        "histogram" => {
+            let mut params = HistogramParams::new(n, threads);
+            params.seed = args.u64_or("seed", params.seed)?;
+            meta.push(("seed".to_string(), params.seed.to_string()));
+            run_histogram_observed(&cfg, &params, |m| {
+                m.attach_probe(Box::new(probe.take().unwrap()));
+            })
+            .map_err(|e| e.to_string())?
+            .report
+        }
+        "spmv" => {
+            let mut params = SpmvParams::new(n, threads);
+            params.seed = args.u64_or("seed", params.seed)?;
+            meta.push(("seed".to_string(), params.seed.to_string()));
+            run_spmv_observed(&cfg, &params, |m| {
+                m.attach_probe(Box::new(probe.take().unwrap()));
+            })
+            .map_err(|e| e.to_string())?
+            .report
+        }
+        "stencil" => {
+            let mut params = StencilParams::new(n, threads);
+            params.seed = args.u64_or("seed", params.seed)?;
+            meta.push(("seed".to_string(), params.seed.to_string()));
+            run_stencil_observed(&cfg, &params, |m| {
+                m.attach_probe(Box::new(probe.take().unwrap()));
+            })
+            .map_err(|e| e.to_string())?
+            .report
+        }
+        other => {
+            return Err(format!(
+                "unknown workload {other:?} (sort|fft|bfs|histogram|spmv|stencil)"
+            ))
+        }
     };
     let mut rep = handle.finish(&report);
     rep.meta = meta;
@@ -537,7 +665,9 @@ fn parse_list(name: &str, raw: &str) -> Result<Vec<usize>, String> {
 fn cmd_sweep(args: &Args) -> Result<(), String> {
     let workload = match args.get("workload") {
         None => Workload::Sort,
-        Some(w) => Workload::parse(w).ok_or(format!("unknown workload {w:?} (sort|fft)"))?,
+        Some(w) => Workload::parse(w).ok_or(format!(
+            "unknown workload {w:?} (sort|fft|bfs|histogram|spmv|stencil)"
+        ))?,
     };
     let pes = args.usize_or("pes", 16)?;
     let sizes = parse_list("sizes", args.get("sizes").unwrap_or("512,2048"))?;
@@ -554,9 +684,17 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
         engine = engine.cache(None);
     }
     let shards = args.usize_or("shards", 1)?;
+    let net_model = args.get("net").map(parse_net).transpose()?;
+    let preset = args.get("preset").map(parse_preset).transpose()?;
     let mut specs = grid(workload, pes, &sizes, &threads);
     for s in &mut specs {
         s.shards = shards;
+        if let Some(net) = net_model {
+            s.net_model = net;
+        }
+        if let Some(p) = preset {
+            s.preset = p;
+        }
     }
     let outcome = engine.run(specs);
 
@@ -606,7 +744,9 @@ fn point_seed(base: u64, per_pe: usize, threads: usize, loss_ppm: u32) -> u64 {
 fn cmd_faults(args: &Args) -> Result<(), String> {
     let workload = match args.get("workload") {
         None => Workload::Sort,
-        Some(w) => Workload::parse(w).ok_or(format!("unknown workload {w:?} (sort|fft)"))?,
+        Some(w) => Workload::parse(w).ok_or(format!(
+            "unknown workload {w:?} (sort|fft|bfs|histogram|spmv|stencil)"
+        ))?,
     };
     let pes = args.usize_or("pes", 16)?;
     let sizes = parse_list("sizes", args.get("sizes").unwrap_or("512"))?;
@@ -621,6 +761,8 @@ fn cmd_faults(args: &Args) -> Result<(), String> {
     let max_attempts = args.u64_or("max-attempts", 0)? as u32;
     let check = args.has("check-invariants");
     let shards = args.usize_or("shards", 1)?;
+    let net_model = args.get("net").map(parse_net).transpose()?;
+    let preset = args.get("preset").map(parse_preset).transpose()?;
 
     // Grid order: size-major, then threads, then loss — every loss column
     // of one (n, h) row is adjacent in the CSV.
@@ -631,6 +773,12 @@ fn cmd_faults(args: &Args) -> Result<(), String> {
                 let loss =
                     u32::try_from(loss).map_err(|_| format!("--loss {loss} out of range"))?;
                 let mut spec = RunSpec::new(workload, pes, per_pe, h);
+                if let Some(net) = net_model {
+                    spec.net_model = net;
+                }
+                if let Some(p) = preset {
+                    spec.preset = p;
+                }
                 let mut fs = FaultSpec::new(point_seed(seed, per_pe, h, loss));
                 fs.drop_ppm = loss;
                 fs.dup_ppm = dup;

@@ -14,11 +14,11 @@
 //! | Module | Contents |
 //! |--------|----------|
 //! | [`core`] | cycles, packets, addresses, machine configuration |
-//! | [`net`] | circular Omega / ideal / crossbar network models |
+//! | [`net`] | circular Omega / ideal / crossbar / torus / mesh / fat-tree network models |
 //! | [`isa`] | EMC-Y instruction set, assembler, interpreter |
 //! | [`proc`] | processor units: memory, packet queue, frames, by-pass DMA |
 //! | [`runtime`] | threads, scheduling, barriers, the [`Machine`](runtime::Machine) |
-//! | [`workloads`] | multithreaded bitonic sorting and FFT drivers |
+//! | [`workloads`] | bitonic sorting, FFT, BFS, histogram, spmv, stencil drivers |
 //! | [`model`] | the Saavedra-Barrera analytic multithreading model |
 //! | [`stats`] | breakdowns, switch censuses, reporters, stable digests |
 //! | [`sweep`] | parallel deterministic cached sweep engine + provenance |
@@ -64,8 +64,8 @@ pub use emx_workloads as workloads;
 /// The most commonly used items, for glob import.
 pub mod prelude {
     pub use emx_core::{
-        Cycle, FaultSpec, GlobalAddr, MachineConfig, NetConfig, NetModelKind, Packet, PacketKind,
-        PeId, Priority, ServiceMode, SimError, PPM_SCALE,
+        CostPreset, Cycle, FaultSpec, GlobalAddr, MachineConfig, NetConfig, NetModelKind, Packet,
+        PacketKind, PeId, Priority, ServiceMode, SimError, PPM_SCALE,
     };
     pub use emx_faults::{FaultPlan, FaultReport, FaultyNetwork, InvariantChecker};
     pub use emx_isa::{assemble, kernels, Instr, Program, ProgramBuilder, Reg};
@@ -90,7 +90,10 @@ pub mod prelude {
     pub use emx_sweep::{RunCache, RunSpec, SweepEngine};
     pub use emx_workloads::gen::{dft, keys, signal, KeyDist, Signal};
     pub use emx_workloads::{
-        run_bitonic, run_bitonic_observed, run_fft, run_fft_observed, run_null_loop, FftOutcome,
-        FftParams, NullLoopOutcome, NullLoopParams, SortOutcome, SortParams,
+        run_bfs, run_bfs_observed, run_bitonic, run_bitonic_observed, run_fft, run_fft_observed,
+        run_histogram, run_histogram_observed, run_null_loop, run_spmv, run_spmv_observed,
+        run_stencil, run_stencil_observed, BfsOutcome, BfsParams, FftOutcome, FftParams,
+        HistogramOutcome, HistogramParams, NullLoopOutcome, NullLoopParams, SortOutcome,
+        SortParams, SpmvOutcome, SpmvParams, StencilOutcome, StencilParams,
     };
 }

@@ -1,5 +1,5 @@
-//! The self-contained `.emxfuzz` case format (`emx-fuzz/1`) and its
-//! well-formedness rules.
+//! The self-contained `.emxfuzz` case format (`emx-fuzz/2`, with `/1`
+//! still parsed) and its well-formedness rules.
 //!
 //! A case is *explicit*, not a seed: the shrinker needs structure it can
 //! cut, and a committed reproducer must replay identically even after the
@@ -75,6 +75,27 @@ pub enum Op {
     Barrier,
     /// Explicit thread switch.
     Yield,
+    /// Fire-and-forget remote read-modify-write: spawn the oracle's
+    /// built-in increment thread on `pe` to add one to word `offset` —
+    /// histogram-style scatter traffic that travels as a control-class
+    /// spawn packet, so it exercises the fault layer's never-lost path.
+    RmwAdd {
+        /// Target processor.
+        pe: u16,
+        /// Word the spawned thread increments.
+        offset: u32,
+    },
+    /// Halo exchange: block-read `len` words at `offset` from *both* ring
+    /// neighbours of the executing processor into `dst` and `dst + len` —
+    /// stencil-style paired bulk traffic issued back to back.
+    Halo {
+        /// First remote word on each neighbour.
+        offset: u32,
+        /// Word count per neighbour (>= 1).
+        len: u16,
+        /// Local destination; the second block lands at `dst + len`.
+        dst: u32,
+    },
 }
 
 impl Op {
@@ -95,6 +116,8 @@ impl Op {
             Op::WaitSeq { cell, threshold } => format!("wait:{cell},{threshold}"),
             Op::Barrier => "barrier".into(),
             Op::Yield => "yield".into(),
+            Op::RmwAdd { pe, offset } => format!("rmw:{pe},{offset}"),
+            Op::Halo { offset, len, dst } => format!("halo:{offset},{len},{dst}"),
         }
     }
 
@@ -144,6 +167,15 @@ impl Op {
             },
             "barrier" => Op::Barrier,
             "yield" => Op::Yield,
+            "rmw" => Op::RmwAdd {
+                pe: n(0)? as u16,
+                offset: n(1)? as u32,
+            },
+            "halo" => Op::Halo {
+                offset: n(0)? as u32,
+                len: n(1)? as u16,
+                dst: n(2)? as u32,
+            },
             _ => return Err(bad()),
         };
         Ok(op)
@@ -242,10 +274,10 @@ impl CaseSpec {
         }
     }
 
-    /// Render the case in `emx-fuzz/1` text form.
+    /// Render the case in `emx-fuzz/2` text form.
     pub fn to_text(&self) -> String {
         let mut s = String::new();
-        s.push_str("emx-fuzz/1\n");
+        s.push_str("emx-fuzz/2\n");
         s.push_str(&format!("name = {}\n", self.name));
         s.push_str(&format!("seed = {}\n", self.seed));
         s.push_str(&format!("pes = {}\n", self.pes));
@@ -254,6 +286,8 @@ impl CaseSpec {
             NetModelKind::Ideal { latency } => format!("ideal:{latency}"),
             NetModelKind::FullCrossbar => "crossbar".to_string(),
             NetModelKind::Torus2D => "torus".to_string(),
+            NetModelKind::Mesh2D => "mesh".to_string(),
+            NetModelKind::FatTree { arity } => format!("fattree:{arity}"),
         };
         s.push_str(&format!("net = {net}\n"));
         s.push_str(&format!("ibu = {}\n", self.ibu_capacity));
@@ -311,14 +345,16 @@ impl CaseSpec {
         s
     }
 
-    /// Parse an `emx-fuzz/1` case file.
+    /// Parse an `emx-fuzz/2` case file (`emx-fuzz/1` is still accepted —
+    /// version 2 only *adds* vocabulary: the `rmw`/`halo` ops and the
+    /// `mesh`/`fattree` network models).
     pub fn parse(text: &str) -> Result<CaseSpec, String> {
         let mut lines = text.lines().enumerate();
         match lines.next() {
-            Some((_, l)) if l.trim() == "emx-fuzz/1" => {}
+            Some((_, l)) if l.trim() == "emx-fuzz/1" || l.trim() == "emx-fuzz/2" => {}
             other => {
                 return Err(format!(
-                    "expected header 'emx-fuzz/1', got {:?}",
+                    "expected header 'emx-fuzz/2' (or '/1'), got {:?}",
                     other.map(|(_, l)| l).unwrap_or("")
                 ))
             }
@@ -350,14 +386,24 @@ impl CaseSpec {
                         "omega" => NetModelKind::CircularOmega,
                         "crossbar" => NetModelKind::FullCrossbar,
                         "torus" => NetModelKind::Torus2D,
-                        other => match other.strip_prefix("ideal:") {
-                            Some(lat) => NetModelKind::Ideal {
-                                latency: lat
-                                    .parse()
-                                    .map_err(|_| at(format!("bad ideal latency {lat:?}")))?,
-                            },
-                            None => return Err(at(format!("unknown net model {other:?}"))),
-                        },
+                        "mesh" => NetModelKind::Mesh2D,
+                        other => {
+                            if let Some(lat) = other.strip_prefix("ideal:") {
+                                NetModelKind::Ideal {
+                                    latency: lat
+                                        .parse()
+                                        .map_err(|_| at(format!("bad ideal latency {lat:?}")))?,
+                                }
+                            } else if let Some(k) = other.strip_prefix("fattree:") {
+                                NetModelKind::FatTree {
+                                    arity: k
+                                        .parse()
+                                        .map_err(|_| at(format!("bad fat-tree arity {k:?}")))?,
+                                }
+                            } else {
+                                return Err(at(format!("unknown net model {other:?}")));
+                            }
+                        }
                     }
                 }
                 "ibu" => case.ibu_capacity = parse_usize(value)?,
@@ -512,6 +558,24 @@ impl CaseSpec {
                     Op::SignalSeq { cell } | Op::WaitSeq { cell, .. } => {
                         if cell as usize >= self.seq_cells {
                             return Err(ctx(format!("seq cell {cell} out of range")));
+                        }
+                    }
+                    Op::RmwAdd { pe, offset } => {
+                        if usize::from(pe) >= self.pes {
+                            return Err(ctx(format!("pe {pe} out of range")));
+                        }
+                        if offset as usize >= self.memory_words {
+                            return Err(ctx(format!("offset {offset} out of range")));
+                        }
+                    }
+                    Op::Halo { offset, len, dst } => {
+                        if len == 0 {
+                            return Err(ctx("zero-length halo exchange".into()));
+                        }
+                        if offset as usize + usize::from(len) > self.memory_words
+                            || dst as usize + 2 * usize::from(len) > self.memory_words
+                        {
+                            return Err(ctx("halo exchange out of range".into()));
                         }
                     }
                 }
@@ -786,6 +850,51 @@ mod tests {
         });
         c.programs[1].ops.push(Op::SignalSeq { cell: 0 });
         assert!(c.validate().is_err(), "spawn target uses sync");
+    }
+
+    #[test]
+    fn v2_vocabulary_round_trips() {
+        let mut c = CaseSpec::empty("v2", 4);
+        c.net = NetModelKind::FatTree { arity: 4 };
+        c.programs.push(ProgramSpec {
+            ops: vec![
+                Op::RmwAdd { pe: 2, offset: 100 },
+                Op::Halo {
+                    offset: 8,
+                    len: 4,
+                    dst: 256,
+                },
+            ],
+        });
+        c.roots.push(Root {
+            pe: 0,
+            prog: 0,
+            arg: 0,
+        });
+        c.validate().unwrap();
+        assert_eq!(CaseSpec::parse(&c.to_text()).unwrap(), c);
+        c.net = NetModelKind::Mesh2D;
+        assert_eq!(CaseSpec::parse(&c.to_text()).unwrap(), c);
+    }
+
+    #[test]
+    fn v1_header_still_parses() {
+        let text = sample().to_text().replacen("emx-fuzz/2", "emx-fuzz/1", 1);
+        assert_eq!(CaseSpec::parse(&text).unwrap(), sample());
+    }
+
+    #[test]
+    fn buildable_rejects_out_of_range_v2_ops() {
+        let mut c = sample();
+        c.programs[1].ops.push(Op::RmwAdd { pe: 99, offset: 0 });
+        assert!(c.check_buildable().is_err(), "rmw pe out of range");
+        let mut c = sample();
+        c.programs[1].ops.push(Op::Halo {
+            offset: 0,
+            len: 16,
+            dst: c.memory_words as u32 - 8,
+        });
+        assert!(c.check_buildable().is_err(), "halo dst needs 2*len words");
     }
 
     #[test]

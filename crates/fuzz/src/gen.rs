@@ -30,13 +30,17 @@ pub fn generate(seed: u64) -> CaseSpec {
     let mut case = CaseSpec::empty(format!("gen-{seed:016x}"), pes);
     case.seed = seed;
     case.memory_words = mem;
-    case.net = match rng.below(4) {
+    case.net = match rng.below(6) {
         0 => NetModelKind::CircularOmega,
         1 => NetModelKind::Ideal {
             latency: 1 + rng.below(8) as u32,
         },
         2 => NetModelKind::FullCrossbar,
-        _ => NetModelKind::Torus2D,
+        3 => NetModelKind::Torus2D,
+        4 => NetModelKind::Mesh2D,
+        _ => NetModelKind::FatTree {
+            arity: 2 + rng.below(3) as u32,
+        },
     };
     case.ibu_capacity = pick(&mut rng, &[2, 4, 8]);
     case.shards = pick(&mut rng, &[1, 1, 2, 2, 4]).min(pes);
@@ -217,14 +221,15 @@ pub fn generate(seed: u64) -> CaseSpec {
     case
 }
 
-/// A non-sync op: work, remote data movement, a forward spawn, or a yield.
-/// Spawns target only programs in `spawn_lo..nprogs` (an empty range
-/// disables spawning), which keeps the spawn graph a forward DAG and keeps
-/// sync ops out of spawn targets.
+/// A non-sync op: work, remote data movement, a forward spawn, a remote
+/// read-modify-write, a halo exchange, or a yield. Spawns target only
+/// programs in `spawn_lo..nprogs` (an empty range disables spawning),
+/// which keeps the spawn graph a forward DAG and keeps sync ops out of
+/// spawn targets.
 fn random_plain_op(rng: &mut Rng64, pes: usize, mem: usize, spawn_lo: usize, nprogs: usize) -> Op {
     let can_spawn = spawn_lo < nprogs;
     loop {
-        match rng.below(6) {
+        match rng.below(8) {
             0 => {
                 return Op::Work {
                     cycles: 1 + rng.below(32) as u32,
@@ -261,6 +266,20 @@ fn random_plain_op(rng: &mut Rng64, pes: usize, mem: usize, spawn_lo: usize, npr
                 };
             }
             5 => return Op::Yield,
+            6 => {
+                return Op::RmwAdd {
+                    pe: rng.below(pes as u64) as u16,
+                    offset: rng.below(mem as u64) as u32,
+                }
+            }
+            7 => {
+                let len = 1 + rng.below(4) as u16;
+                return Op::Halo {
+                    offset: rng.below((mem - usize::from(len)) as u64 + 1) as u32,
+                    len,
+                    dst: rng.below((mem - 2 * usize::from(len)) as u64 + 1) as u32,
+                };
+            }
             _ => {} // spawn slot rolled without spawn rights: redraw
         }
     }
@@ -284,9 +303,14 @@ fn peak_threads(case: &CaseSpec) -> usize {
             continue;
         }
         for op in &case.programs[pi].ops {
-            if let Op::Spawn { pe, prog, .. } = op {
-                inst[usize::from(*prog)] += n;
-                arrivals[usize::from(*pe)] += n;
+            match op {
+                Op::Spawn { pe, prog, .. } => {
+                    inst[usize::from(*prog)] += n;
+                    arrivals[usize::from(*pe)] += n;
+                }
+                // Each remote RMW spawns one built-in increment thread.
+                Op::RmwAdd { pe, .. } => arrivals[usize::from(*pe)] += n,
+                _ => {}
             }
         }
     }

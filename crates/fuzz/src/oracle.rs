@@ -115,13 +115,22 @@ pub struct CaseOutcome {
 }
 
 /// A generated thread: executes its op list one op per scheduler step.
+/// Ops that expand to two actions (halo exchange) stash the second in
+/// `pending` and issue it on the next resumption.
 struct OpThread {
     ops: Arc<[Op]>,
     pc: usize,
+    pending: Option<Action>,
+    /// Entry of the built-in increment program `Op::RmwAdd` spawns
+    /// (registered after the case's own programs).
+    inc_entry: EntryId,
 }
 
 impl ThreadBody for OpThread {
-    fn step(&mut self, _ctx: &mut ThreadCtx<'_>) -> Action {
+    fn step(&mut self, ctx: &mut ThreadCtx<'_>) -> Action {
+        if let Some(action) = self.pending.take() {
+            return action;
+        }
         let Some(op) = self.ops.get(self.pc) else {
             return Action::End;
         };
@@ -161,11 +170,63 @@ impl ThreadBody for OpThread {
             Op::WaitSeq { cell, threshold } => Action::WaitSeq { cell, threshold },
             Op::Barrier => Action::Barrier { id: BarrierId(0) },
             Op::Yield => Action::Yield,
+            Op::RmwAdd { pe, offset } => Action::Spawn {
+                pe: PeId(pe),
+                entry: self.inc_entry,
+                arg: offset,
+            },
+            Op::Halo { offset, len, dst } => {
+                let npes = ctx.npes as usize;
+                let me = ctx.pe.index();
+                let prev = PeId(((me + npes - 1) % npes) as u16);
+                let next = PeId(((me + 1) % npes) as u16);
+                match (GlobalAddr::new(prev, offset), GlobalAddr::new(next, offset)) {
+                    (Ok(a), Ok(b)) => {
+                        self.pending = Some(Action::ReadBlock {
+                            addr: b,
+                            len,
+                            local_dst: dst + u32::from(len),
+                        });
+                        Action::ReadBlock {
+                            addr: a,
+                            len,
+                            local_dst: dst,
+                        }
+                    }
+                    _ => Action::End,
+                }
+            }
         }
     }
 
     fn name(&self) -> &'static str {
         "fuzz-op"
+    }
+}
+
+/// The built-in read-modify-write thread `Op::RmwAdd` spawns: adds one to
+/// the local word its argument names, charges a cycle, and ends.
+struct IncThread {
+    done: bool,
+}
+
+impl ThreadBody for IncThread {
+    fn step(&mut self, ctx: &mut ThreadCtx<'_>) -> Action {
+        if self.done {
+            return Action::End;
+        }
+        self.done = true;
+        if let Ok(v) = ctx.mem.read(ctx.arg) {
+            let _ = ctx.mem.write(ctx.arg, v.wrapping_add(1));
+        }
+        Action::Work {
+            cycles: 1,
+            kind: WorkKind::Compute,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "fuzz-rmw-inc"
     }
 }
 
@@ -243,15 +304,24 @@ fn exec(case: &CaseSpec, shards: usize, perturb: bool) -> RunResult {
     if case.barrier_participants > 0 {
         m.define_barrier(case.barrier_participants);
     }
+    // The increment entry lands at index `programs.len()`, right after the
+    // case's own programs (entry id = index for roots and spawns).
+    let inc_entry = EntryId(case.programs.len() as u32);
     for prog in &case.programs {
         let ops: Arc<[Op]> = prog.ops.clone().into();
         m.register_entry("fuzz-op", move |_pe, _arg| {
             Box::new(OpThread {
                 ops: ops.clone(),
                 pc: 0,
+                pending: None,
+                inc_entry,
             })
         });
     }
+    let registered = m.register_entry("fuzz-rmw-inc", |_pe, _arg| {
+        Box::new(IncThread { done: false })
+    });
+    debug_assert_eq!(registered, inc_entry);
     for r in &case.roots {
         if let Err(e) = m.spawn_at_start(PeId(r.pe), EntryId(u32::from(r.prog)), r.arg) {
             return setup_failure(e);

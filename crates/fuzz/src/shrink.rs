@@ -209,7 +209,8 @@ fn fold_pes(base: &CaseSpec, out: &mut Vec<CaseSpec>) {
                     Op::Read { pe, .. }
                     | Op::ReadBlock { pe, .. }
                     | Op::Write { pe, .. }
-                    | Op::Spawn { pe, .. } => fold(pe),
+                    | Op::Spawn { pe, .. }
+                    | Op::RmwAdd { pe, .. } => fold(pe),
                     _ => {}
                 }
             }
@@ -281,7 +282,7 @@ fn cheapen_ops(base: &CaseSpec, out: &mut Vec<CaseSpec>) {
                     *cycles /= 2;
                     changed = true;
                 }
-                Op::ReadBlock { len, .. } if *len > 1 => {
+                Op::ReadBlock { len, .. } | Op::Halo { len, .. } if *len > 1 => {
                     *len = 1;
                     changed = true;
                 }

@@ -23,13 +23,17 @@
 #![warn(missing_docs)]
 
 mod crossbar;
+mod fattree;
 mod ideal;
+mod mesh;
 mod omega;
 mod stats;
 mod torus;
 
 pub use crossbar::CrossbarNetwork;
+pub use fattree::FatTreeNetwork;
 pub use ideal::IdealNetwork;
+pub use mesh::MeshNetwork;
 pub use omega::{route_ports, OmegaNetwork, PortId};
 pub use stats::NetStats;
 pub use torus::TorusNetwork;
@@ -257,6 +261,10 @@ pub fn build_network(cfg: &NetConfig, num_pes: usize) -> Result<Box<dyn Network>
         NetModelKind::Ideal { latency } => Box::new(IdealNetwork::new(num_pes, latency)),
         NetModelKind::FullCrossbar => Box::new(CrossbarNetwork::new(num_pes, *cfg)),
         NetModelKind::Torus2D => Box::new(TorusNetwork::new(num_pes, *cfg)?),
+        NetModelKind::Mesh2D => Box::new(MeshNetwork::new(num_pes, *cfg)?),
+        NetModelKind::FatTree { arity } => {
+            Box::new(FatTreeNetwork::new(num_pes, arity as usize, *cfg)?)
+        }
     })
 }
 
@@ -274,6 +282,73 @@ mod tests {
         assert_eq!(build_network(&cfg, 16).unwrap().name(), "crossbar");
         cfg.model = NetModelKind::Torus2D;
         assert_eq!(build_network(&cfg, 16).unwrap().name(), "torus-2d");
+        cfg.model = NetModelKind::Mesh2D;
+        assert_eq!(build_network(&cfg, 16).unwrap().name(), "mesh-2d");
+        cfg.model = NetModelKind::FatTree { arity: 4 };
+        assert_eq!(build_network(&cfg, 16).unwrap().name(), "fat-tree");
+    }
+
+    /// Every model's kind, over a few machine sizes.
+    fn all_models() -> Vec<(NetModelKind, usize)> {
+        let kinds = [
+            NetModelKind::CircularOmega,
+            NetModelKind::Ideal { latency: 7 },
+            NetModelKind::FullCrossbar,
+            NetModelKind::Torus2D,
+            NetModelKind::Mesh2D,
+            NetModelKind::FatTree { arity: 2 },
+            NetModelKind::FatTree { arity: 4 },
+        ];
+        let mut v = Vec::new();
+        for kind in kinds {
+            for pes in [2usize, 8, 16, 17] {
+                v.push((kind, pes));
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn latency_bounds_are_conservative_under_bursty_traffic() {
+        // The shard-lookahead contract: NO delivery may beat the reported
+        // bound. Hammer every model with a bursty all-pairs schedule and
+        // compare each arrival against min_remote / min_local; where
+        // pure_local is claimed, loopback must land at exactly inject + d.
+        for (kind, pes) in all_models() {
+            let cfg = NetConfig {
+                model: kind,
+                ..NetConfig::default()
+            };
+            let mut net = build_network(&cfg, pes).unwrap();
+            let b = net.latency_bound();
+            assert!(b.min_remote >= b.min_local, "{kind:?}: remote < local");
+            if let Some(d) = b.pure_local {
+                assert_eq!(d, b.min_local, "{kind:?}: pure bound must equal min");
+            }
+            for burst in 0..40u64 {
+                let now = Cycle::new(burst * 2);
+                for s in 0..pes {
+                    for d in 0..pes {
+                        let src = PeId(s as u16);
+                        let dst = PeId(d as u16);
+                        let arr = net.route(now, src, dst);
+                        let lat = (arr - now).get();
+                        if s == d {
+                            assert!(lat >= b.min_local, "{kind:?} P={pes}: loopback {lat}");
+                            if let Some(p) = b.pure_local {
+                                assert_eq!(lat, p, "{kind:?} P={pes}: impure loopback");
+                            }
+                        } else {
+                            assert!(
+                                lat >= b.min_remote,
+                                "{kind:?} P={pes} {s}->{d}: {lat} beats bound {}",
+                                b.min_remote
+                            );
+                        }
+                    }
+                }
+            }
+        }
     }
 
     #[test]

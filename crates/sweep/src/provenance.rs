@@ -22,7 +22,8 @@ use crate::cache::CACHE_FORMAT;
 use crate::engine::SweepOutcome;
 
 /// Schema identifier stamped into every sidecar. `/2` added the per-run
-/// fault plan, the `runs_failed` count, and the `failed_runs` array.
+/// fault plan, the `runs_failed` count, the `failed_runs` array, and the
+/// per-run cost-model `preset`.
 pub const SCHEMA: &str = "emx-sweep/2";
 
 /// Escape a string for inclusion in a JSON string literal.
@@ -102,6 +103,7 @@ pub fn render(
             "\"net_model\": \"{}\", ",
             esc(&format!("{:?}", s.net_model))
         ));
+        j.push_str(&format!("\"preset\": \"{}\", ", esc(s.preset.name())));
         match &s.faults {
             Some(f) => j.push_str(&format!("\"faults\": \"{}\", ", esc(&f.canonical()))),
             None => j.push_str("\"faults\": null, "),
@@ -197,6 +199,7 @@ mod tests {
             "\"workload\": \"bitonic-sort\"",
             "\"service_mode\": \"BypassDma\"",
             "\"net_model\": \"CircularOmega\"",
+            "\"preset\": \"paper\"",
             "\"report_digest\": \"",
             "\"scale\": \"quick\"",
             "\"point_cycles\": null",

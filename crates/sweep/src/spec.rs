@@ -6,17 +6,30 @@
 //! function, and (b) hashing a spec (plus the machine configuration it
 //! expands to) is a sound cache address.
 
-use emx_core::{FaultSpec, MachineConfig, NetModelKind, ServiceMode, SimError};
+use emx_core::{CostPreset, FaultSpec, MachineConfig, NetModelKind, ServiceMode, SimError};
 use emx_stats::RunReport;
-use emx_workloads::{run_bitonic, run_fft, FftParams, SortParams};
+use emx_workloads::{
+    run_bfs, run_bitonic, run_fft, run_histogram, run_spmv, run_stencil, BfsParams, FftParams,
+    HistogramParams, SortParams, SpmvParams, StencilParams,
+};
 
-/// Which paper workload a spec runs.
+/// Which workload a spec runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Workload {
     /// Multithreaded bitonic sorting.
     Sort,
     /// Multithreaded FFT, first log P iterations (the paper's setup).
     Fft,
+    /// Breadth-first search over a distributed random graph.
+    Bfs,
+    /// Histogram with spawned remote read-modify-write increments.
+    Histogram,
+    /// Sparse matrix–vector product with per-nonzero remote gathers.
+    Spmv,
+    /// 2D five-point stencil with block-read halo exchange. Requires
+    /// `per_pe` divisible by the grid width (32 at the calibrated
+    /// default).
+    Stencil,
 }
 
 impl Workload {
@@ -25,6 +38,10 @@ impl Workload {
         match self {
             Workload::Sort => "bitonic-sort",
             Workload::Fft => "fft",
+            Workload::Bfs => "bfs",
+            Workload::Histogram => "histogram",
+            Workload::Spmv => "spmv",
+            Workload::Stencil => "stencil",
         }
     }
 
@@ -33,8 +50,24 @@ impl Workload {
         match s {
             "sort" | "bitonic" | "bitonic-sort" => Some(Workload::Sort),
             "fft" => Some(Workload::Fft),
+            "bfs" => Some(Workload::Bfs),
+            "histogram" | "hist" => Some(Workload::Histogram),
+            "spmv" => Some(Workload::Spmv),
+            "stencil" => Some(Workload::Stencil),
             _ => None,
         }
+    }
+
+    /// Every workload, in the order figures enumerate them.
+    pub fn all() -> [Workload; 6] {
+        [
+            Workload::Sort,
+            Workload::Fft,
+            Workload::Bfs,
+            Workload::Histogram,
+            Workload::Spmv,
+            Workload::Stencil,
+        ]
     }
 }
 
@@ -76,6 +109,9 @@ pub struct RunSpec {
     pub priority_read_responses: bool,
     /// Network model routing the packets.
     pub net_model: NetModelKind,
+    /// Cost-model preset: the paper's calibrated charges, or the modern
+    /// latency/bandwidth ratio.
+    pub preset: CostPreset,
     /// Fault-injection plan; `None` is the paper's lossless machine. A
     /// `Some` spec that [`FaultSpec::is_noop`]s still arms the fault
     /// machinery (and so reports a zeroed fault summary) — callers wanting
@@ -104,6 +140,7 @@ impl RunSpec {
             service_mode: ServiceMode::BypassDma,
             priority_read_responses: false,
             net_model: NetModelKind::CircularOmega,
+            preset: CostPreset::Paper,
             faults: None,
             shards: 1,
         }
@@ -119,21 +156,31 @@ impl RunSpec {
         self.seed.unwrap_or(match self.workload {
             Workload::Sort => SortParams::new(2, 1).seed,
             Workload::Fft => FftParams::new(2, 1).seed,
+            Workload::Bfs => BfsParams::new(2, 1).seed,
+            Workload::Histogram => HistogramParams::new(2, 1).seed,
+            Workload::Spmv => SpmvParams::new(2, 1).seed,
+            Workload::Stencil => StencilParams::new(2, 1).seed,
         })
     }
 
     /// The machine configuration this spec expands to: paper-default EM-X
     /// with memory sized to the largest block the sweep needs (sort needs
-    /// 3 blocks + control, FFT 4 — round up generously), plus the spec's
-    /// ablation knobs.
+    /// 3 blocks + control, FFT 4, spmv holds its nonzeros — round up
+    /// generously), plus the spec's ablation knobs.
     pub fn machine_config(&self) -> MachineConfig {
         let mut cfg = MachineConfig::with_pes(self.pes);
-        cfg.local_memory_words = (self.per_pe * 6 + 256).next_power_of_two();
+        let words_per_element = match self.workload {
+            // 8 nonzeros per row, two words each, plus vector slabs.
+            Workload::Spmv => 20,
+            _ => 6,
+        };
+        cfg.local_memory_words = (self.per_pe * words_per_element + 256).next_power_of_two();
         cfg.service_mode = self.service_mode;
         cfg.priority_read_responses = self.priority_read_responses;
         cfg.net.model = self.net_model;
         cfg.faults = self.faults.clone();
         cfg.shards = self.shards;
+        self.preset.apply(&mut cfg);
         cfg
     }
 
@@ -165,6 +212,34 @@ impl RunSpec {
                 }
                 run_fft(&cfg, &params).map(|o| o.report)
             }
+            Workload::Bfs => {
+                let mut params = BfsParams::new(n, self.threads);
+                if let Some(seed) = self.seed {
+                    params.seed = seed;
+                }
+                run_bfs(&cfg, &params).map(|o| o.report)
+            }
+            Workload::Histogram => {
+                let mut params = HistogramParams::new(n, self.threads);
+                if let Some(seed) = self.seed {
+                    params.seed = seed;
+                }
+                run_histogram(&cfg, &params).map(|o| o.report)
+            }
+            Workload::Spmv => {
+                let mut params = SpmvParams::new(n, self.threads);
+                if let Some(seed) = self.seed {
+                    params.seed = seed;
+                }
+                run_spmv(&cfg, &params).map(|o| o.report)
+            }
+            Workload::Stencil => {
+                let mut params = StencilParams::new(n, self.threads);
+                if let Some(seed) = self.seed {
+                    params.seed = seed;
+                }
+                run_stencil(&cfg, &params).map(|o| o.report)
+            }
         }
     }
 
@@ -184,10 +259,10 @@ impl RunSpec {
     /// field is added so old cache entries can never alias new specs.
     pub fn canonical(&self) -> String {
         format!(
-            "emx-spec v2\n\
+            "emx-spec v3\n\
              workload={} pes={} per_pe={} threads={}\n\
              seed={} comm_only={} block_read={} point_cycles={}\n\
-             service_mode={:?} priority_read_responses={} net_model={:?}\n\
+             service_mode={:?} priority_read_responses={} net_model={:?} preset={}\n\
              {}\n",
             self.workload.name(),
             self.pes,
@@ -206,6 +281,7 @@ impl RunSpec {
             self.service_mode,
             self.priority_read_responses,
             self.net_model,
+            self.preset.name(),
             match &self.faults {
                 Some(f) => f.canonical(),
                 None => "faults: none".into(),
@@ -306,10 +382,37 @@ mod tests {
         a.net_model = NetModelKind::Ideal { latency: 5 };
         assert_ne!(base, a.canonical());
         a.net_model = NetModelKind::CircularOmega;
+        a.preset = CostPreset::Modern;
+        assert_ne!(base, a.canonical());
+        a.preset = CostPreset::Paper;
         a.faults = Some(FaultSpec::with_loss(3, 10_000));
         assert_ne!(base, a.canonical());
         a.faults = None;
         assert_eq!(base, a.canonical());
+    }
+
+    #[test]
+    fn preset_flows_into_machine_config() {
+        let mut spec = RunSpec::new(Workload::Sort, 4, 64, 2);
+        let paper = spec.machine_config();
+        spec.preset = CostPreset::Modern;
+        let modern = spec.machine_config();
+        assert_ne!(paper.net.hop_cycles, modern.net.hop_cycles);
+        // The preset lands in the config half of the cache key too.
+        assert_ne!(config_canonical(&paper), config_canonical(&modern));
+    }
+
+    #[test]
+    fn every_workload_executes_a_small_spec() {
+        for w in Workload::all() {
+            // Stencil needs per_pe divisible by its 32-wide grid; 64 works
+            // for everyone.
+            let spec = RunSpec::new(w, 2, 64, 2);
+            let report = spec
+                .execute()
+                .unwrap_or_else(|e| panic!("{}: {e}", w.name()));
+            assert!(report.elapsed.0 > 0, "{} ran no cycles", w.name());
+        }
     }
 
     #[test]
@@ -339,6 +442,14 @@ mod tests {
         assert_eq!(Workload::parse("fft"), Some(Workload::Fft));
         assert_eq!(Workload::parse("mandelbrot"), None);
         assert_eq!(Workload::Sort.name(), "bitonic-sort");
+        for w in Workload::all() {
+            assert_eq!(
+                Workload::parse(w.name()),
+                Some(w),
+                "{} round-trips",
+                w.name()
+            );
+        }
     }
 
     #[test]

@@ -48,6 +48,17 @@ pub fn keys(n: usize, dist: KeyDist, seed: u64) -> Vec<u32> {
     }
 }
 
+/// Generate `count` uniform indices in `[0, bound)` — graph predecessor
+/// lists, sparse-matrix column indices, and any other irregular access
+/// pattern the workloads need, reproducible per seed.
+pub fn indices(count: usize, bound: usize, seed: u64) -> Vec<u32> {
+    assert!(bound > 0, "index bound must be positive");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x1D1C_E5C0_FFEE_D00D);
+    (0..count)
+        .map(|_| rng.random_range(0..bound) as u32)
+        .collect()
+}
+
 /// Signal shapes for FFT inputs.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Signal {
@@ -129,6 +140,14 @@ mod tests {
         assert!(s.windows(2).all(|w| w[0] <= w[1]));
         let r = keys(50, KeyDist::Reverse, 1);
         assert!(r.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn indices_are_bounded_and_reproducible() {
+        let a = indices(500, 37, 9);
+        assert_eq!(a, indices(500, 37, 9));
+        assert_ne!(a, indices(500, 37, 10));
+        assert!(a.iter().all(|&i| i < 37));
     }
 
     #[test]

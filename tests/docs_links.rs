@@ -1,0 +1,117 @@
+//! Link checker for the repo's markdown documentation.
+//!
+//! Every relative link in `README.md`, the other repo-root `*.md` files,
+//! and `docs/*.md` must point at a file (or directory) that actually
+//! exists in the tree. External links (`http://`, `https://`, `mailto:`)
+//! and pure in-page anchors (`#section`) are skipped — this test keeps
+//! the doc set internally consistent, not the internet reachable.
+
+use std::path::{Path, PathBuf};
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("repo root resolves")
+}
+
+/// Every markdown file the checker covers: repo root plus `docs/`.
+fn markdown_files(root: &Path) -> Vec<PathBuf> {
+    let mut files = Vec::new();
+    for dir in [root.to_path_buf(), root.join("docs")] {
+        let entries = std::fs::read_dir(&dir).unwrap_or_else(|e| panic!("{}: {e}", dir.display()));
+        for entry in entries {
+            let path = entry.expect("readable dir entry").path();
+            if path.extension().is_some_and(|x| x == "md") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    assert!(
+        files.iter().any(|p| p.ends_with("README.md")),
+        "README.md must be covered"
+    );
+    assert!(
+        files
+            .iter()
+            .any(|p| p.parent().is_some_and(|d| d.ends_with("docs"))),
+        "docs/*.md must be covered"
+    );
+    files
+}
+
+/// Extract inline markdown link targets — the `target` of `](target)` —
+/// from one file's text. Handles the common forms the repo uses; code
+/// fences are skipped so sample code can't produce false positives.
+fn link_targets(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut in_fence = false;
+    for line in text.lines() {
+        if line.trim_start().starts_with("```") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if in_fence {
+            continue;
+        }
+        let mut rest = line;
+        while let Some(open) = rest.find("](") {
+            let tail = &rest[open + 2..];
+            let Some(close) = tail.find(')') else { break };
+            out.push(tail[..close].to_string());
+            rest = &tail[close + 1..];
+        }
+    }
+    out
+}
+
+#[test]
+fn every_relative_doc_link_resolves() {
+    let root = repo_root();
+    let mut broken = Vec::new();
+    for file in markdown_files(&root) {
+        let text = std::fs::read_to_string(&file).unwrap();
+        let dir = file.parent().unwrap();
+        for target in link_targets(&text) {
+            let target = target.trim();
+            if target.starts_with("http://")
+                || target.starts_with("https://")
+                || target.starts_with("mailto:")
+                || target.starts_with('#')
+                || target.is_empty()
+            {
+                continue;
+            }
+            // Drop any #anchor suffix; the file part is what must exist.
+            let path_part = target.split('#').next().unwrap();
+            let resolved = dir.join(path_part);
+            if !resolved.exists() {
+                broken.push(format!(
+                    "{} -> {target}",
+                    file.strip_prefix(&root).unwrap_or(&file).display()
+                ));
+            }
+        }
+    }
+    assert!(
+        broken.is_empty(),
+        "broken relative links:\n  {}",
+        broken.join("\n  ")
+    );
+}
+
+#[test]
+fn the_cookbook_is_linked_from_the_front_doors() {
+    // docs/WORKLOADS.md is the entry point for adding kernels and
+    // topologies; both README.md and docs/ARCHITECTURE.md must point
+    // readers at it.
+    let root = repo_root();
+    for front in ["README.md", "docs/ARCHITECTURE.md"] {
+        let text = std::fs::read_to_string(root.join(front)).unwrap();
+        assert!(
+            text.contains("WORKLOADS.md"),
+            "{front} must link to the workload cookbook"
+        );
+    }
+}

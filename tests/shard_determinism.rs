@@ -78,6 +78,41 @@ fn bitonic_is_byte_identical_at_any_shard_count() {
     }
 }
 
+/// Report text, trace-stream digest, and trace-event count of one BFS run
+/// (the irregular suite's most synchronization-heavy kernel: per-edge
+/// fine-grain remote reads plus three barrier epochs per frontier level).
+fn bfs_fingerprint(shards: usize) -> (String, String, u64) {
+    let c = cfg(64, shards);
+    let (probe, handle) = DigestProbe::new();
+    let out = run_bfs_observed(&c, &BfsParams::new(64 * 32, 4), |m| {
+        m.attach_probe(Box::new(probe));
+    })
+    .unwrap();
+    (
+        report_canonical_text(&out.report),
+        handle.hex(),
+        handle.events(),
+    )
+}
+
+#[test]
+fn bfs_is_byte_identical_at_any_shard_count() {
+    let oracle = bfs_fingerprint(1);
+    assert!(oracle.2 > 0, "oracle run must emit trace events");
+    for shards in [2usize, 4] {
+        let sharded = bfs_fingerprint(shards);
+        assert_eq!(
+            oracle.0, sharded.0,
+            "BFS report diverged at {shards} shards"
+        );
+        assert_eq!(
+            oracle.1, sharded.1,
+            "BFS trace digest diverged at {shards} shards"
+        );
+        assert_eq!(oracle.2, sharded.2);
+    }
+}
+
 /// A thread that performs its scripted actions then runs off the end.
 struct Scripted {
     actions: Vec<Action>,
