@@ -1,0 +1,55 @@
+//! Simulator-engineering bench: cost of the `emx-snap/1` checkpoint
+//! layer. Measures serializing a machine paused deep inside a real
+//! workload (`snapshot`), and rebuilding a fresh shell plus restoring the
+//! snapshot into it (`restore`) — the two halves of the crash-recovery
+//! path behind `emx-cli resume` and the fuzz checkpoint oracle. Useful
+//! for catching regressions when new subsystem state joins the snapshot.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use emx::prelude::*;
+
+fn cfg(pes: usize) -> MachineConfig {
+    let mut c = MachineConfig::with_pes(pes);
+    c.local_memory_words = 1 << 14;
+    c
+}
+
+/// Build the FFT machine and pause it `events` in — mid-run, with live
+/// threads, pending packets, and partially filled ledgers.
+fn paused_fft(pes: usize, n: usize, events: u64) -> (Machine, FftParams) {
+    let params = FftParams::comm_only(n, 2);
+    let mut m = build_fft(&cfg(pes), &params, |_| {}).unwrap();
+    let paused = m.step_events(events, Cycle::new(DEFAULT_FUEL)).unwrap();
+    assert!(paused.is_none(), "machine must still be mid-run");
+    (m, params)
+}
+
+fn roundtrip(c: &mut Criterion) {
+    let mut g = c.benchmark_group("snapshot_roundtrip");
+    g.sample_size(10);
+    for &(pes, n, events) in &[(4usize, 64usize, 200u64), (16, 512, 2000)] {
+        let (machine, params) = paused_fft(pes, n, events);
+        let snap = machine.snapshot().unwrap();
+        g.throughput(Throughput::Bytes(snap.len() as u64));
+        g.bench_with_input(
+            BenchmarkId::new("snapshot", format!("p{pes}_n{n}")),
+            &machine,
+            |b, m| b.iter(|| m.snapshot().unwrap()),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("restore", format!("p{pes}_n{n}")),
+            &(&snap, &params, pes),
+            |b, &(snap, params, pes)| {
+                b.iter(|| {
+                    let mut m = build_fft(&cfg(pes), params, |_| {}).unwrap();
+                    m.restore(snap).unwrap();
+                    m
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, roundtrip);
+criterion_main!(benches);

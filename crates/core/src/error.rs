@@ -113,6 +113,18 @@ pub enum SimError {
         /// Human-readable explanation.
         reason: String,
     },
+    /// The machine holds live state that has no snapshot representation
+    /// (e.g. a native thread body without save/restore hooks).
+    SnapshotUnsupported {
+        /// What could not be serialized.
+        what: String,
+    },
+    /// A snapshot that failed to parse, failed its digest stamp, or does
+    /// not match the machine it is being restored into.
+    SnapshotInvalid {
+        /// Human-readable explanation.
+        reason: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -164,6 +176,10 @@ impl fmt::Display for SimError {
             SimError::BadConfig { reason } => write!(f, "bad machine configuration: {reason}"),
             SimError::IsaFault { reason } => write!(f, "ISA fault: {reason}"),
             SimError::Workload { reason } => write!(f, "workload error: {reason}"),
+            SimError::SnapshotUnsupported { what } => {
+                write!(f, "machine state has no snapshot representation: {what}")
+            }
+            SimError::SnapshotInvalid { reason } => write!(f, "invalid snapshot: {reason}"),
         }
     }
 }

@@ -3,6 +3,7 @@
 //! ```text
 //! emx-cli run     <sort|fft|bfs|histogram|spmv|stencil> --pes 64 --n 4096 --threads 4
 //!                 [--shards S] [--comm-only] [--seed N] [--net MODEL] [--preset paper|modern] [--csv]
+//!                 [--kill-after EVENTS]
 //! emx-cli sort    --pes 16 --n 16384 --threads 4 [--dist uniform] [--seed 1] [--block] [--em4] [--csv]
 //! emx-cli fft     --pes 16 --n 16384 --threads 4 [--comm-only] [--csv]
 //! emx-cli trace   <sort|fft|fig4> [--pes N --n N --threads N --seed N]
@@ -14,11 +15,16 @@
 //! emx-cli sweep   --workload <sort|fft|bfs|histogram|spmv|stencil> --pes 16 --sizes 512,2048
 //!                 --threads 1,2,4 [--net MODEL] [--preset paper|modern]
 //!                 [--jobs N] [--no-cache] [--csv] [--out results/sweep.csv]
+//!                 [--journal FILE] [--watchdog-ms N] [--kill-after EVENTS]
 //! emx-cli faults  --workload sort --pes 16 --sizes 512 --threads 1,2,4
 //!                 --loss 0,1000,10000 [--seed 1] [--dup PPM] [--delay PPM --max-delay N]
 //!                 [--timeout N] [--backoff-cap N] [--max-attempts N] [--check-invariants]
 //!                 [--net MODEL] [--preset paper|modern]
 //!                 [--jobs N] [--no-cache] [--csv] [--out results/faults.csv]
+//!                 [--journal FILE] [--watchdog-ms N] [--kill-after EVENTS]
+//! emx-cli resume  <FILE.journal> [--jobs N] [--no-cache] [--csv] [--out FILE.csv]
+//!                 [--watchdog-ms N] [--kill-after EVENTS]
+//! emx-cli cache gc [--dir results/cache] [--dry-run]
 //! emx-cli fuzz run    [--cases N] [--seed S] [--perturb] [--shrink-failures DIR]
 //! emx-cli fuzz replay <file.emxfuzz> [<file2> ...]
 //! emx-cli fuzz shrink <file.emxfuzz> [--out FILE]
@@ -81,9 +87,28 @@
 //! with the same seed must reproduce it byte-for-byte, and the `--loss 0`
 //! rows match a fault-free `sweep` exactly (see `docs/FAULTS.md`).
 //!
+//! `sweep` and `faults` accept `--journal FILE` to arm a write-ahead
+//! journal committing every finished point to disk, `--watchdog-ms N` to
+//! requeue points whose worker goes silent for N milliseconds, and
+//! `--kill-after EVENTS` to abort the process (no cleanup, a real crash)
+//! after that many simulated events — the crash-recovery test switch.
+//! `resume <FILE.journal>` finishes an interrupted journaled sweep:
+//! committed points are replayed verbatim, the rest re-execute, and the
+//! resulting CSV is byte-identical to an uninterrupted run (see
+//! `docs/CHECKPOINT.md`). `cache gc` sweeps the run cache directory,
+//! dropping quarantine markers, orphaned temp files, and corrupt entries;
+//! `--dry-run` previews without deleting, and both modes end with a
+//! stable `digest:` line over the scan listing.
+//!
+//! Exit codes: 0 success; 1 runtime error; 2 usage error (unknown
+//! command/subcommand or missing required argument); 3 profile drift
+//! (`profile-diff`); 4 syntactically invalid argument value. The table is
+//! documented in README.md and relied on by scripts and CI.
+//!
 //! `fuzz run` drives the deterministic fuzzing campaign (`emx-fuzz`):
 //! seeded random programs crossed with random machine shapes and fault
-//! plans, each judged by the three-way replay/shard/invariant oracle. The
+//! plans, each judged by the four-way replay/shard/checkpoint/invariant
+//! oracle. The
 //! summary is byte-identical for the same `--cases`/`--seed` pair and ends
 //! with the canonical `digest:` line; the exit code is nonzero when any
 //! oracle failure was recorded. `--perturb` (or `EMX_FUZZ_PERTURB=1`)
@@ -93,9 +118,13 @@
 //! minimizes a failing case. See `docs/FUZZING.md`.
 
 use std::process::ExitCode;
+use std::time::Duration;
 
 use emx::prelude::*;
-use emx::sweep::{grid, provenance, SweepEngine, Workload};
+use emx::sweep::{
+    grid, provenance, GcAction, Journal, RunCache, SweepEngine, SweepOutcome, WatchdogConfig,
+    Workload, DEFAULT_CACHE_DIR,
+};
 use emx::workloads::{run_null_loop, NullLoopParams};
 
 /// Minimal flag parser: `--name value` pairs plus boolean `--name` switches
@@ -261,6 +290,7 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     let cfg = machine_cfg(args, 64)?;
     let n = args.usize_or("n", 4096)?;
     let threads = args.usize_or("threads", 4)?;
+    arm_kill_switch(args)?;
     let (probe, handle) = DigestProbe::new();
     let report = match workload {
         "sort" => {
@@ -662,6 +692,113 @@ fn parse_list(name: &str, raw: &str) -> Result<Vec<usize>, String> {
     }
 }
 
+/// Build a [`SweepEngine`] from the shared sweep flags: `--jobs`,
+/// `--no-cache`, `--watchdog-ms`.
+fn engine_from_args(args: &Args) -> Result<SweepEngine, String> {
+    let mut engine = SweepEngine::new();
+    if let Some(j) = args.get("jobs") {
+        let j: usize = j
+            .parse()
+            .map_err(|_| format!("--jobs wants a number, got {j:?}"))?;
+        engine = engine.jobs(j);
+    }
+    if args.has("no-cache") {
+        engine = engine.cache(None);
+    }
+    if let Some(ms) = args.get("watchdog-ms") {
+        let ms: u64 = ms
+            .parse()
+            .map_err(|_| format!("--watchdog-ms wants milliseconds, got {ms:?}"))?;
+        engine = engine.watchdog(WatchdogConfig::with_threshold(Duration::from_millis(ms)));
+    }
+    Ok(engine)
+}
+
+/// Arm the simulated-event kill switch when `--kill-after` is present:
+/// the process aborts — no destructors, no flushing, a faithful crash —
+/// after exactly that many events. Pairs with `--journal` and `resume`
+/// to test crash recovery end to end.
+fn arm_kill_switch(args: &Args) -> Result<(), String> {
+    if let Some(n) = args.get("kill-after") {
+        let n: u64 = n
+            .parse()
+            .map_err(|_| format!("--kill-after wants an event count, got {n:?}"))?;
+        emx::faults::kill::arm(n);
+    }
+    Ok(())
+}
+
+/// The `sweep` output table, shared with `resume`.
+fn sweep_table(outcome: &SweepOutcome) -> Table {
+    let mut t = Table::new(["n", "h", "elapsed (s)", "comm+sync (s)", "cached"]);
+    for pt in &outcome.points {
+        t.row([
+            pt.spec.n().to_string(),
+            pt.spec.threads.to_string(),
+            format!("{:.6e}", pt.report.elapsed_secs()),
+            format!("{:.6e}", pt.report.comm_sync_time_secs()),
+            pt.cached.to_string(),
+        ]);
+    }
+    t
+}
+
+/// The `faults` output table plus the matrix content digest, shared with
+/// `resume`.
+fn faults_table(outcome: &SweepOutcome) -> (Table, String) {
+    let mut t = Table::new([
+        "n",
+        "h",
+        "loss_ppm",
+        "elapsed (s)",
+        "comm+sync (s)",
+        "dropped",
+        "retries",
+        "stale",
+        "forced_spills",
+    ]);
+    let mut digest = emx::stats::Digest128::new();
+    for pt in &outcome.points {
+        let loss = pt.spec.faults.as_ref().map(|f| f.drop_ppm).unwrap_or(0);
+        let f = pt.report.faults.unwrap_or_default();
+        t.row([
+            pt.spec.n().to_string(),
+            pt.spec.threads.to_string(),
+            loss.to_string(),
+            format!("{:.6e}", pt.report.elapsed_secs()),
+            format!("{:.6e}", pt.report.comm_sync_time_secs()),
+            f.dropped.to_string(),
+            f.retries.to_string(),
+            f.stale_responses.to_string(),
+            f.forced_spills.to_string(),
+        ]);
+        digest.write_str(&emx::stats::digest::report_canonical_text(&pt.report));
+    }
+    (t, digest.hex())
+}
+
+/// Write `table` as CSV to `--out` with a provenance sidecar, if asked.
+fn write_csv_out(
+    args: &Args,
+    table: &Table,
+    figure: &str,
+    outcome: &SweepOutcome,
+    extra: &[(&str, String)],
+) -> Result<(), String> {
+    let Some(out) = args.get("out") else {
+        return Ok(());
+    };
+    let path = std::path::Path::new(out);
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        std::fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    }
+    std::fs::write(path, table.to_csv()).map_err(|e| format!("{out}: {e}"))?;
+    let side = provenance::write_sidecar(path, figure, outcome, extra)
+        .map_err(|e| format!("{out}: {e}"))?;
+    eprintln!("wrote {} and {}", path.display(), side.display());
+    Ok(())
+}
+
 fn cmd_sweep(args: &Args) -> Result<(), String> {
     let workload = match args.get("workload") {
         None => Workload::Sort,
@@ -673,16 +810,7 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
     let sizes = parse_list("sizes", args.get("sizes").unwrap_or("512,2048"))?;
     let threads = parse_list("threads", args.get("threads").unwrap_or("1,2,4,8"))?;
 
-    let mut engine = SweepEngine::new();
-    if let Some(j) = args.get("jobs") {
-        let j: usize = j
-            .parse()
-            .map_err(|_| format!("--jobs wants a number, got {j:?}"))?;
-        engine = engine.jobs(j);
-    }
-    if args.has("no-cache") {
-        engine = engine.cache(None);
-    }
+    let mut engine = engine_from_args(args)?;
     let shards = args.usize_or("shards", 1)?;
     let net_model = args.get("net").map(parse_net).transpose()?;
     let preset = args.get("preset").map(parse_preset).transpose()?;
@@ -696,40 +824,29 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
             s.preset = p;
         }
     }
+    let figure = format!("sweep_{}_p{pes}", workload.name());
+    if let Some(journal) = args.get("journal") {
+        engine = engine.journal(
+            Journal::create(journal, "sweep", &figure, &specs)
+                .map_err(|e| format!("{journal}: {e}"))?,
+        );
+    }
+    arm_kill_switch(args)?;
     let outcome = engine.run(specs);
 
-    let mut t = Table::new(["n", "h", "elapsed (s)", "comm+sync (s)", "cached"]);
-    for pt in &outcome.points {
-        t.row([
-            pt.spec.n().to_string(),
-            pt.spec.threads.to_string(),
-            format!("{:.6e}", pt.report.elapsed_secs()),
-            format!("{:.6e}", pt.report.comm_sync_time_secs()),
-            pt.cached.to_string(),
-        ]);
-    }
+    let t = sweep_table(&outcome);
     if args.has("csv") {
         print!("{}", t.to_csv());
     } else {
         print!("{}", t.render());
     }
-
-    if let Some(out) = args.get("out") {
-        let path = std::path::Path::new(out);
-        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
-            std::fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
-        }
-        std::fs::write(path, t.to_csv()).map_err(|e| format!("{out}: {e}"))?;
-        let side = provenance::write_sidecar(
-            path,
-            &format!("sweep_{}_p{pes}", workload.name()),
-            &outcome,
-            &[("source", "emx-cli sweep".to_string())],
-        )
-        .map_err(|e| format!("{out}: {e}"))?;
-        eprintln!("wrote {} and {}", path.display(), side.display());
-    }
-    Ok(())
+    write_csv_out(
+        args,
+        &t,
+        &figure,
+        &outcome,
+        &[("source", "emx-cli sweep".to_string())],
+    )
 }
 
 /// Derive the per-point fault seed: a stable hash of the base seed and
@@ -799,52 +916,24 @@ fn cmd_faults(args: &Args) -> Result<(), String> {
         }
     }
 
-    let mut engine = SweepEngine::new();
-    if let Some(j) = args.get("jobs") {
-        let j: usize = j
-            .parse()
-            .map_err(|_| format!("--jobs wants a number, got {j:?}"))?;
-        engine = engine.jobs(j);
+    let mut engine = engine_from_args(args)?;
+    let figure = format!("faults_{}_p{pes}", workload.name());
+    if let Some(journal) = args.get("journal") {
+        engine = engine.journal(
+            Journal::create(journal, "faults", &figure, &specs)
+                .map_err(|e| format!("{journal}: {e}"))?,
+        );
     }
-    if args.has("no-cache") {
-        engine = engine.cache(None);
-    }
+    arm_kill_switch(args)?;
     let outcome = engine.run(specs);
 
-    let mut t = Table::new([
-        "n",
-        "h",
-        "loss_ppm",
-        "elapsed (s)",
-        "comm+sync (s)",
-        "dropped",
-        "retries",
-        "stale",
-        "forced_spills",
-    ]);
-    let mut digest = emx::stats::Digest128::new();
-    for pt in &outcome.points {
-        let loss = pt.spec.faults.as_ref().map(|f| f.drop_ppm).unwrap_or(0);
-        let f = pt.report.faults.unwrap_or_default();
-        t.row([
-            pt.spec.n().to_string(),
-            pt.spec.threads.to_string(),
-            loss.to_string(),
-            format!("{:.6e}", pt.report.elapsed_secs()),
-            format!("{:.6e}", pt.report.comm_sync_time_secs()),
-            f.dropped.to_string(),
-            f.retries.to_string(),
-            f.stale_responses.to_string(),
-            f.forced_spills.to_string(),
-        ]);
-        digest.write_str(&emx::stats::digest::report_canonical_text(&pt.report));
-    }
+    let (t, digest) = faults_table(&outcome);
     if args.has("csv") {
         print!("{}", t.to_csv());
     } else {
         print!("{}", t.render());
     }
-    println!("digest: {}", digest.hex());
+    println!("digest: {digest}");
     for f in &outcome.failed {
         eprintln!(
             "emx-cli: point {} FAILED after {} attempts: {}",
@@ -853,26 +942,85 @@ fn cmd_faults(args: &Args) -> Result<(), String> {
             f.error
         );
     }
+    write_csv_out(
+        args,
+        &t,
+        &figure,
+        &outcome,
+        &[
+            ("source", "emx-cli faults".to_string()),
+            ("seed", seed.to_string()),
+            ("matrix_digest", digest),
+        ],
+    )
+}
 
-    if let Some(out) = args.get("out") {
-        let path = std::path::Path::new(out);
-        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
-            std::fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+fn cmd_resume(args: &Args) -> Result<(), String> {
+    let journal = args
+        .positional
+        .first()
+        .ok_or("resume wants a journal file")?;
+    let engine = engine_from_args(args)?;
+    arm_kill_switch(args)?;
+    let resumed = emx::sweep::resume(std::path::Path::new(journal), engine)?;
+    let outcome = &resumed.outcome;
+    // The CSV table is chosen by the journal's recorded mode, so a
+    // resumed run produces byte-identical output to the uninterrupted
+    // invocation it recovers.
+    let mut extra = vec![("source", "emx-cli resume".to_string())];
+    let (t, digest) = match resumed.mode.as_str() {
+        "sweep" => (sweep_table(outcome), None),
+        "faults" => {
+            let (t, digest) = faults_table(outcome);
+            extra.push(("matrix_digest", digest.clone()));
+            (t, Some(digest))
         }
-        std::fs::write(path, t.to_csv()).map_err(|e| format!("{out}: {e}"))?;
-        let side = provenance::write_sidecar(
-            path,
-            &format!("faults_{}_p{pes}", workload.name()),
-            &outcome,
-            &[
-                ("source", "emx-cli faults".to_string()),
-                ("seed", seed.to_string()),
-                ("matrix_digest", digest.hex()),
-            ],
-        )
-        .map_err(|e| format!("{out}: {e}"))?;
-        eprintln!("wrote {} and {}", path.display(), side.display());
+        other => return Err(format!("{journal}: unknown journal mode {other:?}")),
+    };
+    if args.has("csv") {
+        print!("{}", t.to_csv());
+    } else {
+        print!("{}", t.render());
     }
+    if let Some(digest) = digest {
+        println!("digest: {digest}");
+    }
+    for f in &outcome.failed {
+        eprintln!(
+            "emx-cli: point {} FAILED after {} attempts: {}",
+            f.spec.label(),
+            f.attempts,
+            f.error
+        );
+    }
+    write_csv_out(args, &t, &resumed.label, outcome, &extra)
+}
+
+fn cmd_cache(args: &Args) -> Result<(), String> {
+    // Shape is validated in main: the only subcommand today is `gc`.
+    let dir = args.get("dir").unwrap_or(DEFAULT_CACHE_DIR);
+    let dry = args.has("dry-run");
+    let report = RunCache::new(dir)
+        .gc(dry)
+        .map_err(|e| format!("{dir}: {e}"))?;
+    for (action, name) in &report.files {
+        println!("{} {name}", action.word());
+    }
+    println!(
+        "cache gc{}: {} kept, {} quarantine, {} orphan, {} corrupt, {} skipped ({} dropped)",
+        if dry { " (dry run)" } else { "" },
+        report.count(GcAction::Keep),
+        report.count(GcAction::DropQuarantine),
+        report.count(GcAction::DropOrphan),
+        report.count(GcAction::DropCorrupt),
+        report.count(GcAction::Skip),
+        if dry {
+            format!("would be: {}", report.dropped())
+        } else {
+            report.dropped().to_string()
+        },
+    );
+    println!("digest: {}", report.digest());
     Ok(())
 }
 
@@ -1106,15 +1254,72 @@ fn cmd_info(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+const USAGE: &str = "usage: emx-cli <run|sort|fft|trace|metrics|profile|profile-diff|sweep|faults|resume|cache|fuzz|nullloop|latency|asm|info> [options]";
+
+/// Usage-shape validation (exit 2): the command and its subcommand /
+/// required positionals must exist before any work starts.
+fn validate_shape(cmd: &str, args: &Args) -> Result<(), String> {
+    match cmd {
+        "fuzz" => match args.positional.first().map(String::as_str) {
+            Some("run" | "replay" | "shrink") => Ok(()),
+            _ => Err("fuzz wants a subcommand: run | replay | shrink".into()),
+        },
+        "cache" => match args.positional.first().map(String::as_str) {
+            Some("gc") => Ok(()),
+            _ => Err("cache wants a subcommand: gc".into()),
+        },
+        "resume" if args.positional.is_empty() => Err("resume wants a journal file".into()),
+        "asm" if args.positional.is_empty() => Err("asm wants a source file path".into()),
+        _ => Ok(()),
+    }
+}
+
+/// Argument-value validation (exit 4): flags whose value has a closed
+/// syntax are checked up front, so a typo fails fast with a distinct
+/// exit code instead of surfacing mid-run as a generic error.
+fn validate_values(cmd: &str, args: &Args) -> Result<(), String> {
+    if let Some(net) = args.get("net") {
+        parse_net(net).map_err(|e| format!("bad value for --net: {e}"))?;
+    }
+    if let Some(preset) = args.get("preset") {
+        parse_preset(preset).map_err(|e| format!("bad value for --preset: {e}"))?;
+    }
+    if let Some(w) = args.get("workload") {
+        Workload::parse(w).ok_or(format!(
+            "bad value for --workload: unknown workload {w:?} (sort|fft|bfs|histogram|spmv|stencil)"
+        ))?;
+    }
+    if cmd == "run" {
+        if let Some(w) = args.positional.first() {
+            Workload::parse(w).ok_or(format!(
+                "bad workload {w:?} (sort|fft|bfs|histogram|spmv|stencil)"
+            ))?;
+        }
+    }
+    for flag in ["kill-after", "watchdog-ms"] {
+        if let Some(v) = args.get(flag) {
+            v.parse::<u64>()
+                .map_err(|_| format!("bad value for --{flag}: {v:?} is not a number"))?;
+        }
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = raw.first().cloned() else {
-        eprintln!(
-            "usage: emx-cli <run|sort|fft|trace|metrics|profile|profile-diff|sweep|faults|fuzz|nullloop|latency|asm|info> [options]"
-        );
+        eprintln!("{USAGE}");
         return ExitCode::from(2);
     };
     let args = Args::parse(&raw[1..]);
+    if let Err(msg) = validate_shape(&cmd, &args) {
+        eprintln!("emx-cli: {msg}");
+        return ExitCode::from(2);
+    }
+    if let Err(msg) = validate_values(&cmd, &args) {
+        eprintln!("emx-cli: {msg}");
+        return ExitCode::from(4);
+    }
     if cmd == "profile-diff" {
         return cmd_profile_diff(&args);
     }
@@ -1127,12 +1332,17 @@ fn main() -> ExitCode {
         "profile" => cmd_profile(&args),
         "sweep" => cmd_sweep(&args),
         "faults" => cmd_faults(&args),
+        "resume" => cmd_resume(&args),
+        "cache" => cmd_cache(&args),
         "fuzz" => cmd_fuzz(&args),
         "nullloop" => cmd_nullloop(&args),
         "latency" => cmd_latency(&args),
         "asm" => cmd_asm(&args),
         "info" => cmd_info(&args),
-        other => Err(format!("unknown command {other:?}")),
+        other => {
+            eprintln!("emx-cli: unknown command {other:?}\n{USAGE}");
+            return ExitCode::from(2);
+        }
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,

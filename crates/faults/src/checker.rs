@@ -46,6 +46,24 @@ impl fmt::Display for FaultReport {
     }
 }
 
+/// The plain-data image of an [`InvariantChecker`] mid-run, for snapshots.
+///
+/// `last_pair` is sorted by `(src, dst)` so the image — and anything
+/// digested over it — is independent of `HashMap` iteration order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CheckerState {
+    /// Latest event time observed.
+    pub last_event: u64,
+    /// Per-(src, dst) latest scheduled arrival, sorted by key.
+    pub last_pair: Vec<(u16, u16, u64)>,
+    /// Packets injected into the network so far.
+    pub injected: u64,
+    /// Arrivals scheduled so far.
+    pub scheduled: u64,
+    /// Arrivals delivered so far.
+    pub delivered: u64,
+}
+
 /// Checks the machine's core invariants as the event loop runs.
 ///
 /// The checker is observation-only: the machine reports event pops, packet
@@ -115,6 +133,39 @@ impl InvariantChecker {
     /// A scheduled arrival reached its destination's input buffer.
     pub fn observe_arrival(&mut self) {
         self.delivered += 1;
+    }
+
+    /// The checker's current ledger as a deterministic plain-data image.
+    pub fn save_state(&self) -> CheckerState {
+        let mut last_pair: Vec<(u16, u16, u64)> = self
+            .last_pair
+            .iter()
+            .map(|(&(s, d), &t)| (s.0, d.0, t.get()))
+            .collect();
+        last_pair.sort_unstable();
+        CheckerState {
+            last_event: self.last_event.get(),
+            last_pair,
+            injected: self.injected,
+            scheduled: self.scheduled,
+            delivered: self.delivered,
+        }
+    }
+
+    /// A checker resumed from a ledger previously read via
+    /// [`save_state`](InvariantChecker::save_state).
+    pub fn from_state(st: &CheckerState) -> InvariantChecker {
+        InvariantChecker {
+            last_event: Cycle::new(st.last_event),
+            last_pair: st
+                .last_pair
+                .iter()
+                .map(|&(s, d, t)| ((PeId(s), PeId(d)), Cycle::new(t)))
+                .collect(),
+            injected: st.injected,
+            scheduled: st.scheduled,
+            delivered: st.delivered,
+        }
     }
 
     /// End-of-run packet conservation: every injection is accounted for as a

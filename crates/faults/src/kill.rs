@@ -1,0 +1,72 @@
+//! Host-crash injection: a process-global, event-counted kill switch.
+//!
+//! Crash-recovery code paths (the sweep journal, `emx-cli resume`) need a
+//! way to die at a *deterministic* point, not after a wall-clock timeout:
+//! `arm(n)` primes the switch and every simulated event [`tick`]s it once,
+//! so the process aborts after exactly `n` events machine-wide regardless
+//! of host speed or scheduling. The abort is `process::abort()` — no
+//! destructors, no flushing — which is precisely the torn state a real
+//! crash leaves behind and what the write-ahead journal must survive.
+//!
+//! The switch lives in `emx-faults` because it is a fault like any other:
+//! seeded, explicit, and absent (zero overhead beyond one relaxed load)
+//! unless a test or `--kill-after` arms it.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Events left before abort; 0 means disarmed.
+static ARMED: AtomicU64 = AtomicU64::new(0);
+
+/// Prime the kill switch to abort the process after `events` more
+/// simulated events. `events == 0` disarms.
+pub fn arm(events: u64) {
+    ARMED.store(events, Ordering::Relaxed);
+}
+
+/// Disarm the switch.
+pub fn disarm() {
+    ARMED.store(0, Ordering::Relaxed);
+}
+
+/// Events remaining before abort, or 0 if disarmed.
+pub fn remaining() -> u64 {
+    ARMED.load(Ordering::Relaxed)
+}
+
+/// Count one simulated event against the switch. Aborts the process —
+/// without unwinding or flushing, like a real crash — when the armed
+/// countdown reaches zero. A disarmed switch costs one relaxed load.
+pub fn tick() {
+    if ARMED.load(Ordering::Relaxed) == 0 {
+        return;
+    }
+    let prev = ARMED.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| v.checked_sub(1));
+    if prev == Ok(1) {
+        eprintln!("emx: kill switch fired: aborting after armed event budget");
+        std::process::abort();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // One test exercises the whole lifecycle: tests run concurrently and
+    // the switch is process-global, so splitting these into separate #[test]
+    // functions would race.
+    #[test]
+    fn arm_counts_down_and_disarm_clears() {
+        disarm();
+        assert_eq!(remaining(), 0);
+        tick(); // disarmed tick is a no-op
+        assert_eq!(remaining(), 0);
+        arm(3);
+        tick();
+        assert_eq!(remaining(), 2);
+        tick();
+        assert_eq!(remaining(), 1);
+        disarm();
+        tick();
+        assert_eq!(remaining(), 0, "disarmed mid-countdown stays disarmed");
+    }
+}

@@ -25,10 +25,11 @@
 #![warn(missing_docs)]
 
 mod checker;
+pub mod kill;
 mod network;
 mod rng;
 
-pub use checker::{FaultReport, InvariantChecker};
+pub use checker::{CheckerState, FaultReport, InvariantChecker};
 pub use network::FaultyNetwork;
 pub use rng::{FaultPlan, Rng64};
 

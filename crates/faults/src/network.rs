@@ -162,6 +162,53 @@ impl Network for FaultyNetwork {
         Some(self.counters)
     }
 
+    fn save_state(&self) -> emx_net::NetSnapshot {
+        // Words: RNG cursor, the three fault counters, then the
+        // non-overtaking clamp table as (src, dst, cycle) triples sorted by
+        // pair — the sort keeps the image independent of HashMap order.
+        let mut words = vec![
+            self.rng.state(),
+            self.counters.dropped,
+            self.counters.duplicated,
+            self.counters.delayed,
+        ];
+        let mut pairs: Vec<(u16, u16, u64)> = self
+            .last_arrival
+            .iter()
+            .map(|(&(s, d), &t)| (s.0, d.0, t.get()))
+            .collect();
+        pairs.sort_unstable();
+        for (s, d, t) in pairs {
+            words.extend([u64::from(s), u64::from(d), t]);
+        }
+        emx_net::NetSnapshot {
+            stats: self.inner.stats().clone(),
+            words,
+            inner: Some(Box::new(self.inner.save_state())),
+        }
+    }
+
+    fn load_state(&mut self, snap: &emx_net::NetSnapshot) -> Result<(), emx_core::SimError> {
+        let Some(inner) = snap.inner.as_deref() else {
+            return Err(emx_net::NetSnapshot::shape_error("faulty"));
+        };
+        if snap.words.len() < 4 || (snap.words.len() - 4) % 3 != 0 {
+            return Err(emx_net::NetSnapshot::shape_error("faulty"));
+        }
+        self.inner.load_state(inner)?;
+        self.rng = Rng64::from_state(snap.words[0]);
+        self.counters = FaultCounters {
+            dropped: snap.words[1],
+            duplicated: snap.words[2],
+            delayed: snap.words[3],
+        };
+        self.last_arrival = snap.words[4..]
+            .chunks_exact(3)
+            .map(|c| ((PeId(c[0] as u16), PeId(c[1] as u16)), Cycle::new(c[2])))
+            .collect();
+        Ok(())
+    }
+
     fn name(&self) -> &'static str {
         "faulty"
     }

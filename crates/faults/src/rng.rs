@@ -52,6 +52,19 @@ impl Rng64 {
         debug_assert!(n > 0);
         self.next_u64() % n
     }
+
+    /// The generator's cursor. Together with [`from_state`](Rng64::from_state)
+    /// this lets a snapshot capture a stream mid-flight: SplitMix64 is fully
+    /// determined by this single word.
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
+    /// A generator resumed at a cursor previously read via
+    /// [`state`](Rng64::state).
+    pub fn from_state(state: u64) -> Rng64 {
+        Rng64 { state }
+    }
 }
 
 /// One mixing round, used to derive independent per-layer seeds.

@@ -1,6 +1,6 @@
-//! The three-way oracle: run a case and judge it.
+//! The four-way oracle: run a case and judge it.
 //!
-//! Every case is executed up to three times, always fuel-bounded and with
+//! Every case is executed up to four times, always fuel-bounded and with
 //! the invariant checker armed:
 //!
 //! 1. **Reference run** — single calendar. Structural failures surface
@@ -10,6 +10,12 @@
 //!    text) must be byte-identical; any difference is nondeterminism.
 //! 3. **Shard run** — `shards = k` from the case. The sharded driver must
 //!    reproduce the single-calendar fingerprint byte for byte.
+//! 4. **Checkpoint run** — step to a seed-derived event index, snapshot
+//!    (`emx-snap`), restore into a fresh shell, and run that to
+//!    completion. The stitched fingerprint — trace digest continued
+//!    across the restore, final report, outcome — must match the
+//!    reference byte for byte: checkpoints are transparent or they are a
+//!    bug.
 //!
 //! Structured simulation errors *other* than the failure classes (e.g.
 //! [`SimError::OutOfFrames`] under a frame-cap fault) are legitimate
@@ -43,6 +49,9 @@ pub enum Verdict {
     DigestMismatch,
     /// The sharded run's fingerprint differed from the single-calendar run.
     ShardDivergence,
+    /// The checkpoint/restore run's fingerprint differed from the
+    /// reference run, or snapshotting itself failed.
+    CheckpointDivergence,
     /// The case panicked the simulator (caught by the campaign driver).
     Panic,
 }
@@ -65,6 +74,7 @@ impl Verdict {
             Verdict::Invariant => "invariant".into(),
             Verdict::DigestMismatch => "digest-mismatch".into(),
             Verdict::ShardDivergence => "shard-divergence".into(),
+            Verdict::CheckpointDivergence => "checkpoint-divergence".into(),
             Verdict::Panic => "panic".into(),
         }
     }
@@ -78,6 +88,7 @@ impl Verdict {
             "invariant" => Verdict::Invariant,
             "digest-mismatch" => Verdict::DigestMismatch,
             "shard-divergence" => Verdict::ShardDivergence,
+            "checkpoint-divergence" => Verdict::CheckpointDivergence,
             "panic" => Verdict::Panic,
             other => Verdict::Error(other.strip_prefix("error:")?.to_string()),
         })
@@ -202,6 +213,52 @@ impl ThreadBody for OpThread {
     fn name(&self) -> &'static str {
         "fuzz-op"
     }
+
+    // The only action ever stashed in `pending` is the halo exchange's
+    // second block read, so the pending slot serializes as its four
+    // address words behind a presence flag.
+    fn save_state(&self) -> Option<Vec<u64>> {
+        let mut words = vec![self.pc as u64];
+        match &self.pending {
+            None => words.push(0),
+            Some(Action::ReadBlock {
+                addr,
+                len,
+                local_dst,
+            }) => {
+                words.push(1);
+                words.push(u64::from(addr.pe.0));
+                words.push(u64::from(addr.offset));
+                words.push(u64::from(*len));
+                words.push(u64::from(*local_dst));
+            }
+            Some(_) => return None,
+        }
+        Some(words)
+    }
+
+    fn load_state(&mut self, words: &[u64]) -> bool {
+        match words {
+            [pc, 0] => {
+                self.pc = *pc as usize;
+                self.pending = None;
+                true
+            }
+            [pc, 1, pe, offset, len, dst] => {
+                let Ok(addr) = GlobalAddr::new(PeId(*pe as u16), *offset as u32) else {
+                    return false;
+                };
+                self.pc = *pc as usize;
+                self.pending = Some(Action::ReadBlock {
+                    addr,
+                    len: *len as u16,
+                    local_dst: *dst as u32,
+                });
+                true
+            }
+            _ => false,
+        }
+    }
 }
 
 /// The built-in read-modify-write thread `Op::RmwAdd` spawns: adds one to
@@ -228,6 +285,19 @@ impl ThreadBody for IncThread {
     fn name(&self) -> &'static str {
         "fuzz-rmw-inc"
     }
+
+    fn save_state(&self) -> Option<Vec<u64>> {
+        Some(vec![u64::from(self.done)])
+    }
+
+    fn load_state(&mut self, words: &[u64]) -> bool {
+        let [done] = words else { return false };
+        if *done > 1 {
+            return false;
+        }
+        self.done = *done == 1;
+        true
+    }
 }
 
 /// Short stable kind string for a structured simulation error.
@@ -249,6 +319,8 @@ pub fn error_kind(e: &SimError) -> &'static str {
         SimError::BadConfig { .. } => "bad-config",
         SimError::IsaFault { .. } => "isa-fault",
         SimError::Workload { .. } => "workload",
+        SimError::SnapshotUnsupported { .. } => "snapshot-unsupported",
+        SimError::SnapshotInvalid { .. } => "snapshot-invalid",
         _ => "other",
     }
 }
@@ -289,15 +361,13 @@ struct RunResult {
     err: Option<SimError>,
 }
 
-/// Execute the case once and collect its fingerprint. Never panics for a
-/// buildable case: setup failures fold into the fingerprint too, so the
-/// arms stay comparable.
-fn exec(case: &CaseSpec, shards: usize, perturb: bool) -> RunResult {
+/// Build the case's machine: configuration, synchronization resources,
+/// entry table, and initial threads. The entry table is identical on every
+/// call, which is what lets a checkpoint from one build restore into a
+/// fresh shell from another.
+fn build_machine(case: &CaseSpec, shards: usize, perturb: bool) -> Result<Machine, SimError> {
     let cfg = machine_config(case, shards, perturb);
-    let mut m = match Machine::new(cfg) {
-        Ok(m) => m,
-        Err(e) => return setup_failure(e),
-    };
+    let mut m = Machine::new(cfg)?;
     if case.seq_cells > 0 {
         m.define_seq_cells(case.seq_cells);
     }
@@ -323,13 +393,16 @@ fn exec(case: &CaseSpec, shards: usize, perturb: bool) -> RunResult {
     });
     debug_assert_eq!(registered, inc_entry);
     for r in &case.roots {
-        if let Err(e) = m.spawn_at_start(PeId(r.pe), EntryId(u32::from(r.prog)), r.arg) {
-            return setup_failure(e);
-        }
+        m.spawn_at_start(PeId(r.pe), EntryId(u32::from(r.prog)), r.arg)?;
     }
-    let (probe, handle) = DigestProbe::new();
-    m.attach_probe(Box::new(probe));
-    let res = m.run_until(Cycle::new(case.fuel));
+    Ok(m)
+}
+
+/// Fold a finished run (or its error) into a fingerprint.
+fn fingerprint_of(
+    res: Result<emx_stats::RunReport, SimError>,
+    handle: &emx_obs::DigestHandle,
+) -> RunResult {
     let (outcome, report, err) = match res {
         Ok(report) => ("ok".to_string(), report_canonical_text(&report), None),
         Err(e) => (e.to_string(), String::new(), Some(e)),
@@ -343,6 +416,53 @@ fn exec(case: &CaseSpec, shards: usize, perturb: bool) -> RunResult {
         },
         err,
     }
+}
+
+/// Execute the case once and collect its fingerprint. Never panics for a
+/// buildable case: setup failures fold into the fingerprint too, so the
+/// arms stay comparable.
+fn exec(case: &CaseSpec, shards: usize, perturb: bool) -> RunResult {
+    let mut m = match build_machine(case, shards, perturb) {
+        Ok(m) => m,
+        Err(e) => return setup_failure(e),
+    };
+    let (probe, handle) = DigestProbe::new();
+    m.attach_probe(Box::new(probe));
+    let res = m.run_until(Cycle::new(case.fuel));
+    fingerprint_of(res, &handle)
+}
+
+/// Execute the case with a checkpoint at event index `k`: step the machine
+/// `k` events, snapshot it, restore into a freshly built shell, and run
+/// that shell to completion — with the trace digest continued across the
+/// restore so the stitched fingerprint is comparable to one uninterrupted
+/// run. `Err` carries a snapshot-machinery failure (itself a bug).
+fn exec_checkpoint(case: &CaseSpec, k: u64) -> Result<RunResult, String> {
+    let mut m = match build_machine(case, 1, false) {
+        Ok(m) => m,
+        Err(e) => return Ok(setup_failure(e)),
+    };
+    let (probe, handle) = DigestProbe::new();
+    m.attach_probe(Box::new(probe));
+    let fuel = Cycle::new(case.fuel);
+    match m.step_events(k, fuel) {
+        // Quiesced (or failed) before the checkpoint index: a complete,
+        // comparable run in its own right.
+        Ok(Some(report)) => return Ok(fingerprint_of(Ok(report), &handle)),
+        Err(e) => return Ok(fingerprint_of(Err(e), &handle)),
+        Ok(None) => {}
+    }
+    let snap = m
+        .snapshot()
+        .map_err(|e| format!("snapshot at event {k} failed: {e}"))?;
+    let mut shell =
+        build_machine(case, 1, false).map_err(|e| format!("shell rebuild failed: {e}"))?;
+    shell.attach_probe(Box::new(handle.probe()));
+    shell
+        .restore(&snap)
+        .map_err(|e| format!("restore at event {k} failed: {e}"))?;
+    let res = shell.run_until(fuel);
+    Ok(fingerprint_of(res, &handle))
 }
 
 fn setup_failure(e: SimError) -> RunResult {
@@ -367,7 +487,7 @@ fn verdict_for_error(e: &SimError) -> Verdict {
     }
 }
 
-/// Run the full three-way oracle on `case`.
+/// Run the full four-way oracle on `case`.
 ///
 /// `perturb_replay` is the mutation hook: when set, the replay arm runs
 /// with a one-cycle network-latency perturbation, which a sound oracle
@@ -396,6 +516,30 @@ pub fn run_case(case: &CaseSpec, perturb_replay: bool) -> CaseOutcome {
             };
         }
     }
+    // Checkpoint arm: pause at a seed-derived event index (spread over a
+    // prime span so nearby seeds land on different boundaries), restore
+    // into a fresh shell, finish, and demand the stitched fingerprint.
+    let k = 1 + case.seed % 97;
+    match exec_checkpoint(case, k) {
+        Ok(checkpointed) => {
+            if checkpointed.fp != reference.fp {
+                return CaseOutcome {
+                    verdict: Verdict::CheckpointDivergence,
+                    trace_digest: reference.fp.trace_digest,
+                    detail: format!(
+                        "checkpoint/restore at event {k} diverged from the reference run"
+                    ),
+                };
+            }
+        }
+        Err(detail) => {
+            return CaseOutcome {
+                verdict: Verdict::CheckpointDivergence,
+                trace_digest: reference.fp.trace_digest,
+                detail,
+            };
+        }
+    }
     let (verdict, detail) = match &reference.err {
         None => (Verdict::Pass, String::new()),
         Some(e) => (verdict_for_error(e), e.to_string()),
@@ -404,5 +548,28 @@ pub fn run_case(case: &CaseSpec, perturb_replay: bool) -> CaseOutcome {
         verdict,
         trace_digest: reference.fp.trace_digest,
         detail,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The committed checkpoint-arm corpus case must actually pause
+    /// mid-run at its seed-derived event index — if the run quiesced
+    /// first, the arm would degenerate into a plain replay and the case
+    /// would pin nothing about snapshot/restore.
+    #[test]
+    fn checkpoint_corpus_case_pauses_mid_run() {
+        let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../../tests/corpus/pass-checkpoint-halo-rmw.emxfuzz");
+        let case = CaseSpec::parse(&std::fs::read_to_string(path).unwrap()).unwrap();
+        let k = 1 + case.seed % 97;
+        let mut m = build_machine(&case, 1, false).unwrap();
+        assert!(
+            m.step_events(k, Cycle::new(case.fuel)).unwrap().is_none(),
+            "case quiesced before event {k}; the checkpoint arm never fires mid-run"
+        );
+        m.snapshot().expect("mid-run snapshot of the corpus case");
     }
 }

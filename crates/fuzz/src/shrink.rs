@@ -16,7 +16,7 @@ use crate::oracle::{run_case, Verdict};
 /// Knobs for one shrink run.
 #[derive(Debug, Clone)]
 pub struct ShrinkOptions {
-    /// Hard cap on oracle executions (each candidate costs up to three
+    /// Hard cap on oracle executions (each candidate costs up to four
     /// simulator runs).
     pub max_attempts: usize,
 }

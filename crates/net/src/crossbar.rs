@@ -68,6 +68,25 @@ impl Network for CrossbarNetwork {
         &self.stats
     }
 
+    fn save_state(&self) -> crate::NetSnapshot {
+        crate::NetSnapshot {
+            stats: self.stats.clone(),
+            words: self.next_free.iter().map(|c| c.get()).collect(),
+            inner: None,
+        }
+    }
+
+    fn load_state(&mut self, snap: &crate::NetSnapshot) -> Result<(), emx_core::SimError> {
+        if snap.words.len() != self.next_free.len() {
+            return Err(crate::NetSnapshot::shape_error("crossbar"));
+        }
+        self.stats = snap.stats.clone();
+        for (slot, &w) in self.next_free.iter_mut().zip(&snap.words) {
+            *slot = Cycle::new(w);
+        }
+        Ok(())
+    }
+
     fn name(&self) -> &'static str {
         "crossbar"
     }

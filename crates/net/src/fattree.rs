@@ -178,6 +178,43 @@ impl Network for FatTreeNetwork {
         &self.stats
     }
 
+    fn save_state(&self) -> crate::NetSnapshot {
+        // Up-edge timelines of every level, then down-edge timelines, in
+        // level order; the level shapes are configuration, so lengths
+        // restore unambiguously.
+        let words = self
+            .up
+            .iter()
+            .chain(self.down.iter())
+            .flat_map(|level| level.iter().map(|c| c.get()))
+            .collect();
+        crate::NetSnapshot {
+            stats: self.stats.clone(),
+            words,
+            inner: None,
+        }
+    }
+
+    fn load_state(&mut self, snap: &crate::NetSnapshot) -> Result<(), SimError> {
+        let total: usize = self
+            .up
+            .iter()
+            .chain(self.down.iter())
+            .map(|level| level.len())
+            .sum();
+        if snap.words.len() != total {
+            return Err(crate::NetSnapshot::shape_error("fat-tree"));
+        }
+        self.stats = snap.stats.clone();
+        let mut words = snap.words.iter();
+        for level in self.up.iter_mut().chain(self.down.iter_mut()) {
+            for slot in level.iter_mut() {
+                *slot = Cycle::new(*words.next().expect("length checked"));
+            }
+        }
+        Ok(())
+    }
+
     fn name(&self) -> &'static str {
         "fat-tree"
     }

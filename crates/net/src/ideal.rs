@@ -8,7 +8,7 @@
 use emx_core::{Cycle, PeId};
 
 use crate::stats::NetStats;
-use crate::{LatencyBound, Network};
+use crate::{LatencyBound, NetSnapshot, Network};
 
 /// Fixed-latency, infinite-bandwidth network model.
 pub struct IdealNetwork {
@@ -64,6 +64,18 @@ impl Network for IdealNetwork {
 
     fn stats(&self) -> &NetStats {
         &self.stats
+    }
+
+    fn save_state(&self) -> NetSnapshot {
+        NetSnapshot::stats_only(self.stats.clone())
+    }
+
+    fn load_state(&mut self, snap: &NetSnapshot) -> Result<(), emx_core::SimError> {
+        if !snap.words.is_empty() {
+            return Err(NetSnapshot::shape_error("ideal"));
+        }
+        self.stats = snap.stats.clone();
+        Ok(())
     }
 
     fn name(&self) -> &'static str {

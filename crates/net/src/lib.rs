@@ -163,6 +163,42 @@ pub struct FaultCounters {
     pub delayed: u64,
 }
 
+/// The complete mutable state of a network model, captured by
+/// [`Network::save_state`] for machine snapshots and reinstated by
+/// [`Network::load_state`] on an identically configured model.
+///
+/// `words` is the model-specific port-timeline image (layout private to
+/// each model — a snapshot only ever restores into the same model shape,
+/// which [`Network::load_state`] verifies by length). A wrapping layer
+/// (fault injection) stores the wrapped model's state in `inner`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NetSnapshot {
+    /// Accumulated traffic statistics.
+    pub stats: NetStats,
+    /// Model-specific timeline words.
+    pub words: Vec<u64>,
+    /// State of the wrapped model, for wrapper layers.
+    pub inner: Option<Box<NetSnapshot>>,
+}
+
+impl NetSnapshot {
+    /// State for a model whose only mutable state is its statistics.
+    pub fn stats_only(stats: NetStats) -> NetSnapshot {
+        NetSnapshot {
+            stats,
+            words: Vec::new(),
+            inner: None,
+        }
+    }
+
+    /// The error for a state image that does not fit the model.
+    pub fn shape_error(model: &str) -> SimError {
+        SimError::BadConfig {
+            reason: format!("network snapshot does not fit the {model} model"),
+        }
+    }
+}
+
 /// A network model: maps packet injections to arrival times.
 pub trait Network: Send {
     /// A packet leaves `src`'s Output Buffer Unit at `now`; return the cycle
@@ -239,6 +275,15 @@ pub trait Network: Send {
 
     /// Accumulated traffic statistics.
     fn stats(&self) -> &NetStats;
+
+    /// Capture the model's complete mutable state (statistics plus port
+    /// timelines) for a machine snapshot.
+    fn save_state(&self) -> NetSnapshot;
+
+    /// Reinstate state captured by [`save_state`](Network::save_state).
+    /// The model must be configured identically to the one that captured
+    /// it; a state image of the wrong shape is a [`SimError::BadConfig`].
+    fn load_state(&mut self, snap: &NetSnapshot) -> Result<(), SimError>;
 
     /// Counters of injected faults; `None` unless this is a fault layer.
     fn fault_counters(&self) -> Option<FaultCounters> {

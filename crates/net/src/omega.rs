@@ -183,6 +183,25 @@ impl Network for OmegaNetwork {
         &self.stats
     }
 
+    fn save_state(&self) -> crate::NetSnapshot {
+        crate::NetSnapshot {
+            stats: self.stats.clone(),
+            words: self.next_free.iter().map(|c| c.get()).collect(),
+            inner: None,
+        }
+    }
+
+    fn load_state(&mut self, snap: &crate::NetSnapshot) -> Result<(), SimError> {
+        if snap.words.len() != self.next_free.len() {
+            return Err(crate::NetSnapshot::shape_error("circular-omega"));
+        }
+        self.stats = snap.stats.clone();
+        for (slot, &w) in self.next_free.iter_mut().zip(&snap.words) {
+            *slot = Cycle::new(w);
+        }
+        Ok(())
+    }
+
     fn name(&self) -> &'static str {
         "circular-omega"
     }

@@ -60,6 +60,17 @@ impl DigestHandle {
         self.inner.lock().expect("digest mutex poisoned").hex()
     }
 
+    /// A new probe that keeps folding into this handle's digest — attach
+    /// it to a second machine (e.g. one restored from a checkpoint of the
+    /// first) and the digest covers the concatenated event stream, directly
+    /// comparable to one uninterrupted run.
+    pub fn probe(&self) -> DigestProbe {
+        DigestProbe {
+            inner: Arc::clone(&self.inner),
+            count: Arc::clone(&self.count),
+        }
+    }
+
     /// Number of events hashed.
     pub fn events(&self) -> u64 {
         *self.count.lock().expect("digest mutex poisoned")

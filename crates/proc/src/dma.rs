@@ -62,6 +62,19 @@ impl BypassDma {
         self.ibu_free
     }
 
+    /// When this processor's OBU next comes free (snapshot capture).
+    pub fn obu_free(&self) -> Cycle {
+        self.obu_free
+    }
+
+    /// Replace the mutable timeline state (snapshot restore). The unit
+    /// costs are configuration and are kept.
+    pub fn restore_state(&mut self, ibu_free: Cycle, obu_free: Cycle, serviced_words: u64) {
+        self.ibu_free = ibu_free;
+        self.obu_free = obu_free;
+        self.serviced_words = serviced_words;
+    }
+
     /// Occupy the IBU for one word-deposit starting no earlier than `now`;
     /// returns completion time. Used by the requester's IBU when it writes
     /// incoming block-read words to memory without EXU involvement.

@@ -92,6 +92,64 @@ impl<T> FrameTable<T> {
         self.live == 0
     }
 
+    /// The free-list in allocation order (for machine snapshots: the order
+    /// determines which index the next `alloc` hands out, so restoring it
+    /// exactly keeps future allocations byte-deterministic).
+    pub fn free_list(&self) -> &[u16] {
+        &self.free
+    }
+
+    /// Total slot capacity.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Replace the table's contents with captured state (snapshot restore):
+    /// live frames by index, the exact free-list order, and the high-water
+    /// mark. Indices must be in range and must not collide with the free
+    /// list; violations surface as [`SimError::FrameOutOfRange`].
+    pub fn restore_state(
+        &mut self,
+        frames: Vec<(FrameId, T)>,
+        free: Vec<u16>,
+        max_live: usize,
+    ) -> Result<(), SimError> {
+        if frames.len() + free.len() != self.slots.len() {
+            return Err(SimError::FrameOutOfRange {
+                frame: frames.len() + free.len(),
+            });
+        }
+        for slot in &mut self.slots {
+            *slot = None;
+        }
+        self.live = 0;
+        for (id, payload) in frames {
+            let slot = self
+                .slots
+                .get_mut(id.index())
+                .ok_or(SimError::FrameOutOfRange { frame: id.index() })?;
+            if slot.is_some() {
+                return Err(SimError::FrameOutOfRange { frame: id.index() });
+            }
+            *slot = Some(payload);
+            self.live += 1;
+        }
+        for &idx in &free {
+            if self
+                .slots
+                .get(idx as usize)
+                .is_none_or(|slot| slot.is_some())
+            {
+                return Err(SimError::FrameOutOfRange {
+                    frame: idx as usize,
+                });
+            }
+        }
+        self.free = free;
+        self.max_live = max_live;
+        Ok(())
+    }
+
     /// Iterate over live frames (for deadlock diagnostics).
     pub fn iter_live(&self) -> impl Iterator<Item = (FrameId, &T)> {
         self.slots

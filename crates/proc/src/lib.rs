@@ -29,4 +29,4 @@ mod queue;
 pub use dma::{BypassDma, DmaOutcome};
 pub use frames::FrameTable;
 pub use memory::LocalMemory;
-pub use queue::{PacketQueue, Pushed};
+pub use queue::{PacketQueue, Pushed, QueueState};

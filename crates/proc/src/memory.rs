@@ -35,6 +35,23 @@ impl LocalMemory {
         self.words.is_empty()
     }
 
+    /// Iterate over nonzero words as `(offset, value)` pairs in address
+    /// order — the sparse image machine snapshots store (memory starts
+    /// zeroed, so zero words carry no information).
+    pub fn nonzero_words(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.words
+            .iter()
+            .enumerate()
+            .filter(|(_, &w)| w != 0)
+            .map(|(i, &w)| (i as u32, w))
+    }
+
+    /// Zero every word (snapshot restore resets before replaying the
+    /// sparse image).
+    pub fn reset(&mut self) {
+        self.words.fill(0);
+    }
+
     /// Read the word at `offset`.
     pub fn read(&self, offset: u32) -> Result<u32, SimError> {
         self.words

@@ -172,6 +172,33 @@ impl<T> Calendar<T> {
             .map(|e| (e.key, e.payload))
             .collect()
     }
+
+    /// A sorted, non-consuming copy of every pending entry — the canonical
+    /// pop order a snapshot records.
+    pub fn entries_sorted(&self) -> Vec<(EvKey, T)>
+    where
+        T: Clone,
+    {
+        let mut v: Vec<(EvKey, T)> = self
+            .heap
+            .iter()
+            .map(|e| (e.key, e.payload.clone()))
+            .collect();
+        v.sort_by_key(|(k, _)| *k);
+        v
+    }
+
+    /// Rebuild a calendar mid-run: clock at `now`, `entries` pending.
+    pub fn restore(now: Cycle, entries: Vec<(EvKey, T)>) -> Result<Calendar<T>, SimError> {
+        let mut cal = Calendar {
+            heap: BinaryHeap::new(),
+            now,
+        };
+        for (key, payload) in entries {
+            cal.push(key, payload)?;
+        }
+        Ok(cal)
+    }
 }
 
 impl<T> Default for Calendar<T> {

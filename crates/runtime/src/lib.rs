@@ -75,9 +75,11 @@
 mod calendar;
 mod machine;
 mod shard;
+mod snapshot;
 mod thread;
 mod trace;
 
 pub use machine::{EntryId, Machine, BARRIER_COORDINATOR, DEFAULT_FUEL, FRAME_WORDS};
+pub use snapshot::config_digest;
 pub use thread::{Action, BarrierId, ThreadBody, ThreadCtx, WorkKind};
 pub use trace::{FaultKind, SuspendCause, Trace, TraceEvent, TraceKind, TRACE_SCHEMA};

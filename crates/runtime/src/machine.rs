@@ -101,13 +101,21 @@ pub(crate) enum EntryDef {
     Template(Program),
 }
 
-enum ThreadKind {
-    Native(Box<dyn ThreadBody>),
-    Isa { state: ThreadState, template: u32 },
+pub(crate) enum ThreadKind {
+    /// A native body plus the entry index it was instantiated from, kept so
+    /// a snapshot can name the factory that rebuilds the body on restore.
+    Native {
+        body: Box<dyn ThreadBody>,
+        entry: u32,
+    },
+    Isa {
+        state: ThreadState,
+        template: u32,
+    },
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Wait {
+pub(crate) enum Wait {
     /// Running or queued for dispatch.
     Ready,
     /// One split-phase read outstanding; for ISA threads the register the
@@ -128,26 +136,26 @@ enum Wait {
     Yielded,
 }
 
-struct Frame {
-    thread: ThreadKind,
-    wait: Wait,
-    arg: u32,
+pub(crate) struct Frame {
+    pub(crate) thread: ThreadKind,
+    pub(crate) wait: Wait,
+    pub(crate) arg: u32,
     /// Value delivered by the last read, consumed by the next step.
-    inbox: Option<u32>,
+    pub(crate) inbox: Option<u32>,
     /// Unique id across frame-slot reuse, so a stale retry timer can never
     /// act on a later thread that recycled the slot.
-    uid: u64,
+    pub(crate) uid: u64,
     /// Sequence number of the thread's current split-phase read; stamped on
     /// requests and matched against responses when the retry protocol is
     /// armed.
-    cur_seq: u16,
+    pub(crate) cur_seq: u16,
     /// Retry re-issues of the current read.
-    attempts: u32,
+    pub(crate) attempts: u32,
     /// The in-flight request, kept for idempotent re-issue.
-    pending: Option<Packet>,
+    pub(crate) pending: Option<Packet>,
     /// Bitmap of block-read word indices already deposited (duplicate
     /// suppression under response duplication/retry).
-    seen: Vec<u64>,
+    pub(crate) seen: Vec<u64>,
 }
 
 impl Frame {
@@ -164,38 +172,38 @@ impl Frame {
 }
 
 #[derive(Debug, Clone, Copy, Default)]
-struct LocalBarrier {
-    arrived: usize,
-    releases: u64,
+pub(crate) struct LocalBarrier {
+    pub(crate) arrived: usize,
+    pub(crate) releases: u64,
 }
 
 pub(crate) struct Pe {
-    mem: LocalMemory,
-    queue: PacketQueue,
-    frames: FrameTable<Frame>,
-    dma: BypassDma,
-    busy_until: Cycle,
-    dispatch_scheduled: bool,
-    live_threads: usize,
-    seq_cells: Vec<u64>,
-    seq_waiters: Vec<(FrameId, u32, u64)>,
-    barriers: Vec<LocalBarrier>,
-    stats: PeStats,
+    pub(crate) mem: LocalMemory,
+    pub(crate) queue: PacketQueue,
+    pub(crate) frames: FrameTable<Frame>,
+    pub(crate) dma: BypassDma,
+    pub(crate) busy_until: Cycle,
+    pub(crate) dispatch_scheduled: bool,
+    pub(crate) live_threads: usize,
+    pub(crate) seq_cells: Vec<u64>,
+    pub(crate) seq_waiters: Vec<(FrameId, u32, u64)>,
+    pub(crate) barriers: Vec<LocalBarrier>,
+    pub(crate) stats: PeStats,
     /// Source of per-frame [`Frame::uid`] values.
-    next_uid: u64,
+    pub(crate) next_uid: u64,
     /// Per-PE seeded fault-decision streams (present iff fault injection is
     /// configured). Per-PE rather than machine-global so each processor's
     /// draws are a function of the seed and that processor alone — a
     /// sharded run then draws exactly the faults the single-calendar run
     /// draws, in any interleaving.
-    spill_rng: Option<Rng64>,
-    dma_rng: Option<Rng64>,
+    pub(crate) spill_rng: Option<Rng64>,
+    pub(crate) dma_rng: Option<Rng64>,
     /// Canonical-key counters, one per [`EvKey`] lane homed on this PE.
     /// They advance only while this PE's own events execute (or during
     /// pre-run setup), so key assignment is identical at any shard count.
-    ev_dispatch_seq: u64,
-    ev_local_seq: u64,
-    ev_retry_seq: u64,
+    pub(crate) ev_dispatch_seq: u64,
+    pub(crate) ev_local_seq: u64,
+    pub(crate) ev_retry_seq: u64,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -1107,7 +1115,10 @@ fn instantiate(sh: &Shared<'_>, entry: u32, pe: PeId, arg: u32) -> Result<Thread
             reason: format!("spawn of unregistered entry {entry}"),
         })?;
     Ok(match def {
-        EntryDef::Native { factory, .. } => ThreadKind::Native(factory(pe, arg)),
+        EntryDef::Native { factory, .. } => ThreadKind::Native {
+            body: factory(pe, arg),
+            entry,
+        },
         EntryDef::Template(_) => ThreadKind::Isa {
             state: ThreadState::at_entry(pe.0, sh.cfg.num_pes as u32, 0, arg),
             template: entry,
@@ -1582,7 +1593,7 @@ impl Core {
             // Produce the next action, either from the native body or by
             // interpreting ISA instructions up to the next effect.
             let (action, isa_dst): (Action, Option<Reg>) = match &mut frame.thread {
-                ThreadKind::Native(body) => {
+                ThreadKind::Native { body, .. } => {
                     let mut ctx = ThreadCtx {
                         pe: pe_id,
                         npes,

@@ -230,6 +230,7 @@ fn shard_worker(
                     let Some((key, ev)) = core.cal.pop() else {
                         break;
                     };
+                    emx_faults::kill::tick();
                     let rec = core.process_event(sh, key, ev);
                     let failed = rec.error.is_some();
                     records.push(rec);
@@ -387,9 +388,24 @@ impl Machine {
     /// The single-calendar event loop — identical semantics to the sharded
     /// driver, kept as its differential-testing oracle.
     pub(crate) fn run_single(&mut self, limit: Cycle) -> Result<RunReport, SimError> {
-        while let Some(head) = self.core.cal.peek_key() {
+        self.drive_events(limit, u64::MAX)?;
+        let now = self.core.cal.now();
+        self.finish(now)
+    }
+
+    /// Pop and fully process (including canonical replay) up to
+    /// `max_events` events on the single calendar. `Ok(true)` means the
+    /// calendar drained (quiescence); `Ok(false)` means the budget ran out
+    /// with events still pending — the machine is paused at an event
+    /// boundary, the state from which a snapshot is taken.
+    fn drive_events(&mut self, limit: Cycle, max_events: u64) -> Result<bool, SimError> {
+        let mut popped = 0u64;
+        while popped < max_events {
+            let Some(head) = self.core.cal.peek_key() else {
+                return Ok(true);
+            };
             if head.at > limit {
-                // `run_until` patches in the live-thread census.
+                // `run_until` / `step_events` patch in the live-thread census.
                 return Err(SimError::FuelExhausted {
                     cycle: head.at.get(),
                     live_threads: 0,
@@ -398,6 +414,8 @@ impl Machine {
             let Some((key, ev)) = self.core.cal.pop() else {
                 break;
             };
+            emx_faults::kill::tick();
+            popped += 1;
             let sh = Shared {
                 cfg: &self.cfg,
                 entries: &self.entries,
@@ -431,8 +449,43 @@ impl Machine {
             intents.clear();
             res?;
         }
-        let now = self.core.cal.now();
-        self.finish(now)
+        Ok(self.core.cal.peek_key().is_none())
+    }
+
+    /// Step the machine forward by at most `max_events` events on the
+    /// single-calendar driver, pausing at an event boundary.
+    ///
+    /// Returns `Ok(Some(report))` when the machine quiesced within the
+    /// budget — the machine is then finished exactly as after
+    /// [`Machine::run_until`] — or `Ok(None)` when it paused with events
+    /// still pending. A paused machine can be snapshotted
+    /// ([`Machine::snapshot`]), stepped again, or handed to
+    /// [`Machine::run_until`] to finish under either driver.
+    pub fn step_events(
+        &mut self,
+        max_events: u64,
+        limit: Cycle,
+    ) -> Result<Option<RunReport>, SimError> {
+        if self.ran {
+            return Err(SimError::Workload {
+                reason: "Machine::step_events on a finished machine".into(),
+            });
+        }
+        match self.drive_events(limit, max_events) {
+            Ok(true) => {
+                self.ran = true;
+                let now = self.core.cal.now();
+                self.finish(now).map(Some)
+            }
+            Ok(false) => Ok(None),
+            Err(mut e) => {
+                self.ran = true;
+                if let SimError::FuelExhausted { live_threads, .. } = &mut e {
+                    *live_threads = self.core.suspended();
+                }
+                Err(e)
+            }
+        }
     }
 
     /// The sharded parallel driver; see the module docs for the protocol.

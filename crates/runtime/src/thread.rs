@@ -157,6 +157,22 @@ pub trait ThreadBody: Send {
     fn name(&self) -> &'static str {
         "thread"
     }
+
+    /// Serialize this body's dynamic state as plain words for a machine
+    /// snapshot, or `None` if the body cannot be checkpointed (the default).
+    /// Encode floats via `to_bits`; the words are opaque to the runtime and
+    /// round-trip verbatim into [`ThreadBody::load_state`].
+    fn save_state(&self) -> Option<Vec<u64>> {
+        None
+    }
+
+    /// Restore state captured by [`ThreadBody::save_state`] into a freshly
+    /// constructed body (the runtime re-invokes the registered entry factory
+    /// with the original spawn argument, then calls this). Returns `false`
+    /// if the words are malformed or the body does not support restore.
+    fn load_state(&mut self, _words: &[u64]) -> bool {
+        false
+    }
 }
 
 #[cfg(test)]

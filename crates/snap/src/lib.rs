@@ -1,0 +1,474 @@
+//! The `emx-snap/1` snapshot format.
+//!
+//! A snapshot is the complete, externally visible state of a simulated
+//! EM-X machine at an event boundary: thread frames, PE queues, in-flight
+//! packets, DMA and calendar state, clocks, RNG cursors, statistics. This
+//! crate defines only the *container* — a versioned, digest-stamped,
+//! line-oriented text format with a typed token stream — so the runtime
+//! crate (which owns the state being saved) can capture and restore
+//! without this crate depending on any simulator type.
+//!
+//! Layout:
+//!
+//! ```text
+//! emx-snap/1
+//! config <32-hex digest of the machine configuration>
+//! s <section-name> <token> <token> ...
+//! s <section-name> ...
+//! digest <32-hex digest of every preceding line>
+//! ```
+//!
+//! Tokens are lowercase hex `u64` values or `$`-prefixed hex-encoded UTF-8
+//! strings, separated by single spaces, so the whole format tokenizes by
+//! whitespace with no quoting rules. Sections are read back in the exact
+//! order they were written; the reader rejects a wrong section name, a
+//! short token list, a trailing token surplus, and any digest mismatch —
+//! a truncated or bit-flipped snapshot never restores silently.
+//!
+//! The format is an *same-build* artifact: the `config` line pins a digest
+//! of the full machine configuration, and restore additionally validates
+//! the registered entry table, so a snapshot only restores into a machine
+//! shell constructed exactly like the one it was captured from. See
+//! `docs/CHECKPOINT.md` for the section inventory the runtime writes.
+
+use std::fmt;
+
+use emx_stats::digest::digest_hex;
+
+/// Format identifier on the first line of every snapshot.
+pub const MAGIC: &str = "emx-snap/1";
+
+/// Everything that can go wrong while parsing or token-reading a snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapError {
+    /// The first line is not [`MAGIC`].
+    Magic {
+        /// The line actually found.
+        found: String,
+    },
+    /// The trailing digest line is missing or does not match the body.
+    Digest {
+        /// Digest recomputed from the body.
+        expected: String,
+        /// Digest the file claims.
+        found: String,
+    },
+    /// The `config` line is missing or malformed.
+    Config,
+    /// The next section is not the one the reader asked for.
+    Section {
+        /// Section the caller asked for.
+        want: String,
+        /// Section actually present (empty when the snapshot ended).
+        found: String,
+    },
+    /// A token failed to decode, or a section ran out of tokens.
+    Token {
+        /// Section being read.
+        section: String,
+        /// What went wrong.
+        detail: String,
+    },
+}
+
+impl fmt::Display for SnapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapError::Magic { found } => {
+                write!(f, "not an {MAGIC} snapshot (first line {found:?})")
+            }
+            SnapError::Digest { expected, found } => {
+                write!(
+                    f,
+                    "snapshot digest mismatch: body hashes to {expected}, file claims {found:?}"
+                )
+            }
+            SnapError::Config => write!(f, "snapshot config line missing or malformed"),
+            SnapError::Section { want, found } if found.is_empty() => {
+                write!(f, "snapshot ended before section {want:?}")
+            }
+            SnapError::Section { want, found } => {
+                write!(f, "expected snapshot section {want:?}, found {found:?}")
+            }
+            SnapError::Token { section, detail } => {
+                write!(f, "snapshot section {section:?}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapError {}
+
+/// Encode a string token: `$` followed by the hex of its UTF-8 bytes.
+fn encode_str(s: &str) -> String {
+    let mut out = String::with_capacity(1 + 2 * s.len());
+    out.push('$');
+    for b in s.as_bytes() {
+        out.push_str(&format!("{b:02x}"));
+    }
+    out
+}
+
+/// Decode a `$`-prefixed string token.
+fn decode_str(tok: &str) -> Option<String> {
+    let hex = tok.strip_prefix('$')?;
+    if hex.len() % 2 != 0 {
+        return None;
+    }
+    let mut bytes = Vec::with_capacity(hex.len() / 2);
+    for i in (0..hex.len()).step_by(2) {
+        bytes.push(u8::from_str_radix(&hex[i..i + 2], 16).ok()?);
+    }
+    String::from_utf8(bytes).ok()
+}
+
+/// Builds a snapshot: open sections, append typed tokens, finish with the
+/// digest stamp.
+#[derive(Debug)]
+pub struct SnapWriter {
+    body: String,
+    line: String,
+}
+
+impl SnapWriter {
+    /// Start a snapshot pinned to a machine-configuration digest.
+    pub fn new(config_digest: &str) -> SnapWriter {
+        SnapWriter {
+            body: format!("{MAGIC}\nconfig {config_digest}\n"),
+            line: String::new(),
+        }
+    }
+
+    fn flush(&mut self) {
+        if !self.line.is_empty() {
+            self.body.push_str(&self.line);
+            self.body.push('\n');
+            self.line.clear();
+        }
+    }
+
+    /// Open a new section; subsequent tokens belong to it.
+    pub fn section(&mut self, name: &str) {
+        self.flush();
+        self.line = format!("s {name}");
+    }
+
+    /// Append a `u64` token.
+    pub fn u64(&mut self, v: u64) {
+        self.line.push_str(&format!(" {v:x}"));
+    }
+
+    /// Append a `u32` token.
+    pub fn u32(&mut self, v: u32) {
+        self.u64(u64::from(v));
+    }
+
+    /// Append a `u16` token.
+    pub fn u16(&mut self, v: u16) {
+        self.u64(u64::from(v));
+    }
+
+    /// Append a `u8` token.
+    pub fn u8(&mut self, v: u8) {
+        self.u64(u64::from(v));
+    }
+
+    /// Append a boolean token.
+    pub fn bool(&mut self, v: bool) {
+        self.u64(u64::from(v));
+    }
+
+    /// Append a string token.
+    pub fn str(&mut self, s: &str) {
+        self.line.push(' ');
+        self.line.push_str(&encode_str(s));
+    }
+
+    /// Seal the snapshot: append the digest line and return the full text.
+    pub fn finish(mut self) -> String {
+        self.flush();
+        let digest = digest_hex(&self.body);
+        self.body.push_str(&format!("digest {digest}\n"));
+        self.body
+    }
+}
+
+/// One section's tokens, consumed left to right.
+#[derive(Debug)]
+pub struct Tokens<'a> {
+    section: &'a str,
+    toks: std::str::SplitAsciiWhitespace<'a>,
+}
+
+impl<'a> Tokens<'a> {
+    fn err(&self, detail: impl Into<String>) -> SnapError {
+        SnapError::Token {
+            section: self.section.to_string(),
+            detail: detail.into(),
+        }
+    }
+
+    /// Next `u64` token.
+    pub fn u64(&mut self) -> Result<u64, SnapError> {
+        let tok = self
+            .toks
+            .next()
+            .ok_or_else(|| self.err("ran out of tokens"))?;
+        u64::from_str_radix(tok, 16).map_err(|_| self.err(format!("bad u64 token {tok:?}")))
+    }
+
+    /// Next `u32` token.
+    pub fn u32(&mut self) -> Result<u32, SnapError> {
+        let v = self.u64()?;
+        u32::try_from(v).map_err(|_| self.err(format!("token {v:#x} exceeds u32")))
+    }
+
+    /// Next `u16` token.
+    pub fn u16(&mut self) -> Result<u16, SnapError> {
+        let v = self.u64()?;
+        u16::try_from(v).map_err(|_| self.err(format!("token {v:#x} exceeds u16")))
+    }
+
+    /// Next `u8` token.
+    pub fn u8(&mut self) -> Result<u8, SnapError> {
+        let v = self.u64()?;
+        u8::try_from(v).map_err(|_| self.err(format!("token {v:#x} exceeds u8")))
+    }
+
+    /// Next boolean token.
+    pub fn bool(&mut self) -> Result<bool, SnapError> {
+        match self.u64()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            v => Err(self.err(format!("token {v:#x} is not a boolean"))),
+        }
+    }
+
+    /// Next `usize` token (stored as `u64`).
+    pub fn usize(&mut self) -> Result<usize, SnapError> {
+        let v = self.u64()?;
+        usize::try_from(v).map_err(|_| self.err(format!("token {v:#x} exceeds usize")))
+    }
+
+    /// Next string token.
+    pub fn str(&mut self) -> Result<String, SnapError> {
+        let tok = self
+            .toks
+            .next()
+            .ok_or_else(|| self.err("ran out of tokens"))?;
+        decode_str(tok).ok_or_else(|| self.err(format!("bad string token {tok:?}")))
+    }
+
+    /// Assert the section is fully consumed.
+    pub fn end(mut self) -> Result<(), SnapError> {
+        match self.toks.next() {
+            None => Ok(()),
+            Some(tok) => Err(SnapError::Token {
+                section: self.section.to_string(),
+                detail: format!("trailing token {tok:?}"),
+            }),
+        }
+    }
+}
+
+/// Parses a snapshot and hands out its sections in order.
+#[derive(Debug)]
+pub struct SnapReader<'a> {
+    config_digest: &'a str,
+    lines: Vec<&'a str>,
+    next: usize,
+}
+
+impl<'a> SnapReader<'a> {
+    /// Parse `text`, verifying the magic line and the digest stamp.
+    pub fn parse(text: &'a str) -> Result<SnapReader<'a>, SnapError> {
+        let mut lines = text.lines();
+        let first = lines.next().unwrap_or("");
+        if first != MAGIC {
+            return Err(SnapError::Magic {
+                found: first.to_string(),
+            });
+        }
+        let config_digest = lines
+            .next()
+            .and_then(|l| l.strip_prefix("config "))
+            .ok_or(SnapError::Config)?;
+        let mut sections = Vec::new();
+        let mut claimed = None;
+        for line in lines {
+            if let Some(d) = line.strip_prefix("digest ") {
+                claimed = Some(d);
+                break;
+            }
+            sections.push(line);
+        }
+        let claimed = claimed.unwrap_or("");
+        // The digest covers everything before its own line, including the
+        // trailing newline of the last section.
+        let body_len = text.find("\ndigest ").map(|i| i + 1).unwrap_or(text.len());
+        let expected = digest_hex(&text[..body_len]);
+        if claimed != expected {
+            return Err(SnapError::Digest {
+                expected,
+                found: claimed.to_string(),
+            });
+        }
+        Ok(SnapReader {
+            config_digest,
+            lines: sections,
+            next: 0,
+        })
+    }
+
+    /// The machine-configuration digest the snapshot was captured under.
+    pub fn config_digest(&self) -> &str {
+        self.config_digest
+    }
+
+    /// The name of the next unread section, if any.
+    pub fn peek(&self) -> Option<&'a str> {
+        let line = self.lines.get(self.next)?;
+        line.strip_prefix("s ")?.split_ascii_whitespace().next()
+    }
+
+    /// Consume the next section, which must be named `name`.
+    pub fn section(&mut self, name: &str) -> Result<Tokens<'a>, SnapError> {
+        let found = self.peek().unwrap_or("");
+        if found != name {
+            return Err(SnapError::Section {
+                want: name.to_string(),
+                found: found.to_string(),
+            });
+        }
+        let line = self.lines[self.next];
+        self.next += 1;
+        let rest = &line[2..]; // past "s "
+        let mut toks = rest.split_ascii_whitespace();
+        let section = toks.next().unwrap_or("");
+        Ok(Tokens { section, toks })
+    }
+
+    /// Assert every section has been consumed.
+    pub fn done(&self) -> Result<(), SnapError> {
+        match self.lines.get(self.next) {
+            None => Ok(()),
+            Some(line) => Err(SnapError::Section {
+                want: String::new(),
+                found: line
+                    .strip_prefix("s ")
+                    .and_then(|l| l.split_ascii_whitespace().next())
+                    .unwrap_or(line)
+                    .to_string(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_snapshot() -> String {
+        let mut w = SnapWriter::new("00112233445566778899aabbccddeeff");
+        w.section("clock");
+        w.u64(12345);
+        w.section("names");
+        w.str("fft-worker");
+        w.str("");
+        w.str("with space & $ign");
+        w.section("empty");
+        w.section("values");
+        w.u32(7);
+        w.u16(65535);
+        w.u8(255);
+        w.bool(true);
+        w.bool(false);
+        w.finish()
+    }
+
+    #[test]
+    fn roundtrip_preserves_tokens() {
+        let text = roundtrip_snapshot();
+        let mut r = SnapReader::parse(&text).unwrap();
+        assert_eq!(r.config_digest(), "00112233445566778899aabbccddeeff");
+        let mut s = r.section("clock").unwrap();
+        assert_eq!(s.u64().unwrap(), 12345);
+        s.end().unwrap();
+        let mut s = r.section("names").unwrap();
+        assert_eq!(s.str().unwrap(), "fft-worker");
+        assert_eq!(s.str().unwrap(), "");
+        assert_eq!(s.str().unwrap(), "with space & $ign");
+        s.end().unwrap();
+        r.section("empty").unwrap().end().unwrap();
+        let mut s = r.section("values").unwrap();
+        assert_eq!(s.u32().unwrap(), 7);
+        assert_eq!(s.u16().unwrap(), 65535);
+        assert_eq!(s.u8().unwrap(), 255);
+        assert!(s.bool().unwrap());
+        assert!(!s.bool().unwrap());
+        s.end().unwrap();
+        r.done().unwrap();
+    }
+
+    #[test]
+    fn writer_output_is_deterministic() {
+        assert_eq!(roundtrip_snapshot(), roundtrip_snapshot());
+    }
+
+    #[test]
+    fn bitflip_is_rejected() {
+        let text = roundtrip_snapshot();
+        // 12345 serializes as hex 3039 in the clock section.
+        let flipped = text.replacen("3039", "3038", 1);
+        // The body changed but the stamp did not: parse must fail.
+        assert!(matches!(
+            SnapReader::parse(&flipped),
+            Err(SnapError::Digest { .. })
+        ));
+    }
+
+    #[test]
+    fn truncation_is_rejected() {
+        let text = roundtrip_snapshot();
+        let cut = &text[..text.len() / 2];
+        assert!(SnapReader::parse(cut).is_err());
+    }
+
+    #[test]
+    fn wrong_magic_is_rejected() {
+        assert!(matches!(
+            SnapReader::parse("emx-snap/9\n"),
+            Err(SnapError::Magic { .. })
+        ));
+    }
+
+    #[test]
+    fn wrong_section_order_is_reported() {
+        let text = roundtrip_snapshot();
+        let mut r = SnapReader::parse(&text).unwrap();
+        let err = r.section("names").unwrap_err();
+        assert!(matches!(err, SnapError::Section { .. }));
+        assert!(err.to_string().contains("names"));
+    }
+
+    #[test]
+    fn out_of_range_and_surplus_tokens_are_errors() {
+        let mut w = SnapWriter::new("0");
+        w.section("v");
+        w.u64(1 << 40);
+        w.u64(2);
+        let text = w.finish();
+        let mut r = SnapReader::parse(&text).unwrap();
+        let mut s = r.section("v").unwrap();
+        assert!(s.u16().is_err());
+        let mut r = SnapReader::parse(&text).unwrap();
+        let mut s = r.section("v").unwrap();
+        s.u64().unwrap();
+        assert!(s.end().is_err());
+        let mut r = SnapReader::parse(&text).unwrap();
+        let mut s = r.section("v").unwrap();
+        s.u64().unwrap();
+        s.u64().unwrap();
+        assert!(s.u64().is_err(), "reading past the end must error");
+    }
+}

@@ -54,6 +54,20 @@ impl CacheKey {
         CacheKey(d.hex())
     }
 
+    /// Rehydrate a key from its 32-hex-digit rendering (a cache entry's
+    /// file stem, or a journal record). `None` if the text is not a
+    /// plausible address.
+    pub fn from_hex(s: &str) -> Option<CacheKey> {
+        if s.len() == 32
+            && s.bytes()
+                .all(|b| b.is_ascii_hexdigit() && !b.is_ascii_uppercase())
+        {
+            Some(CacheKey(s.to_string()))
+        } else {
+            None
+        }
+    }
+
     /// The 32-hex-digit address.
     pub fn hex(&self) -> &str {
         &self.0
@@ -139,6 +153,131 @@ impl RunCache {
         let _ = fs::remove_file(self.quarantine_path(key));
         Ok(())
     }
+
+    /// Sweep the cache directory for entries that only waste space:
+    /// quarantine markers (`*.fail`), orphaned temp files from crashed
+    /// writes (`*.tmp.*`), and corrupt or misnamed `*.run` entries (which
+    /// are misses anyway). With `dry_run` nothing is deleted; the report
+    /// lists the same planned actions either way, sorted by file name, so
+    /// its digest is deterministic for a given directory state.
+    pub fn gc(&self, dry_run: bool) -> io::Result<GcReport> {
+        let mut report = GcReport::default();
+        let entries = match fs::read_dir(&self.dir) {
+            Ok(entries) => entries,
+            // A cache that was never created has nothing to collect.
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(report),
+            Err(e) => return Err(e),
+        };
+        let mut files: Vec<PathBuf> = Vec::new();
+        for entry in entries {
+            let path = entry?.path();
+            if path.is_file() {
+                files.push(path);
+            }
+        }
+        files.sort();
+        for path in files {
+            let name = path
+                .file_name()
+                .map(|f| f.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            let action = if name.ends_with(".fail") {
+                GcAction::DropQuarantine
+            } else if name.contains(".tmp.") {
+                GcAction::DropOrphan
+            } else if let Some(stem) = name.strip_suffix(".run") {
+                let valid = CacheKey::from_hex(stem).is_some_and(|key| {
+                    fs::read_to_string(&path)
+                        .ok()
+                        .and_then(|text| parse_entry(&text, &key))
+                        .is_some()
+                });
+                if valid {
+                    GcAction::Keep
+                } else {
+                    GcAction::DropCorrupt
+                }
+            } else {
+                GcAction::Skip
+            };
+            if !dry_run && action.drops() {
+                fs::remove_file(&path)?;
+            }
+            report.files.push((action, name));
+        }
+        Ok(report)
+    }
+}
+
+/// What the garbage collector decided about one cache file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GcAction {
+    /// A valid run entry — kept.
+    Keep,
+    /// A quarantine marker — dropped, so the spec is retried fresh.
+    DropQuarantine,
+    /// A temp file orphaned by a crashed write — dropped.
+    DropOrphan,
+    /// A misnamed or unparsable run entry — dropped (it was a miss anyway).
+    DropCorrupt,
+    /// An unrelated file — left alone.
+    Skip,
+}
+
+impl GcAction {
+    /// Whether the garbage collector removes files with this verdict.
+    pub fn drops(self) -> bool {
+        matches!(
+            self,
+            GcAction::DropQuarantine | GcAction::DropOrphan | GcAction::DropCorrupt
+        )
+    }
+
+    /// Stable one-word rendering, used in listings and the summary digest.
+    pub fn word(self) -> &'static str {
+        match self {
+            GcAction::Keep => "keep",
+            GcAction::DropQuarantine => "drop-quarantine",
+            GcAction::DropOrphan => "drop-orphan",
+            GcAction::DropCorrupt => "drop-corrupt",
+            GcAction::Skip => "skip",
+        }
+    }
+}
+
+/// The garbage collector's findings: every cache file with its verdict,
+/// sorted by file name.
+#[derive(Debug, Clone, Default)]
+pub struct GcReport {
+    /// `(verdict, file name)` for every regular file in the cache dir.
+    pub files: Vec<(GcAction, String)>,
+}
+
+impl GcReport {
+    /// How many files carry `action`.
+    pub fn count(&self, action: GcAction) -> usize {
+        self.files.iter().filter(|(a, _)| *a == action).count()
+    }
+
+    /// How many files the collector drops (or would drop, under
+    /// `dry_run`).
+    pub fn dropped(&self) -> usize {
+        self.files.iter().filter(|(a, _)| a.drops()).count()
+    }
+
+    /// Deterministic digest of the planned actions: the same directory
+    /// state always produces the same digest, dry run or not.
+    pub fn digest(&self) -> String {
+        let mut d = Digest128::new();
+        d.write_str("emx-cache gc v1\n");
+        for (action, name) in &self.files {
+            d.write_str(action.word());
+            d.write_str(" ");
+            d.write_str(name);
+            d.write_str("\n");
+        }
+        d.hex()
+    }
 }
 
 /// Parse a cache entry; `None` on any structural mismatch.
@@ -150,6 +289,14 @@ fn parse_entry(text: &str, key: &CacheKey) -> Option<RunReport> {
     if lines.next()? != format!("key {}", key.hex()) {
         return None;
     }
+    parse_report_text(lines)
+}
+
+/// Parse the canonical `emx-report v2` section out of an iterator of
+/// lines, skipping any leading non-report lines; `None` on any structural
+/// mismatch. Shared by cache entries and journal `result` records — both
+/// embed [`report_canonical_text`] verbatim.
+pub(crate) fn parse_report_text<'a>(lines: impl Iterator<Item = &'a str>) -> Option<RunReport> {
     // Skip the human-readable spec/config sections down to the report tag.
     let mut lines = lines.skip_while(|l| *l != "emx-report v2");
     if lines.next()? != "emx-report v2" {
@@ -338,6 +485,67 @@ mod tests {
         fs::write(cache.entry_path(&key), "not a cache entry").unwrap();
         assert!(cache.load(&key).is_none());
         let _ = fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn key_round_trips_through_hex() {
+        let spec = RunSpec::new(Workload::Sort, 4, 64, 2);
+        let key = CacheKey::for_run(&spec, &spec.machine_config());
+        assert_eq!(CacheKey::from_hex(key.hex()), Some(key));
+        assert_eq!(CacheKey::from_hex("deadbeef"), None, "too short");
+        assert_eq!(
+            CacheKey::from_hex("ZZadbeefdeadbeefdeadbeefdeadbeef"),
+            None,
+            "not hex"
+        );
+    }
+
+    #[test]
+    fn gc_drops_quarantine_orphans_and_corruption_but_keeps_entries() {
+        let cache = RunCache::new(scratch_dir("gc"));
+        let spec = RunSpec::new(Workload::Sort, 4, 64, 2);
+        let key = CacheKey::for_run(&spec, &spec.machine_config());
+        cache.store(&key, &spec, &sample_report(4)).unwrap();
+        let mut other = spec.clone();
+        other.threads = 4;
+        let other_key = CacheKey::for_run(&other, &other.machine_config());
+        cache.quarantine(&other_key, "boom").unwrap();
+        fs::write(
+            cache.dir().join(format!("{}.tmp.999", other_key.hex())),
+            "torn write",
+        )
+        .unwrap();
+        fs::write(cache.dir().join("deadbeef.run"), "not a cache entry").unwrap();
+        fs::write(cache.dir().join("NOTES"), "unrelated").unwrap();
+
+        let dry = cache.gc(true).unwrap();
+        assert_eq!(dry.count(GcAction::Keep), 1);
+        assert_eq!(dry.count(GcAction::DropQuarantine), 1);
+        assert_eq!(dry.count(GcAction::DropOrphan), 1);
+        assert_eq!(dry.count(GcAction::DropCorrupt), 1);
+        assert_eq!(dry.count(GcAction::Skip), 1);
+        // The dry run deleted nothing...
+        assert!(cache.quarantined(&other_key).is_some());
+        let real = cache.gc(false).unwrap();
+        // ...and planned exactly what the real pass then did.
+        assert_eq!(real.digest(), dry.digest());
+        assert_eq!(real.dropped(), 3);
+        assert!(cache.quarantined(&other_key).is_none());
+        assert_eq!(cache.load(&key), Some(sample_report(4)));
+        assert!(cache.dir().join("NOTES").exists());
+        // A second pass over the now-clean directory drops nothing.
+        let again = cache.gc(false).unwrap();
+        assert_eq!(again.dropped(), 0);
+        assert_ne!(again.digest(), real.digest());
+        let _ = fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn gc_of_a_missing_directory_is_empty() {
+        let cache = RunCache::new(scratch_dir("gc-missing"));
+        let report = cache.gc(false).unwrap();
+        assert!(report.files.is_empty());
+        assert_eq!(report.dropped(), 0);
     }
 
     #[test]

@@ -9,29 +9,48 @@
 //! is byte-identical whatever the worker count. `--jobs 1` is the serial
 //! path; `--jobs N` is the same computation, faster.
 //!
-//! The engine is fault-tolerant: a sweep point that returns a
-//! [`SimError`](emx_core::SimError) or panics no longer takes the whole
-//! sweep (and its siblings' results) down. The point is retried once —
-//! runs are deterministic, so the retry mostly confirms the failure, but
-//! it shields against the one nondeterministic failure mode we have seen
-//! in practice (resource exhaustion on loaded hosts) — then recorded as a
-//! [`FailedRun`], quarantined in the cache (`<key>.fail`), and the
-//! remaining points complete normally. Callers that require completeness
-//! (the figure harness) call [`SweepOutcome::expect_complete`].
+//! The engine is fault-tolerant on three axes:
+//!
+//! - A sweep point that returns a [`SimError`](emx_core::SimError) or
+//!   panics no longer takes the whole sweep (and its siblings' results)
+//!   down. The point is retried once — runs are deterministic, so the
+//!   retry mostly confirms the failure, but it shields against the one
+//!   nondeterministic failure mode we have seen in practice (resource
+//!   exhaustion on loaded hosts) — then recorded as a [`FailedRun`],
+//!   quarantined in the cache (`<key>.fail`), and the remaining points
+//!   complete normally. Callers that require completeness (the figure
+//!   harness) call [`SweepOutcome::expect_complete`].
+//! - An optional wall-clock [watchdog](crate::watchdog) requeues points
+//!   whose worker has gone silent past a threshold, so one descheduled or
+//!   wedged worker cannot stall the whole sweep (duplicates are safe:
+//!   determinism makes both copies identical, and the straggler's result
+//!   is discarded as stale).
+//! - An optional write-ahead [journal](crate::journal) commits every
+//!   finished point to disk, so a killed *process* can be resumed with
+//!   `emx-cli resume` and still produce a byte-identical CSV.
 
+use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use emx_stats::RunReport;
 use parking_lot::Mutex;
 
 use crate::cache::{CacheKey, RunCache};
+use crate::journal::Journal;
 use crate::spec::RunSpec;
+use crate::watchdog::{WatchdogConfig, WatchdogState, WatchdogSummary};
 
 /// Environment variable overriding the default worker count (the CLI
 /// `--jobs` flag wins over it).
 pub const JOBS_ENV: &str = "EMX_JOBS";
+
+/// A finished point as workers record it: the report plus its cached
+/// flag, or the terminal error plus the attempt count. Shared with the
+/// journal module, which prefills slots from committed records on resume.
+pub(crate) type Slot = Result<(RunReport, bool), (String, u32)>;
 
 /// One executed (or cache-restored) sweep point, in input order.
 #[derive(Debug, Clone)]
@@ -78,6 +97,12 @@ pub struct SweepOutcome {
     pub simulated: usize,
     /// Points restored from the run cache.
     pub cache_hits: usize,
+    /// Points replayed from a journal (resume); their original
+    /// simulated/cached split is preserved per point but not re-counted
+    /// here.
+    pub resumed: usize,
+    /// What the watchdog observed, when one was armed.
+    pub watchdog: Option<WatchdogSummary>,
     /// Host wall-clock time of the whole sweep.
     pub wall: Duration,
 }
@@ -85,16 +110,22 @@ pub struct SweepOutcome {
 impl SweepOutcome {
     /// Summary string for logs: `"24 runs (12 simulated, 12 cached) in 3.2 s on 8 workers"`.
     pub fn summary(&self) -> String {
+        let resumed = if self.resumed == 0 {
+            String::new()
+        } else {
+            format!(", {} replayed from journal", self.resumed)
+        };
         let failed = if self.failed.is_empty() {
             String::new()
         } else {
             format!(", {} FAILED", self.failed.len())
         };
         format!(
-            "{} runs ({} simulated, {} cached{}) in {:.1} s on {} worker{}",
+            "{} runs ({} simulated, {} cached{}{}) in {:.1} s on {} worker{}",
             self.points.len() + self.failed.len(),
             self.simulated,
             self.cache_hits,
+            resumed,
             failed,
             self.wall.as_secs_f64(),
             self.jobs,
@@ -144,6 +175,8 @@ pub struct SweepEngine {
     jobs: usize,
     cache: Option<RunCache>,
     quiet: bool,
+    journal: Option<Arc<Journal>>,
+    watchdog: Option<WatchdogConfig>,
 }
 
 impl Default for SweepEngine {
@@ -170,6 +203,8 @@ impl SweepEngine {
             jobs,
             cache: Some(RunCache::default_location()),
             quiet: false,
+            journal: None,
+            watchdog: None,
         }
     }
 
@@ -198,9 +233,26 @@ impl SweepEngine {
         self
     }
 
+    /// Arm a write-ahead [`Journal`]: every finished point is committed
+    /// to it, making a killed sweep resumable (`emx-cli resume`). Journal
+    /// I/O errors are deliberately non-fatal — a sweep with a broken
+    /// journal still completes, it just cannot be resumed.
+    pub fn journal(mut self, journal: Journal) -> SweepEngine {
+        self.journal = Some(Arc::new(journal));
+        self
+    }
+
+    /// Arm the wall-clock [watchdog](crate::watchdog): points whose
+    /// worker goes silent past the threshold are requeued (bounded, with
+    /// backoff) so other workers can finish them.
+    pub fn watchdog(mut self, cfg: WatchdogConfig) -> SweepEngine {
+        self.watchdog = Some(cfg);
+        self
+    }
+
     /// Execute `specs`, returning points in input order.
     ///
-    /// Each worker claims the next unclaimed index, consults the cache,
+    /// Each worker claims the next queued index, consults the cache,
     /// simulates on a miss, stores the result, and writes it into the
     /// slot for that index. Determinism: simulation is a pure function of
     /// the spec, and assembly is by index, so neither the worker count
@@ -211,9 +263,24 @@ impl SweepEngine {
     /// fails again it lands in [`SweepOutcome::failed`] (and is
     /// quarantined in the cache) while every other point completes.
     pub fn run(&self, specs: Vec<RunSpec>) -> SweepOutcome {
+        let blank = (0..specs.len()).map(|_| None).collect();
+        self.run_prefilled(specs, blank)
+    }
+
+    /// [`run`](Self::run) with some slots already decided — the resume
+    /// path. `prefilled[i] = Some(slot)` replays point `i` verbatim
+    /// (report, cached flag, or recorded failure) without executing it;
+    /// `None` slots are executed normally. Replayed points count in
+    /// [`SweepOutcome::resumed`], not in `simulated`/`cache_hits`.
+    pub(crate) fn run_prefilled(
+        &self,
+        specs: Vec<RunSpec>,
+        prefilled: Vec<Option<Slot>>,
+    ) -> SweepOutcome {
         /// Initial try plus one retry.
         const MAX_ATTEMPTS: u32 = 2;
 
+        assert_eq!(specs.len(), prefilled.len(), "one slot per spec");
         let started = Instant::now();
         let total = specs.len();
         let keys: Vec<CacheKey> = specs
@@ -221,21 +288,48 @@ impl SweepEngine {
             .map(|s| CacheKey::for_run(s, &s.machine_config()))
             .collect();
 
-        type Slot = Result<(RunReport, bool), (String, u32)>;
-        let slots: Mutex<Vec<Option<Slot>>> = Mutex::new((0..total).map(|_| None).collect());
-        let next = AtomicUsize::new(0);
-        let done = AtomicUsize::new(0);
-        let workers = self.jobs.min(total.max(1));
+        let replayed: Vec<bool> = prefilled.iter().map(Option::is_some).collect();
+        let resumed = replayed.iter().filter(|r| **r).count();
+        let pending: Vec<usize> = (0..total).filter(|&i| !replayed[i]).collect();
+        let workers = self.jobs.min(pending.len().max(1));
+
+        let slots: Mutex<Vec<Option<Slot>>> = Mutex::new(prefilled);
+        let queue: Mutex<VecDeque<usize>> = Mutex::new(pending.into());
+        let remaining = AtomicUsize::new(total - resumed);
+        let done = AtomicUsize::new(resumed);
+        let watch = self.watchdog.map(|cfg| WatchdogState::new(cfg, workers));
 
         crossbeam::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|_| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= total {
-                        break;
+            let slots = &slots;
+            let queue = &queue;
+            let remaining = &remaining;
+            let done = &done;
+            let watch = watch.as_ref();
+            let keys = &keys;
+            let specs = &specs;
+            for lane in 0..workers {
+                scope.spawn(move |_| loop {
+                    let Some(i) = queue.lock().pop_front() else {
+                        if remaining.load(Ordering::Acquire) == 0 {
+                            break;
+                        }
+                        // The queue is empty but points are still in
+                        // flight; one may yet be requeued by the
+                        // watchdog.
+                        std::thread::sleep(Duration::from_millis(2));
+                        continue;
+                    };
+                    if slots.lock()[i].is_some() {
+                        continue; // requeued point already finished
                     }
                     let spec = &specs[i];
                     let key = &keys[i];
+                    if let Some(watch) = watch {
+                        watch.claim(lane, i);
+                    }
+                    if let Some(journal) = &self.journal {
+                        let _ = journal.intent(i, key.hex());
+                    }
                     let run_started = Instant::now();
                     let slot: Slot = match self.cache.as_ref().and_then(|c| c.load(key)) {
                         Some(report) => Ok((report, true)),
@@ -256,28 +350,77 @@ impl SweepEngine {
                             }
                         },
                     };
+                    if let Some(watch) = watch {
+                        watch.release(lane);
+                    }
+                    {
+                        let mut slots = slots.lock();
+                        if slots[i].is_some() {
+                            // Another worker beat us to a requeued
+                            // point. Determinism makes the two results
+                            // identical, so dropping ours changes
+                            // nothing.
+                            if let Some(watch) = watch {
+                                watch.note_stale();
+                            }
+                            continue;
+                        }
+                        if let Some(journal) = &self.journal {
+                            let _ = match &slot {
+                                Ok((report, cached)) => {
+                                    journal.result(i, key.hex(), *cached, report)
+                                }
+                                Err((error, attempts)) => journal.fail(i, *attempts, error),
+                            };
+                        }
+                        slots[i] = Some(slot);
+                    }
+                    remaining.fetch_sub(1, Ordering::Release);
                     let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
                     if !self.quiet {
+                        let slots = slots.lock();
+                        let outcome = match slots[i].as_ref().expect("just filled") {
+                            Ok((_, true)) => "cache hit".to_string(),
+                            Ok((_, false)) => {
+                                format!("simulated in {:.2} s", run_started.elapsed().as_secs_f64())
+                            }
+                            Err((error, attempts)) => {
+                                format!("FAILED after {attempts} attempts: {error}")
+                            }
+                        };
                         eprintln!(
-                            "[sweep {finished}/{total}] {} ({}): {}",
+                            "[sweep {finished}/{total}] {} ({}): {outcome}",
                             spec.label(),
                             key.short(),
-                            match &slot {
-                                Ok((_, true)) => "cache hit".to_string(),
-                                Ok((_, false)) => format!(
-                                    "simulated in {:.2} s",
-                                    run_started.elapsed().as_secs_f64()
-                                ),
-                                Err((error, attempts)) =>
-                                    format!("FAILED after {attempts} attempts: {error}"),
-                            }
                         );
                     }
-                    slots.lock()[i] = Some(slot);
+                });
+            }
+            if let Some(watch) = watch {
+                scope.spawn(move |_| {
+                    while remaining.load(Ordering::Acquire) > 0 {
+                        std::thread::sleep(watch.poll());
+                        watch.scan(|index| {
+                            let slots = slots.lock();
+                            if slots[index].is_some() {
+                                return false;
+                            }
+                            let mut queue = queue.lock();
+                            if queue.contains(&index) {
+                                return false;
+                            }
+                            queue.push_back(index);
+                            true
+                        });
+                    }
                 });
             }
         })
         .expect("sweep workers do not panic");
+
+        if let Some(journal) = &self.journal {
+            let _ = journal.done(total);
+        }
 
         let mut simulated = 0;
         let mut cache_hits = 0;
@@ -292,10 +435,12 @@ impl SweepEngine {
         {
             match slot.expect("every claimed slot is filled") {
                 Ok((report, cached)) => {
-                    if cached {
-                        cache_hits += 1;
-                    } else {
-                        simulated += 1;
+                    if !replayed[index] {
+                        if cached {
+                            cache_hits += 1;
+                        } else {
+                            simulated += 1;
+                        }
                     }
                     points.push(SweepPoint {
                         spec,
@@ -320,6 +465,8 @@ impl SweepEngine {
             jobs: workers,
             simulated,
             cache_hits,
+            resumed,
+            watchdog: watch.map(|w| w.summary()),
             wall: started.elapsed(),
         };
         if !self.quiet {
@@ -373,6 +520,8 @@ mod tests {
         assert_eq!(got, want);
         assert_eq!(outcome.simulated, 4);
         assert_eq!(outcome.cache_hits, 0);
+        assert_eq!(outcome.resumed, 0);
+        assert!(outcome.watchdog.is_none());
     }
 
     #[test]
@@ -442,5 +591,62 @@ mod tests {
         assert_eq!(outcome.failed.len(), 1);
         assert!(cache.quarantined(&key).is_some());
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn a_generous_watchdog_observes_without_intervening() {
+        let specs = grid(Workload::Sort, 4, &[64, 128], &[1, 2]);
+        let reference = quiet_engine().run(specs.clone());
+        let outcome = quiet_engine()
+            .jobs(2)
+            .watchdog(WatchdogConfig::with_threshold(Duration::from_secs(600)))
+            .run(specs);
+        let w = outcome.watchdog.expect("watchdog was armed");
+        assert_eq!(w.threshold_ms, 600_000);
+        assert_eq!(w.stalls_detected, 0);
+        assert_eq!(w.requeues, 0);
+        assert_eq!(w.stale_results, 0);
+        // Supervision does not change the results.
+        for (a, b) in reference.points.iter().zip(&outcome.points) {
+            assert_eq!(a.spec, b.spec);
+            assert_eq!(a.report, b.report);
+        }
+    }
+
+    #[test]
+    fn an_aggressive_watchdog_still_produces_correct_results() {
+        // Zero threshold + zero poll: every in-flight point is requeued
+        // to the bound, exercising the duplicate-execution and
+        // stale-discard paths under contention.
+        let specs = grid(Workload::Sort, 4, &[64, 128], &[1, 2]);
+        let reference = quiet_engine().run(specs.clone());
+        let outcome = quiet_engine()
+            .jobs(3)
+            .watchdog(WatchdogConfig {
+                threshold: Duration::from_millis(0),
+                poll: Duration::from_millis(1),
+                max_requeues: 2,
+            })
+            .run(specs);
+        assert_eq!(outcome.points.len(), reference.points.len());
+        for (a, b) in reference.points.iter().zip(&outcome.points) {
+            assert_eq!(a.spec, b.spec);
+            assert_eq!(a.report, b.report, "duplicates resolve identically");
+        }
+    }
+
+    #[test]
+    fn prefilled_slots_replay_without_executing() {
+        let specs = grid(Workload::Sort, 4, &[64], &[1, 2]);
+        let reference = quiet_engine().run(specs.clone());
+        let mut prefilled: Vec<Option<Slot>> = vec![None, None];
+        prefilled[0] = Some(Ok((reference.points[0].report.clone(), true)));
+        let outcome = quiet_engine().run_prefilled(specs, prefilled);
+        assert_eq!(outcome.resumed, 1);
+        assert_eq!(outcome.simulated, 1, "only the open slot executes");
+        assert_eq!(outcome.cache_hits, 0, "replayed hits are not re-counted");
+        assert!(outcome.points[0].cached, "the replayed cached flag sticks");
+        assert_eq!(outcome.points[1].report, reference.points[1].report);
+        assert!(outcome.summary().contains("1 replayed from journal"));
     }
 }

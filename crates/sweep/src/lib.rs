@@ -24,7 +24,14 @@
 //!   ([`provenance`]) recording the specs, seeds, cache keys, per-report
 //!   digests, worker count and wall clock behind it.
 //!
-//! The grid/determinism/caching contract is documented in `docs/SWEEPS.md`.
+//! Long sweeps are additionally **recoverable**: an optional write-ahead
+//! [`journal`] commits every finished point to disk so a killed process
+//! can be resumed (`emx-cli resume`) with a byte-identical outcome, and
+//! an optional wall-clock [`watchdog`] requeues points whose worker has
+//! gone silent so one wedged worker cannot stall the sweep.
+//!
+//! The grid/determinism/caching contract is documented in `docs/SWEEPS.md`;
+//! the journal/watchdog recovery story in `docs/CHECKPOINT.md`.
 //!
 //! ```
 //! use emx_sweep::{grid, SweepEngine, Workload};
@@ -46,9 +53,13 @@
 
 pub mod cache;
 pub mod engine;
+pub mod journal;
 pub mod provenance;
 pub mod spec;
+pub mod watchdog;
 
-pub use cache::{CacheKey, RunCache, CACHE_FORMAT, DEFAULT_CACHE_DIR};
+pub use cache::{CacheKey, GcAction, GcReport, RunCache, CACHE_FORMAT, DEFAULT_CACHE_DIR};
 pub use engine::{FailedRun, SweepEngine, SweepOutcome, SweepPoint, JOBS_ENV};
+pub use journal::{resume, Completed, Journal, JournalState, ResumedSweep, JOURNAL_FORMAT};
 pub use spec::{config_canonical, grid, RunSpec, Workload};
+pub use watchdog::{WatchdogConfig, WatchdogSummary};

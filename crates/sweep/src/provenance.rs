@@ -23,7 +23,8 @@ use crate::engine::SweepOutcome;
 
 /// Schema identifier stamped into every sidecar. `/2` added the per-run
 /// fault plan, the `runs_failed` count, the `failed_runs` array, and the
-/// per-run cost-model `preset`.
+/// per-run cost-model `preset`; later (additively, no bump) the
+/// `runs_resumed` count and the `watchdog` observation object.
 pub const SCHEMA: &str = "emx-sweep/2";
 
 /// Escape a string for inclusion in a JSON string literal.
@@ -70,6 +71,22 @@ pub fn render(
     j.push_str(&format!("  \"runs_simulated\": {},\n", outcome.simulated));
     j.push_str(&format!("  \"cache_hits\": {},\n", outcome.cache_hits));
     j.push_str(&format!("  \"runs_failed\": {},\n", outcome.failed.len()));
+    j.push_str(&format!("  \"runs_resumed\": {},\n", outcome.resumed));
+    match &outcome.watchdog {
+        None => j.push_str("  \"watchdog\": null,\n"),
+        Some(w) => j.push_str(&format!(
+            "  \"watchdog\": {{\"threshold_ms\": {}, \"poll_ms\": {}, \"max_requeues\": {}, \
+             \"stalls_detected\": {}, \"requeues\": {}, \"stale_results\": {}, \
+             \"max_silence_ms\": {}}},\n",
+            w.threshold_ms,
+            w.poll_ms,
+            w.max_requeues,
+            w.stalls_detected,
+            w.requeues,
+            w.stale_results,
+            w.max_silence_ms
+        )),
+    }
     j.push_str("  \"extra\": {");
     for (i, (k, v)) in extra.iter().enumerate() {
         if i > 0 {
@@ -196,6 +213,8 @@ mod tests {
             "\"csv\": \"test_fig.csv\"",
             "\"runs_total\": 2",
             "\"runs_failed\": 0",
+            "\"runs_resumed\": 0",
+            "\"watchdog\": null",
             "\"workload\": \"bitonic-sort\"",
             "\"service_mode\": \"BypassDma\"",
             "\"net_model\": \"CircularOmega\"",

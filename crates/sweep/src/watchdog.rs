@@ -1,0 +1,276 @@
+//! Wall-clock watchdog supervising sweep workers.
+//!
+//! The simulator is deterministic, but the host is not: a worker can be
+//! descheduled indefinitely, an NFS-backed cache read can hang, a fault
+//! plan can drive a pathological spec into hours of simulation. The
+//! watchdog is a monitor thread that samples every worker lane on a fixed
+//! poll interval and, when a lane has been silent on one point for longer
+//! than the configured threshold, *requeues* that point so an idle worker
+//! can pick it up. Because runs are pure functions of their spec, a
+//! duplicate execution is harmless — whichever copy finishes first fills
+//! the slot, and the straggler's result is discarded as stale. Requeues
+//! are bounded (`max_requeues` per point, with exponential backoff on the
+//! threshold) so a genuinely expensive point cannot multiply itself
+//! across the pool.
+//!
+//! What the watchdog cannot do is kill a wedged thread — Rust gives no
+//! safe way to do that. A sweep whose *every* worker wedges stops making
+//! progress and must be killed from outside; that is what the write-ahead
+//! [journal](crate::journal) and `emx-cli resume` are for. The division
+//! of labour: the watchdog recovers from *slow or stuck points* inside a
+//! live process, the journal recovers from *dead processes*.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+/// Watchdog tuning, set via [`SweepEngine::watchdog`](crate::SweepEngine::watchdog).
+///
+/// The one parameter that matters is `threshold`: it must comfortably
+/// exceed the *normal* runtime of the sweep's slowest point, or healthy
+/// slow points will be double-executed (correct but wasteful).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WatchdogConfig {
+    /// Silence on one point before it is considered stalled.
+    pub threshold: Duration,
+    /// How often the monitor samples the lanes.
+    pub poll: Duration,
+    /// Times one point may be requeued before the watchdog gives up and
+    /// leaves it to the original worker.
+    pub max_requeues: u32,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        WatchdogConfig {
+            threshold: Duration::from_secs(30),
+            poll: Duration::from_millis(250),
+            max_requeues: 2,
+        }
+    }
+}
+
+impl WatchdogConfig {
+    /// A config with the given threshold and the default poll/requeue
+    /// settings (the CLI `--watchdog-ms` flag).
+    pub fn with_threshold(threshold: Duration) -> WatchdogConfig {
+        WatchdogConfig {
+            threshold,
+            ..WatchdogConfig::default()
+        }
+    }
+}
+
+/// What the watchdog observed over one sweep; recorded in
+/// [`SweepOutcome`](crate::SweepOutcome) and the provenance sidecar.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WatchdogSummary {
+    /// Configured stall threshold, in milliseconds.
+    pub threshold_ms: u64,
+    /// Configured poll interval, in milliseconds.
+    pub poll_ms: u64,
+    /// Configured per-point requeue bound.
+    pub max_requeues: u32,
+    /// Distinct points that crossed the stall threshold at least once.
+    pub stalls_detected: u64,
+    /// Requeues actually issued (≤ `stalls_detected × max_requeues`).
+    pub requeues: u64,
+    /// Results discarded because another worker finished the point first.
+    pub stale_results: u64,
+    /// Longest single-point silence observed, in milliseconds.
+    pub max_silence_ms: u64,
+}
+
+/// Idle marker for a lane's `busy_since_ms`.
+const IDLE: u64 = u64::MAX;
+
+/// One worker's claim register: which point it is executing and since
+/// when (milliseconds after sweep start; [`IDLE`] when between points).
+struct Lane {
+    busy_since_ms: AtomicU64,
+    index: AtomicUsize,
+}
+
+/// Shared state between the worker lanes and the monitor thread.
+pub(crate) struct WatchdogState {
+    cfg: WatchdogConfig,
+    start: Instant,
+    lanes: Vec<Lane>,
+    /// Requeue count per stalled point index.
+    stalled: Mutex<HashMap<usize, u32>>,
+    stalls: AtomicU64,
+    requeues: AtomicU64,
+    stale: AtomicU64,
+    max_silence: AtomicU64,
+}
+
+impl WatchdogState {
+    pub(crate) fn new(cfg: WatchdogConfig, workers: usize) -> WatchdogState {
+        WatchdogState {
+            cfg,
+            start: Instant::now(),
+            lanes: (0..workers)
+                .map(|_| Lane {
+                    busy_since_ms: AtomicU64::new(IDLE),
+                    index: AtomicUsize::new(0),
+                })
+                .collect(),
+            stalled: Mutex::new(HashMap::new()),
+            stalls: AtomicU64::new(0),
+            requeues: AtomicU64::new(0),
+            stale: AtomicU64::new(0),
+            max_silence: AtomicU64::new(0),
+        }
+    }
+
+    pub(crate) fn poll(&self) -> Duration {
+        self.cfg.poll
+    }
+
+    fn now_ms(&self) -> u64 {
+        u64::try_from(self.start.elapsed().as_millis()).unwrap_or(u64::MAX - 1)
+    }
+
+    /// Worker `lane` starts executing point `index`.
+    pub(crate) fn claim(&self, lane: usize, index: usize) {
+        self.lanes[lane].index.store(index, Ordering::Relaxed);
+        self.lanes[lane]
+            .busy_since_ms
+            .store(self.now_ms(), Ordering::Release);
+    }
+
+    /// Worker `lane` finished its point (either way).
+    pub(crate) fn release(&self, lane: usize) {
+        self.lanes[lane]
+            .busy_since_ms
+            .store(IDLE, Ordering::Release);
+    }
+
+    /// A worker computed a point another worker had already finished.
+    pub(crate) fn note_stale(&self) {
+        self.stale.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One monitor pass: find stalled lanes and offer their points to
+    /// `try_requeue`, which returns `false` if the point no longer needs
+    /// requeueing (already finished or already queued).
+    pub(crate) fn scan(&self, mut try_requeue: impl FnMut(usize) -> bool) {
+        let now = self.now_ms();
+        for lane in &self.lanes {
+            let since = lane.busy_since_ms.load(Ordering::Acquire);
+            if since == IDLE {
+                continue;
+            }
+            let silence = now.saturating_sub(since);
+            self.max_silence.fetch_max(silence, Ordering::Relaxed);
+            if silence < ms(self.cfg.threshold) {
+                continue;
+            }
+            let index = lane.index.load(Ordering::Relaxed);
+            let mut stalled = self.stalled.lock();
+            let count = match stalled.get(&index) {
+                Some(c) => *c,
+                None => {
+                    self.stalls.fetch_add(1, Ordering::Relaxed);
+                    stalled.insert(index, 0);
+                    0
+                }
+            };
+            if count >= self.cfg.max_requeues {
+                continue;
+            }
+            // Exponential backoff: the (k+1)-th requeue of one point
+            // waits for 2^k thresholds of silence, so a merely slow
+            // point is not spammed across the pool.
+            if silence < ms(self.cfg.threshold).saturating_mul(1 << count) {
+                continue;
+            }
+            if try_requeue(index) {
+                stalled.insert(index, count + 1);
+                self.requeues.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    pub(crate) fn summary(&self) -> WatchdogSummary {
+        WatchdogSummary {
+            threshold_ms: ms(self.cfg.threshold),
+            poll_ms: ms(self.cfg.poll),
+            max_requeues: self.cfg.max_requeues,
+            stalls_detected: self.stalls.load(Ordering::Relaxed),
+            requeues: self.requeues.load(Ordering::Relaxed),
+            stale_results: self.stale.load(Ordering::Relaxed),
+            max_silence_ms: self.max_silence.load(Ordering::Relaxed),
+        }
+    }
+}
+
+fn ms(d: Duration) -> u64 {
+    u64::try_from(d.as_millis()).unwrap_or(u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_lanes_never_stall() {
+        let state = WatchdogState::new(WatchdogConfig::with_threshold(Duration::from_millis(0)), 4);
+        let mut offered = Vec::new();
+        state.scan(|i| {
+            offered.push(i);
+            true
+        });
+        assert!(offered.is_empty());
+        assert_eq!(state.summary().stalls_detected, 0);
+    }
+
+    #[test]
+    fn a_silent_claim_is_offered_then_bounded() {
+        let cfg = WatchdogConfig {
+            threshold: Duration::from_millis(0),
+            poll: Duration::from_millis(1),
+            max_requeues: 2,
+        };
+        let state = WatchdogState::new(cfg, 1);
+        state.claim(0, 7);
+        let mut offers = 0;
+        // Zero threshold: every scan sees the lane as stalled, but the
+        // requeue bound caps the offers at max_requeues.
+        for _ in 0..10 {
+            state.scan(|i| {
+                assert_eq!(i, 7);
+                offers += 1;
+                true
+            });
+        }
+        assert_eq!(offers, 2);
+        let s = state.summary();
+        assert_eq!(s.stalls_detected, 1);
+        assert_eq!(s.requeues, 2);
+        // Release: the lane goes idle and no further offers happen.
+        state.release(0);
+        state.scan(|_| panic!("idle lane offered"));
+    }
+
+    #[test]
+    fn declined_offers_do_not_consume_the_bound() {
+        let cfg = WatchdogConfig {
+            threshold: Duration::from_millis(0),
+            poll: Duration::from_millis(1),
+            max_requeues: 1,
+        };
+        let state = WatchdogState::new(cfg, 1);
+        state.claim(0, 3);
+        state.scan(|_| false); // point already queued elsewhere
+        let mut accepted = 0;
+        state.scan(|_| {
+            accepted += 1;
+            true
+        });
+        assert_eq!(accepted, 1, "the declined offer did not burn the budget");
+        assert_eq!(state.summary().requeues, 1);
+    }
+}

@@ -107,6 +107,37 @@ enum Phase {
     Done,
 }
 
+impl Phase {
+    fn code(self) -> u64 {
+        match self {
+            Phase::Reset => 0,
+            Phase::Scan => 1,
+            Phase::PredIssue => 2,
+            Phase::PredCheck => 3,
+            Phase::Collect => 4,
+            Phase::CollectCheck => 5,
+            Phase::Check => 6,
+            Phase::Decide => 7,
+            Phase::Done => 8,
+        }
+    }
+
+    fn from_code(code: u64) -> Option<Phase> {
+        Some(match code {
+            0 => Phase::Reset,
+            1 => Phase::Scan,
+            2 => Phase::PredIssue,
+            3 => Phase::PredCheck,
+            4 => Phase::Collect,
+            5 => Phase::CollectCheck,
+            6 => Phase::Check,
+            7 => Phase::Decide,
+            8 => Phase::Done,
+            _ => return None,
+        })
+    }
+}
+
 /// One worker: scans a band of local vertices each level; thread 0 of
 /// PE 0 additionally collects the changed flags between levels.
 struct BfsWorker {
@@ -140,6 +171,33 @@ impl BfsWorker {
 impl ThreadBody for BfsWorker {
     fn name(&self) -> &'static str {
         "bfs-worker"
+    }
+
+    fn save_state(&self) -> Option<Vec<u64>> {
+        Some(vec![
+            u64::from(self.level),
+            self.phase.code(),
+            self.v as u64,
+            self.e as u64,
+            self.q as u64,
+            u64::from(self.flag),
+        ])
+    }
+
+    fn load_state(&mut self, words: &[u64]) -> bool {
+        let [level, phase, v, e, q, flag] = words else {
+            return false;
+        };
+        let Some(phase) = Phase::from_code(*phase) else {
+            return false;
+        };
+        self.level = *level as u32;
+        self.phase = phase;
+        self.v = *v as usize;
+        self.e = *e as usize;
+        self.q = *q as usize;
+        self.flag = *flag as u32;
+        true
     }
 
     fn step(&mut self, ctx: &mut ThreadCtx<'_>) -> Action {
@@ -323,6 +381,22 @@ pub fn run_bfs_observed(
     params: &BfsParams,
     setup: impl FnOnce(&mut Machine),
 ) -> Result<BfsOutcome, SimError> {
+    let mut machine = build_bfs(cfg, params, setup)?;
+    let report = machine.run()?;
+    finish_bfs(&machine, params, report)
+}
+
+/// Build a machine loaded and spawned for a BFS run, but not yet run.
+///
+/// The returned machine can be driven by [`Machine::run`], stepped with
+/// [`Machine::step_events`], or used as a restore shell for an `emx-snap`
+/// checkpoint of an identically built machine; [`finish_bfs`] gathers and
+/// verifies once it quiesces.
+pub fn build_bfs(
+    cfg: &MachineConfig,
+    params: &BfsParams,
+    setup: impl FnOnce(&mut Machine),
+) -> Result<Machine, SimError> {
     let p = cfg.num_pes;
     let per_pe = validate(cfg, params)?;
     let h = params.threads;
@@ -367,8 +441,19 @@ pub fn run_bfs_observed(
             machine.spawn_at_start(PeId(pe as u16), entry, t as u32)?;
         }
     }
+    Ok(machine)
+}
 
-    let report = machine.run()?;
+/// Gather and verify the distances of a quiesced BFS machine built by
+/// [`build_bfs`] with the same parameters.
+pub fn finish_bfs(
+    machine: &Machine,
+    params: &BfsParams,
+    report: RunReport,
+) -> Result<BfsOutcome, SimError> {
+    let p = machine.config().num_pes;
+    let per_pe = params.n / p;
+    let preds = indices(params.n * params.degree, params.n, params.seed);
 
     let mut dist = Vec::with_capacity(params.n);
     for pe in 0..p {

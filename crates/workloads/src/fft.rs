@@ -154,6 +154,37 @@ enum Phase {
     Done,
 }
 
+impl Phase {
+    fn code(self) -> u64 {
+        match self {
+            Phase::CommWork => 0,
+            Phase::ReadRe => 1,
+            Phase::GotRe => 2,
+            Phase::GotIm => 3,
+            Phase::PointDone => 4,
+            Phase::IterBarrier => 5,
+            Phase::LocalStage => 6,
+            Phase::LocalBarrier => 7,
+            Phase::Done => 8,
+        }
+    }
+
+    fn from_code(code: u64) -> Option<Phase> {
+        Some(match code {
+            0 => Phase::CommWork,
+            1 => Phase::ReadRe,
+            2 => Phase::GotRe,
+            3 => Phase::GotIm,
+            4 => Phase::PointDone,
+            5 => Phase::IterBarrier,
+            6 => Phase::LocalStage,
+            7 => Phase::LocalBarrier,
+            8 => Phase::Done,
+            _ => return None,
+        })
+    }
+}
+
 struct FftWorker {
     t: usize,
     h: usize,
@@ -231,6 +262,29 @@ impl FftWorker {
 impl ThreadBody for FftWorker {
     fn name(&self) -> &'static str {
         "fft-worker"
+    }
+
+    fn save_state(&self) -> Option<Vec<u64>> {
+        Some(vec![
+            self.iter as u64,
+            self.k as u64,
+            u64::from(self.partner_re.to_bits()),
+            self.phase.code(),
+        ])
+    }
+
+    fn load_state(&mut self, words: &[u64]) -> bool {
+        let [iter, k, partner_re, phase] = words else {
+            return false;
+        };
+        let Some(phase) = Phase::from_code(*phase) else {
+            return false;
+        };
+        self.iter = *iter as usize;
+        self.k = *k as usize;
+        self.partner_re = f32::from_bits(*partner_re as u32);
+        self.phase = phase;
+        true
     }
 
     fn step(&mut self, ctx: &mut ThreadCtx<'_>) -> Action {
@@ -422,11 +476,25 @@ pub fn run_fft_observed(
     params: &FftParams,
     setup: impl FnOnce(&mut Machine),
 ) -> Result<FftOutcome, SimError> {
+    let mut machine = build_fft(cfg, params, setup)?;
+    let report = machine.run()?;
+    finish_fft(&machine, params, report)
+}
+
+/// Build a machine loaded and spawned for an FFT run, but not yet run.
+///
+/// The returned machine can be driven by [`Machine::run`], stepped with
+/// [`Machine::step_events`], or used as a restore shell for an `emx-snap`
+/// checkpoint of an identically built machine; [`finish_fft`] gathers and
+/// verifies once it quiesces.
+pub fn build_fft(
+    cfg: &MachineConfig,
+    params: &FftParams,
+    setup: impl FnOnce(&mut Machine),
+) -> Result<Machine, SimError> {
     let p = cfg.num_pes;
     let m = validate(cfg, params)?;
     let h = params.threads;
-    let log_p = p.trailing_zeros() as usize;
-    let log_n = params.n.trailing_zeros() as usize;
 
     let mut machine = Machine::new(cfg.clone())?;
     setup(&mut machine);
@@ -468,8 +536,20 @@ pub fn run_fft_observed(
             machine.spawn_at_start(PeId(pe as u16), entry, t as u32)?;
         }
     }
+    Ok(machine)
+}
 
-    let report = machine.run()?;
+/// Gather and verify the output of a quiesced FFT machine built by
+/// [`build_fft`] with the same parameters.
+pub fn finish_fft(
+    machine: &Machine,
+    params: &FftParams,
+    report: RunReport,
+) -> Result<FftOutcome, SimError> {
+    let p = machine.config().num_pes;
+    let m = params.n / p;
+    let log_p = p.trailing_zeros() as usize;
+    let log_n = params.n.trailing_zeros() as usize;
 
     // Gather: comm iterations alternate buffers; local stages run in place.
     let final_par = log_p % 2;
@@ -484,6 +564,7 @@ pub fn run_fft_observed(
     }
 
     // Verify against the host reference of exactly the executed stages.
+    let input = signal(params.n, params.shape, params.seed);
     let stages = if params.local_phase { log_n } else { log_p };
     let reference = reference_dif_stages(&input, stages);
     let scale: f64 = reference

@@ -56,9 +56,9 @@ pub mod nullloop;
 pub mod spmv;
 pub mod stencil;
 
-pub use bfs::{run_bfs, run_bfs_observed, BfsOutcome, BfsParams};
+pub use bfs::{build_bfs, finish_bfs, run_bfs, run_bfs_observed, BfsOutcome, BfsParams};
 pub use bitonic::{run_bitonic, run_bitonic_observed, SortOutcome, SortParams};
-pub use fft::{run_fft, run_fft_observed, FftOutcome, FftParams};
+pub use fft::{build_fft, finish_fft, run_fft, run_fft_observed, FftOutcome, FftParams};
 pub use histogram::{run_histogram, run_histogram_observed, HistogramOutcome, HistogramParams};
 pub use nullloop::{run_null_loop, NullLoopOutcome, NullLoopParams};
 pub use spmv::{run_spmv, run_spmv_observed, SpmvOutcome, SpmvParams};
