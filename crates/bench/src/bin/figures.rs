@@ -46,6 +46,11 @@ use emx::prelude::*;
 use emx::sweep::{grid, provenance, RunSpec, SweepEngine, SweepOutcome};
 use emx_bench::{fmt_n, series_by_size, Point, Scale, Workload};
 
+/// Opt in to the hostprof counting allocator so the bench files carry
+/// real `alloc.allocs` / `alloc.bytes` annotations per point.
+#[global_allocator]
+static ALLOC: emx::hostprof::CountingAlloc = emx::hostprof::CountingAlloc::new();
+
 /// Figure-harness options parsed from the command line.
 #[derive(Clone)]
 struct Opts {
@@ -768,19 +773,62 @@ fn scaling(opts: &Opts) {
     );
 }
 
+/// Render a hostprof name/value bank as a JSON object, for embedding the
+/// per-point counter report into the bench files.
+fn hp_obj(names: &[&str], vals: &[u64]) -> String {
+    let fields: Vec<String> = names
+        .iter()
+        .zip(vals.iter())
+        .map(|(n, v)| format!("\"{n}\": {v}"))
+        .collect();
+    format!("{{{}}}", fields.join(", "))
+}
+
+/// One timed repetition with the hostprof counters rebaselined around it:
+/// returns the run report, the elapsed nanoseconds, and the settled
+/// counter report covering exactly this execution.
+fn timed_rep(spec: &RunSpec) -> (RunReport, u64, emx::hostprof::HostProfReport) {
+    use std::time::Instant;
+    emx::hostprof::reset();
+    let t0 = Instant::now();
+    let out = spec
+        .execute()
+        .unwrap_or_else(|e| panic!("{}: {e}", spec.label()));
+    let ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    let hp = emx::hostprof::HostProfReport::new(Vec::new(), emx::hostprof::snapshot());
+    (out, ns, hp)
+}
+
+/// The embedded hostprof fields of one bench point: the counters-only
+/// digest plus the three sections as JSON objects. `counters` and `host`
+/// are deterministic (hard-compared by `bench-diff`); `wall` is
+/// annotation-only.
+fn hp_fields(hp: &emx::hostprof::HostProfReport) -> String {
+    format!(
+        "\"hostprof_digest\": \"{}\", \"counters\": {}, \"host\": {}, \"wall\": {}",
+        hp.digest(),
+        hp_obj(&emx::hostprof::SIM_NAMES, &hp.snap.sim),
+        hp_obj(&emx::hostprof::HOST_NAMES, &hp.snap.host),
+        hp_obj(&emx::hostprof::WALL_NAMES, &hp.snap.wall),
+    )
+}
+
 /// Criterion-free timing harness: wall-clock the simulator itself on a
 /// small bench matrix and write `results/BENCH_profile.json`. Every point
 /// is executed `REPS` times directly (never through the cache — the wall
-/// time must be real); the fastest repetition is reported, and the report
-/// digest must be identical across repetitions or the harness aborts.
-/// The JSON is hand-rendered: simulated `cycles` and `digest` are
-/// deterministic, `wall_ns` is host timing and varies run to run.
+/// time must be real); the fastest repetition is reported, and both the
+/// report digest and the hostprof counter digest must be identical across
+/// repetitions or the harness aborts. The JSON is hand-rendered
+/// (`emx-bench/2`): `cycles`, `digest`, `hostprof_digest` and the
+/// `counters`/`host` objects are deterministic; `wall_ns`, the `wall`
+/// object and `host_threads` are host-dependent annotations, excluded
+/// from every digest.
 fn bench(opts: &Opts) {
     use emx::stats::report_digest;
-    use std::time::Instant;
 
     const REPS: usize = 3;
     println!("\n=== bench: simulator wall-clock timing ({REPS} reps, uncached) ===");
+    emx::hostprof::set_enabled(true);
 
     let p = 16;
     let threads = [1usize, 4];
@@ -801,21 +849,27 @@ fn bench(opts: &Opts) {
             let mut best_ns = u64::MAX;
             let mut report = None;
             let mut digest = String::new();
+            let mut hp_json = String::new();
+            let mut hp_digest = String::new();
             for rep in 0..REPS {
-                let t0 = Instant::now();
-                let out = spec
-                    .execute()
-                    .unwrap_or_else(|e| panic!("{}: {e}", spec.label()));
-                let ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                let (out, ns, hp) = timed_rep(&spec);
                 let d = report_digest(&out);
                 if rep == 0 {
                     digest = d;
+                    hp_digest = hp.digest();
                 } else {
                     assert_eq!(d, digest, "{}: nondeterministic report", spec.label());
+                    assert_eq!(
+                        hp.digest(),
+                        hp_digest,
+                        "{}: nondeterministic hostprof counters",
+                        spec.label()
+                    );
                 }
                 if ns < best_ns {
                     best_ns = ns;
                 }
+                hp_json = hp_fields(&hp);
                 report = Some(out);
             }
             let cycles = report.expect("at least one rep ran").elapsed.get();
@@ -831,7 +885,7 @@ fn bench(opts: &Opts) {
             entries.push(format!(
                 "    {{\"workload\": \"{}\", \"p\": {p}, \"h\": {h}, \"r\": {r}, \
                  \"n\": {}, \"cycles\": {cycles}, \"wall_ns\": {best_ns}, \
-                 \"digest\": \"{digest}\"}}",
+                 \"digest\": \"{digest}\",\n     {hp_json}}}",
                 w.name(),
                 spec.n(),
             ));
@@ -840,9 +894,10 @@ fn bench(opts: &Opts) {
     println!("{}", table.render());
 
     let json = format!(
-        "{{\n  \"schema\": \"emx-bench/1\",\n  \"scale\": \"{}\",\n  \"reps\": {REPS},\n  \
-         \"points\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"schema\": \"emx-bench/2\",\n  \"scale\": \"{}\",\n  \"reps\": {REPS},\n  \
+         \"host_threads\": {},\n  \"points\": [\n{}\n  ]\n}}\n",
         opts.scale.name(),
+        std::thread::available_parallelism().map_or(1, |n| n.get()),
         entries.join(",\n"),
     );
     let dir = Path::new("results");
@@ -854,18 +909,23 @@ fn bench(opts: &Opts) {
     }
 
     bench_shards(opts);
+    emx::hostprof::set_enabled(false);
 }
 
 /// Shard-count timing: simulated cycles/second for each workload at shard
-/// counts 1/2/4/8, written to repo-root `BENCH_shard.json`. Every point
-/// runs P=64 so the shards have real cross-shard traffic; the report
-/// digest is asserted identical across every shard count — this doubles
+/// counts 1/2/4/8, written to repo-root `BENCH_shard.json`
+/// (`emx-bench-shard/2`). Every point runs P=64 so the shards have real
+/// cross-shard traffic; the report digest *and* the hostprof counters
+/// digest are asserted identical across every shard count — this doubles
 /// as a determinism smoke test on the exact configurations being timed.
-/// `cycles` and `digest` are deterministic; `wall_ns` (and therefore
-/// `cycles_per_sec`) is host timing and varies run to run.
+/// `cycles`, `digest`, `hostprof_digest` and the `counters` object are
+/// deterministic at any shard count; the `host` object is deterministic
+/// per shard count (window rounds, barrier stalls, cross-shard hops —
+/// the fields that localize where sharding overhead goes); `wall_ns`,
+/// `cycles_per_sec`, the `wall` object and `host_threads` are host
+/// timing and vary run to run.
 fn bench_shards(opts: &Opts) {
     use emx::stats::report_digest;
-    use std::time::Instant;
 
     const REPS: usize = 3;
     const SHARDS: [usize; 4] = [1, 2, 4, 8];
@@ -877,20 +937,19 @@ fn bench_shards(opts: &Opts) {
     for w in [Workload::Sort, Workload::Fft] {
         let r = sizes_for(w, opts.scale)[0];
         let mut oracle_digest = String::new();
+        let mut oracle_hp = String::new();
         for &shards in &SHARDS {
             let mut spec = RunSpec::new(w, p, r, h);
             spec.shards = shards;
             let mut best_ns = u64::MAX;
             let mut cycles = 0u64;
+            let mut hp_json = String::new();
             for _ in 0..REPS {
-                let t0 = Instant::now();
-                let out = spec
-                    .execute()
-                    .unwrap_or_else(|e| panic!("{}: {e}", spec.label()));
-                let ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                let (out, ns, hp) = timed_rep(&spec);
                 let d = report_digest(&out);
                 if shards == SHARDS[0] && oracle_digest.is_empty() {
                     oracle_digest = d;
+                    oracle_hp = hp.digest();
                 } else {
                     assert_eq!(
                         d,
@@ -898,9 +957,16 @@ fn bench_shards(opts: &Opts) {
                         "{}: sharded run diverged from the oracle",
                         spec.label()
                     );
+                    assert_eq!(
+                        hp.digest(),
+                        oracle_hp,
+                        "{}: hostprof counters diverged from the oracle",
+                        spec.label()
+                    );
                 }
                 best_ns = best_ns.min(ns);
                 cycles = out.elapsed.get();
+                hp_json = hp_fields(&hp);
             }
             let mcps = cycles as f64 / (best_ns as f64 / 1e9) / 1e6;
             table.row([
@@ -913,7 +979,7 @@ fn bench_shards(opts: &Opts) {
             entries.push(format!(
                 "    {{\"workload\": \"{}\", \"p\": {p}, \"h\": {h}, \"r\": {r}, \
                  \"shards\": {shards}, \"cycles\": {cycles}, \"wall_ns\": {best_ns}, \
-                 \"cycles_per_sec\": {:.0}, \"digest\": \"{oracle_digest}\"}}",
+                 \"cycles_per_sec\": {:.0}, \"digest\": \"{oracle_digest}\",\n     {hp_json}}}",
                 w.name(),
                 cycles as f64 / (best_ns as f64 / 1e9),
             ));
@@ -922,7 +988,7 @@ fn bench_shards(opts: &Opts) {
     println!("{}", table.render());
 
     let json = format!(
-        "{{\n  \"schema\": \"emx-bench-shard/1\",\n  \"scale\": \"{}\",\n  \"reps\": {REPS},\n  \
+        "{{\n  \"schema\": \"emx-bench-shard/2\",\n  \"scale\": \"{}\",\n  \"reps\": {REPS},\n  \
          \"host_threads\": {},\n  \"points\": [\n{}\n  ]\n}}\n",
         opts.scale.name(),
         std::thread::available_parallelism().map_or(1, |n| n.get()),

@@ -3,7 +3,7 @@
 //! ```text
 //! emx-cli run     <sort|fft|bfs|histogram|spmv|stencil> --pes 64 --n 4096 --threads 4
 //!                 [--shards S] [--comm-only] [--seed N] [--net MODEL] [--preset paper|modern] [--csv]
-//!                 [--kill-after EVENTS]
+//!                 [--kill-after EVENTS] [--hostprof]
 //! emx-cli sort    --pes 16 --n 16384 --threads 4 [--dist uniform] [--seed 1] [--block] [--em4] [--csv]
 //! emx-cli fft     --pes 16 --n 16384 --threads 4 [--comm-only] [--csv]
 //! emx-cli trace   <sort|fft|fig4> [--pes N --n N --threads N --seed N]
@@ -12,10 +12,13 @@
 //! emx-cli profile <sort|fft|bfs|histogram|spmv|stencil> [--pes N --n N --threads N --seed N]
 //!                 [--comm-only] [--json] [--out FILE]
 //! emx-cli profile-diff <report> [<report2>] [--baseline-dir DIR] [--threshold PPM]
+//! emx-cli bench-diff <BENCH.json> [<baseline.json>] [--baseline-dir DIR]
+//!                 [--threshold PPM] [--wall-threshold PPM]
 //! emx-cli sweep   --workload <sort|fft|bfs|histogram|spmv|stencil> --pes 16 --sizes 512,2048
 //!                 --threads 1,2,4 [--net MODEL] [--preset paper|modern]
 //!                 [--jobs N] [--no-cache] [--csv] [--out results/sweep.csv]
 //!                 [--journal FILE] [--watchdog-ms N] [--kill-after EVENTS]
+//!                 [--hostprof] [--progress[=EVERY-MS]]
 //! emx-cli faults  --workload sort --pes 16 --sizes 512 --threads 1,2,4
 //!                 --loss 0,1000,10000 [--seed 1] [--dup PPM] [--delay PPM --max-delay N]
 //!                 [--timeout N] [--backoff-cap N] [--max-attempts N] [--check-invariants]
@@ -23,7 +26,7 @@
 //!                 [--jobs N] [--no-cache] [--csv] [--out results/faults.csv]
 //!                 [--journal FILE] [--watchdog-ms N] [--kill-after EVENTS]
 //! emx-cli resume  <FILE.journal> [--jobs N] [--no-cache] [--csv] [--out FILE.csv]
-//!                 [--watchdog-ms N] [--kill-after EVENTS]
+//!                 [--watchdog-ms N] [--kill-after EVENTS] [--hostprof] [--progress[=EVERY-MS]]
 //! emx-cli cache gc [--dir results/cache] [--dry-run]
 //! emx-cli fuzz run    [--cases N] [--seed S] [--perturb] [--shrink-failures DIR]
 //! emx-cli fuzz replay <file.emxfuzz> [<file2> ...]
@@ -69,6 +72,24 @@
 //! beyond `--threshold` (default 20000 ppm = 2 percentage points), 1 on
 //! schema or digest errors — see `docs/OBSERVABILITY.md` §Profiling.
 //!
+//! `--hostprof` (on `run`, `sweep`, `faults` and `resume`) arms the
+//! `emx-hostprof` host-side counters and appends the digest-stamped
+//! `emx-hostprof/1` report to stdout: deterministic simulation-work
+//! counters (calendar pushes/pops, per-lane events, queue and DMA
+//! traffic, replay emissions — byte-identical at any `--shards`/`--jobs`
+//! value), host-structure counters (driver windows, cross-shard hops,
+//! sweep cache hits) and wall-clock annotations (shard compute/barrier/
+//! replay time, allocator traffic). `bench-diff` compares an
+//! `emx-bench/2` / `emx-bench-shard/2` file against its committed
+//! baseline (default under `results/baselines/`): deterministic fields
+//! (cycles, digests, counters) are hard-gated by `--threshold` (default
+//! 0 ppm — exact) and exit 3 on drift; wall-clock annotations only warn
+//! past `--wall-threshold` (default 500000 ppm). `--progress[=EVERY-MS]`
+//! (on `sweep`, `faults` and `resume`) prints a heartbeat line to stderr
+//! at the given cadence (default 1 s) — points done/total, cache hits,
+//! running labels, ETA — without touching stdout bytes. See
+//! `docs/OBSERVABILITY.md` § "Host profiling".
+//!
 //! Every subcommand that emits a content digest prints it as a final
 //! `digest: <32 hex>` line (the canonical form smoke tests assert on).
 //!
@@ -101,9 +122,10 @@
 //! stable `digest:` line over the scan listing.
 //!
 //! Exit codes: 0 success; 1 runtime error; 2 usage error (unknown
-//! command/subcommand or missing required argument); 3 profile drift
-//! (`profile-diff`); 4 syntactically invalid argument value. The table is
-//! documented in README.md and relied on by scripts and CI.
+//! command/subcommand or missing required argument); 3 drift
+//! (`profile-diff`, `bench-diff`); 4 syntactically invalid argument
+//! value. The table is documented in README.md and relied on by scripts
+//! and CI.
 //!
 //! `fuzz run` drives the deterministic fuzzing campaign (`emx-fuzz`):
 //! seeded random programs crossed with random machine shapes and fault
@@ -122,13 +144,19 @@ use std::time::Duration;
 
 use emx::prelude::*;
 use emx::sweep::{
-    grid, provenance, GcAction, Journal, RunCache, SweepEngine, SweepOutcome, WatchdogConfig,
-    Workload, DEFAULT_CACHE_DIR,
+    grid, provenance, GcAction, Journal, ProgressConfig, RunCache, SweepEngine, SweepOutcome,
+    WatchdogConfig, Workload, DEFAULT_CACHE_DIR,
 };
 use emx::workloads::{run_null_loop, NullLoopParams};
 
-/// Minimal flag parser: `--name value` pairs plus boolean `--name` switches
-/// and positional arguments.
+/// Opt in to the hostprof counting allocator, so `--hostprof` reports
+/// carry `alloc.allocs` / `alloc.bytes` (see `docs/OBSERVABILITY.md`
+/// § "Host profiling"). Counting is two relaxed adds per allocation.
+#[global_allocator]
+static ALLOC: emx::hostprof::CountingAlloc = emx::hostprof::CountingAlloc::new();
+
+/// Minimal flag parser: `--name value` / `--name=value` pairs plus
+/// boolean `--name` switches and positional arguments.
 struct Args {
     positional: Vec<String>,
     flags: Vec<(String, Option<String>)>,
@@ -141,6 +169,10 @@ impl Args {
         let mut it = raw.iter().peekable();
         while let Some(a) = it.next() {
             if let Some(name) = a.strip_prefix("--") {
+                if let Some((name, value)) = name.split_once('=') {
+                    flags.push((name.to_string(), Some(value.to_string())));
+                    continue;
+                }
                 let value = it
                     .peek()
                     .filter(|v| !v.starts_with("--"))
@@ -285,12 +317,32 @@ fn print_report(report: &RunReport, csv: bool) {
     }
 }
 
+/// Arm the `emx-hostprof` counter banks when `--hostprof` is present:
+/// enable the global gate and zero every bank so the final report covers
+/// exactly this invocation. Returns whether profiling is on.
+fn arm_hostprof(args: &Args) -> bool {
+    let on = args.has("hostprof");
+    if on {
+        emx::hostprof::set_enabled(true);
+        emx::hostprof::reset();
+    }
+    on
+}
+
+/// Settle and print the digest-stamped `emx-hostprof/1` report for the
+/// finished invocation (see `docs/OBSERVABILITY.md` § "Host profiling").
+fn print_hostprof(meta: Vec<(String, String)>) {
+    let rep = emx::hostprof::HostProfReport::new(meta, emx::hostprof::snapshot());
+    print!("{}", rep.canonical_text());
+}
+
 fn cmd_run(args: &Args) -> Result<(), String> {
     let workload = args.positional.first().map(String::as_str).unwrap_or("fft");
     let cfg = machine_cfg(args, 64)?;
     let n = args.usize_or("n", 4096)?;
     let threads = args.usize_or("threads", 4)?;
     arm_kill_switch(args)?;
+    let hostprof = arm_hostprof(args);
     let (probe, handle) = DigestProbe::new();
     let report = match workload {
         "sort" => {
@@ -359,6 +411,16 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     print_report(&report, args.has("csv"));
     println!("report digest: {}", emx::stats::report_digest(&report));
     println!("digest: {}", handle.hex());
+    if hostprof {
+        print_hostprof(vec![
+            ("cmd".to_string(), "run".to_string()),
+            ("workload".to_string(), workload.to_string()),
+            ("pes".to_string(), cfg.num_pes.to_string()),
+            ("n".to_string(), n.to_string()),
+            ("threads".to_string(), threads.to_string()),
+            ("shards".to_string(), cfg.shards.to_string()),
+        ]);
+    }
     Ok(())
 }
 
@@ -682,6 +744,127 @@ fn profile_diff_inner(args: &Args) -> Result<DiffOutcome, String> {
     Ok(d.outcome)
 }
 
+/// `bench-diff` mirrors `profile-diff`'s exit-code contract (0 ok,
+/// 1 schema/parse error, 3 deterministic drift) for the benchmark
+/// trajectory files `figures bench` writes.
+fn cmd_bench_diff(args: &Args) -> ExitCode {
+    match bench_diff_inner(args) {
+        Ok(emx::hostprof::DriftKind::Drift) => ExitCode::from(3),
+        Ok(_) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("emx-cli: {msg}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+fn bench_diff_inner(args: &Args) -> Result<emx::hostprof::DriftKind, String> {
+    let a_path = args
+        .positional
+        .first()
+        .ok_or("bench-diff wants <BENCH.json> [<baseline.json>]")?;
+    let b_path = match args.positional.get(1) {
+        Some(p) => std::path::PathBuf::from(p),
+        None => {
+            // Single-file mode: compare against the committed baseline of
+            // the same file name, like profile-diff.
+            let dir = args.get("baseline-dir").unwrap_or("results/baselines");
+            let name = std::path::Path::new(a_path)
+                .file_name()
+                .ok_or_else(|| format!("{a_path}: not a file path"))?;
+            std::path::Path::new(dir).join(name)
+        }
+    };
+    let threshold = args.u64_or("threshold", emx::hostprof::DEFAULT_THRESHOLD_PPM)?;
+    let wall_threshold =
+        args.u64_or("wall-threshold", emx::hostprof::DEFAULT_WALL_THRESHOLD_PPM)?;
+    let read = |p: &std::path::Path| {
+        std::fs::read_to_string(p).map_err(|e| format!("{}: {e}", p.display()))
+    };
+    let cur = parse_bench_file(&read(std::path::Path::new(a_path))?)
+        .map_err(|e| format!("{a_path}: {e}"))?;
+    let base =
+        parse_bench_file(&read(&b_path)?).map_err(|e| format!("{}: {e}", b_path.display()))?;
+    let d = emx::hostprof::diff_bench(&cur, &base, threshold, wall_threshold);
+    print!("{}", d.render());
+    Ok(d.outcome)
+}
+
+/// Parse an `emx-bench/2` / `emx-bench-shard/2` JSON file into the
+/// structures [`emx::hostprof::diff_bench`] compares. Deterministic
+/// per-point fields (the `counters` and `host` objects) land in
+/// `counters`; wall-clock annotations (the `wall` object plus the
+/// top-level `wall_ns` / `cycles_per_sec`) land in `wall`.
+fn parse_bench_file(text: &str) -> Result<emx::hostprof::BenchFile, String> {
+    use emx::obs::JsonValue;
+    let v = emx::obs::parse_json(text)?;
+    let str_field = |v: &JsonValue, k: &str| -> Result<String, String> {
+        v.get(k)
+            .and_then(JsonValue::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| format!("missing string field {k:?}"))
+    };
+    let schema = str_field(&v, "schema")?;
+    if !emx::hostprof::HOSTPROF_SCHEMAS.contains(&schema.as_str()) {
+        return Err(format!(
+            "unsupported schema {schema:?} (want one of {:?}; regenerate with `figures bench`)",
+            emx::hostprof::HOSTPROF_SCHEMAS
+        ));
+    }
+    let scale = str_field(&v, "scale")?;
+    let num = |v: &JsonValue, k: &str| v.get(k).and_then(JsonValue::as_num).map(|n| n as u64);
+    let kvs = |v: &JsonValue, k: &str| -> Vec<(String, u64)> {
+        match v.get(k) {
+            Some(JsonValue::Obj(m)) => m
+                .iter()
+                .filter_map(|(n, val)| val.as_num().map(|x| (n.clone(), x as u64)))
+                .collect(),
+            _ => Vec::new(),
+        }
+    };
+    let mut points = Vec::new();
+    let arr = v
+        .get("points")
+        .and_then(JsonValue::as_arr)
+        .ok_or("missing points array")?;
+    for (i, p) in arr.iter().enumerate() {
+        let workload = str_field(p, "workload").map_err(|e| format!("point {i}: {e}"))?;
+        let mut key = workload;
+        for k in ["p", "h", "r", "shards"] {
+            if let Some(n) = num(p, k) {
+                key.push_str(&format!(" {k}={n}"));
+            }
+        }
+        let cycles = num(p, "cycles").ok_or_else(|| format!("point {i}: missing cycles"))?;
+        let digest = str_field(p, "digest").map_err(|e| format!("point {i}: {e}"))?;
+        let hostprof_digest = p
+            .get("hostprof_digest")
+            .and_then(JsonValue::as_str)
+            .map(str::to_string);
+        let mut counters = kvs(p, "counters");
+        counters.extend(kvs(p, "host"));
+        let mut wall = kvs(p, "wall");
+        for k in ["wall_ns", "cycles_per_sec"] {
+            if let Some(n) = num(p, k) {
+                wall.push((k.to_string(), n));
+            }
+        }
+        points.push(emx::hostprof::BenchPoint {
+            key,
+            cycles,
+            digest,
+            hostprof_digest,
+            counters,
+            wall,
+        });
+    }
+    Ok(emx::hostprof::BenchFile {
+        schema,
+        scale,
+        points,
+    })
+}
+
 fn parse_list(name: &str, raw: &str) -> Result<Vec<usize>, String> {
     let vals: Result<Vec<usize>, _> = raw.split(',').map(|v| v.trim().parse()).collect();
     match vals {
@@ -693,7 +876,7 @@ fn parse_list(name: &str, raw: &str) -> Result<Vec<usize>, String> {
 }
 
 /// Build a [`SweepEngine`] from the shared sweep flags: `--jobs`,
-/// `--no-cache`, `--watchdog-ms`.
+/// `--no-cache`, `--watchdog-ms`, `--progress[=EVERY-MS]`.
 fn engine_from_args(args: &Args) -> Result<SweepEngine, String> {
     let mut engine = SweepEngine::new();
     if let Some(j) = args.get("jobs") {
@@ -710,6 +893,16 @@ fn engine_from_args(args: &Args) -> Result<SweepEngine, String> {
             .parse()
             .map_err(|_| format!("--watchdog-ms wants milliseconds, got {ms:?}"))?;
         engine = engine.watchdog(WatchdogConfig::with_threshold(Duration::from_millis(ms)));
+    }
+    if args.has("progress") {
+        let cfg =
+            match args.get("progress") {
+                None => ProgressConfig::default(),
+                Some(ms) => ProgressConfig::every_ms(ms.parse().map_err(|_| {
+                    format!("--progress wants a cadence in milliseconds, got {ms:?}")
+                })?),
+            };
+        engine = engine.progress(cfg);
     }
     Ok(engine)
 }
@@ -832,6 +1025,7 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
         );
     }
     arm_kill_switch(args)?;
+    let hostprof = arm_hostprof(args);
     let outcome = engine.run(specs);
 
     let t = sweep_table(&outcome);
@@ -846,7 +1040,17 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
         &figure,
         &outcome,
         &[("source", "emx-cli sweep".to_string())],
-    )
+    )?;
+    if hostprof {
+        print_hostprof(vec![
+            ("cmd".to_string(), "sweep".to_string()),
+            ("figure".to_string(), figure),
+            ("points".to_string(), outcome.points.len().to_string()),
+            ("jobs".to_string(), outcome.jobs.to_string()),
+            ("shards".to_string(), shards.to_string()),
+        ]);
+    }
+    Ok(())
 }
 
 /// Derive the per-point fault seed: a stable hash of the base seed and
@@ -925,6 +1129,7 @@ fn cmd_faults(args: &Args) -> Result<(), String> {
         );
     }
     arm_kill_switch(args)?;
+    let hostprof = arm_hostprof(args);
     let outcome = engine.run(specs);
 
     let (t, digest) = faults_table(&outcome);
@@ -952,7 +1157,17 @@ fn cmd_faults(args: &Args) -> Result<(), String> {
             ("seed", seed.to_string()),
             ("matrix_digest", digest),
         ],
-    )
+    )?;
+    if hostprof {
+        print_hostprof(vec![
+            ("cmd".to_string(), "faults".to_string()),
+            ("figure".to_string(), figure),
+            ("points".to_string(), outcome.points.len().to_string()),
+            ("jobs".to_string(), outcome.jobs.to_string()),
+            ("shards".to_string(), shards.to_string()),
+        ]);
+    }
+    Ok(())
 }
 
 fn cmd_resume(args: &Args) -> Result<(), String> {
@@ -962,6 +1177,7 @@ fn cmd_resume(args: &Args) -> Result<(), String> {
         .ok_or("resume wants a journal file")?;
     let engine = engine_from_args(args)?;
     arm_kill_switch(args)?;
+    let hostprof = arm_hostprof(args);
     let resumed = emx::sweep::resume(std::path::Path::new(journal), engine)?;
     let outcome = &resumed.outcome;
     // The CSV table is chosen by the journal's recorded mode, so a
@@ -993,7 +1209,16 @@ fn cmd_resume(args: &Args) -> Result<(), String> {
             f.error
         );
     }
-    write_csv_out(args, &t, &resumed.label, outcome, &extra)
+    write_csv_out(args, &t, &resumed.label, outcome, &extra)?;
+    if hostprof {
+        print_hostprof(vec![
+            ("cmd".to_string(), "resume".to_string()),
+            ("figure".to_string(), resumed.label.clone()),
+            ("points".to_string(), outcome.points.len().to_string()),
+            ("jobs".to_string(), outcome.jobs.to_string()),
+        ]);
+    }
+    Ok(())
 }
 
 fn cmd_cache(args: &Args) -> Result<(), String> {
@@ -1254,7 +1479,7 @@ fn cmd_info(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-const USAGE: &str = "usage: emx-cli <run|sort|fft|trace|metrics|profile|profile-diff|sweep|faults|resume|cache|fuzz|nullloop|latency|asm|info> [options]";
+const USAGE: &str = "usage: emx-cli <run|sort|fft|trace|metrics|profile|profile-diff|bench-diff|sweep|faults|resume|cache|fuzz|nullloop|latency|asm|info> [options]";
 
 /// Usage-shape validation (exit 2): the command and its subcommand /
 /// required positionals must exist before any work starts.
@@ -1269,6 +1494,9 @@ fn validate_shape(cmd: &str, args: &Args) -> Result<(), String> {
             _ => Err("cache wants a subcommand: gc".into()),
         },
         "resume" if args.positional.is_empty() => Err("resume wants a journal file".into()),
+        "bench-diff" if args.positional.is_empty() => {
+            Err("bench-diff wants <BENCH.json> [<baseline.json>]".into())
+        }
         "asm" if args.positional.is_empty() => Err("asm wants a source file path".into()),
         _ => Ok(()),
     }
@@ -1296,7 +1524,13 @@ fn validate_values(cmd: &str, args: &Args) -> Result<(), String> {
             ))?;
         }
     }
-    for flag in ["kill-after", "watchdog-ms"] {
+    for flag in [
+        "kill-after",
+        "watchdog-ms",
+        "threshold",
+        "wall-threshold",
+        "progress",
+    ] {
         if let Some(v) = args.get(flag) {
             v.parse::<u64>()
                 .map_err(|_| format!("bad value for --{flag}: {v:?} is not a number"))?;
@@ -1322,6 +1556,9 @@ fn main() -> ExitCode {
     }
     if cmd == "profile-diff" {
         return cmd_profile_diff(&args);
+    }
+    if cmd == "bench-diff" {
+        return cmd_bench_diff(&args);
     }
     let result = match cmd.as_str() {
         "run" => cmd_run(&args),

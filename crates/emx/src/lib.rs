@@ -50,6 +50,7 @@
 pub use emx_core as core;
 pub use emx_faults as faults;
 pub use emx_fuzz as fuzz;
+pub use emx_hostprof as hostprof;
 pub use emx_isa as isa;
 pub use emx_model as model;
 pub use emx_net as net;

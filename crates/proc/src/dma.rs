@@ -82,6 +82,7 @@ impl BypassDma {
         let done = now.max(self.ibu_free) + u64::from(self.dma_service);
         self.ibu_free = done;
         self.serviced_words += 1;
+        emx_hostprof::bump(emx_hostprof::Sim::DmaDeposits);
         done
     }
 
@@ -97,6 +98,7 @@ impl BypassDma {
         pkt: &Packet,
         mem: &mut LocalMemory,
     ) -> Result<DmaOutcome, SimError> {
+        emx_hostprof::bump(emx_hostprof::Sim::DmaServices);
         match pkt.kind {
             PacketKind::Write => {
                 let ga = pkt.global_addr();
@@ -193,6 +195,7 @@ impl BypassDma {
     pub fn obu_depart(&mut self, now: Cycle) -> Cycle {
         let depart = now.max(self.obu_free) + u64::from(self.obu_forward);
         self.obu_free = depart;
+        emx_hostprof::bump(emx_hostprof::Sim::DmaDeparts);
         depart
     }
 }

@@ -121,7 +121,9 @@ impl PacketQueue {
         };
         let spilled = forced || q.len() >= self.on_chip_capacity;
         q.push_back(Slot { pkt, spilled, seq });
+        emx_hostprof::bump(emx_hostprof::Sim::QueuePushes);
         if spilled {
+            emx_hostprof::bump(emx_hostprof::Sim::QueueSpills);
             self.spills += 1;
             match prio {
                 Priority::High => self.high_spills += 1,
@@ -218,6 +220,7 @@ impl PacketQueue {
             Some(s) => (s, 0),
             None => (self.low.pop_front()?, 1),
         };
+        emx_hostprof::bump(emx_hostprof::Sim::QueuePops);
         if slot.seq < self.last_popped[class] {
             self.fifo_violations += 1;
         } else {

@@ -118,6 +118,17 @@ impl<T> Calendar<T> {
 
     /// Schedule `payload` under `key`.
     pub fn push(&mut self, key: EvKey, payload: T) -> Result<(), SimError> {
+        self.push_uncounted(key, payload)?;
+        emx_hostprof::bump(emx_hostprof::Sim::CalPushes);
+        Ok(())
+    }
+
+    /// [`Calendar::push`] without the hostprof counter — for re-inserting
+    /// events that were already counted when first scheduled (shard
+    /// split repartitioning, snapshot restore). Keeping these off the
+    /// books is what makes `calendar.pushes` byte-identical across
+    /// `--shards` settings.
+    pub fn push_uncounted(&mut self, key: EvKey, payload: T) -> Result<(), SimError> {
         if key.at < self.now {
             return Err(SimError::EventInPast {
                 at: key.at.get(),
@@ -129,10 +140,13 @@ impl<T> Calendar<T> {
     }
 
     /// Remove and return the smallest-keyed event, advancing the clock.
+    /// Counts the pop and classifies the event by lane when host
+    /// profiling is enabled.
     pub fn pop(&mut self) -> Option<(EvKey, T)> {
         let e = self.heap.pop()?;
         debug_assert!(e.key.at >= self.now, "calendar time went backwards");
         self.now = e.key.at;
+        emx_hostprof::count_lane(e.key.lane);
         Some((e.key, e.payload))
     }
 
@@ -195,7 +209,7 @@ impl<T> Calendar<T> {
             now,
         };
         for (key, payload) in entries {
-            cal.push(key, payload)?;
+            cal.push_uncounted(key, payload)?;
         }
         Ok(cal)
     }

@@ -745,7 +745,10 @@ impl Core {
             parts[i / chunk].pes.push(pe);
         }
         for (key, ev) in entries {
-            parts[key.pe as usize / chunk].cal.push(key, ev)?;
+            // Uncounted: these entries were counted when first scheduled;
+            // repartitioning must not inflate `calendar.pushes` at
+            // `--shards > 1`.
+            parts[key.pe as usize / chunk].cal.push_uncounted(key, ev)?;
         }
         Ok(parts)
     }

@@ -98,6 +98,8 @@ fn replay_record(
     intents: &[RouteIntent],
     deliver: &mut dyn FnMut(EvKey, Ev) -> Result<(), SimError>,
 ) -> Result<(), SimError> {
+    emx_hostprof::add(emx_hostprof::Sim::ReplayEmissions, emit.len() as u64);
+    emx_hostprof::add(emx_hostprof::Sim::ReplayRoutes, intents.len() as u64);
     if let Some(ck) = checker.as_mut() {
         ck.observe_event(rec.key.at)
             .map_err(FaultReport::into_error)?;
@@ -215,6 +217,7 @@ fn shard_worker(
     while let Ok(msg) = rx.recv() {
         match msg {
             ToShard::Window { horizon, arrivals } => {
+                let t_compute = emx_hostprof::now();
                 let mut error = None;
                 for (key, ev) in arrivals {
                     if let Err(e) = core.cal.push(key, ev) {
@@ -247,6 +250,7 @@ fn shard_worker(
                     next_time: core.cal.peek_time(),
                     error,
                 };
+                emx_hostprof::wall_since(emx_hostprof::Wall::ShardComputeNs, t_compute);
                 if tx.send((index, FromShard::Batch(batch))).is_err() {
                     break;
                 }
@@ -308,11 +312,13 @@ fn coordinate(
             });
         }
         let horizon = (t0 + lookahead).min(limit + 1);
+        emx_hostprof::bump_host(emx_hostprof::Host::DriverWindows);
         for (s, tx) in to_txs.iter().enumerate() {
             let arrivals = std::mem::take(&mut pending[s]);
             tx.send(ToShard::Window { horizon, arrivals })
                 .map_err(|_| dead())?;
         }
+        let t_barrier = emx_hostprof::now();
         let mut slots: Vec<Option<WindowBatch>> = (0..nshards).map(|_| None).collect();
         let mut got = 0;
         while got < nshards {
@@ -324,18 +330,25 @@ fn coordinate(
                 slots[i] = Some(b);
             }
         }
+        emx_hostprof::wall_since(emx_hostprof::Wall::ShardBarrierNs, t_barrier);
         let mut batches: Vec<WindowBatch> = Vec::with_capacity(nshards);
         for slot in slots {
             batches.push(slot.ok_or_else(dead)?);
         }
         for (s, b) in batches.iter_mut().enumerate() {
             next_times[s] = b.next_time;
+            if b.records.is_empty() {
+                // A sync-barrier stall: this shard reached the window
+                // barrier having had nothing to do.
+                emx_hostprof::bump_host(emx_hostprof::Host::ShardIdleWindows);
+            }
             if let Some(e) = b.error.take() {
                 return Err(e);
             }
         }
         // k-way merge of the shards' pop-record streams by canonical key:
         // this recovers the oracle's exact pop order for the window.
+        let t_replay = emx_hostprof::now();
         let mut cursors = vec![(0usize, 0usize, 0usize); nshards];
         loop {
             let mut best: Option<usize> = None;
@@ -376,11 +389,16 @@ fn coordinate(
                 &batch.emit[es..ee],
                 &batch.intents[is_..ie],
                 &mut |k, e| {
-                    pending[k.pe as usize / chunk].push((k, e));
+                    let dst_shard = k.pe as usize / chunk;
+                    if dst_shard != s {
+                        emx_hostprof::bump_host(emx_hostprof::Host::ShardCrossings);
+                    }
+                    pending[dst_shard].push((k, e));
                     Ok(())
                 },
             )?;
         }
+        emx_hostprof::wall_since(emx_hostprof::Wall::ShardReplayNs, t_replay);
     }
 }
 

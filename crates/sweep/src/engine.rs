@@ -40,6 +40,7 @@ use parking_lot::Mutex;
 
 use crate::cache::{CacheKey, RunCache};
 use crate::journal::Journal;
+use crate::progress::{render_heartbeat, ProgressConfig};
 use crate::spec::RunSpec;
 use crate::watchdog::{WatchdogConfig, WatchdogState, WatchdogSummary};
 
@@ -177,6 +178,7 @@ pub struct SweepEngine {
     quiet: bool,
     journal: Option<Arc<Journal>>,
     watchdog: Option<WatchdogConfig>,
+    progress: Option<ProgressConfig>,
 }
 
 impl Default for SweepEngine {
@@ -205,6 +207,7 @@ impl SweepEngine {
             quiet: false,
             journal: None,
             watchdog: None,
+            progress: None,
         }
     }
 
@@ -247,6 +250,15 @@ impl SweepEngine {
     /// backoff) so other workers can finish them.
     pub fn watchdog(mut self, cfg: WatchdogConfig) -> SweepEngine {
         self.watchdog = Some(cfg);
+        self
+    }
+
+    /// Arm the live [heartbeat](crate::progress): one summary line on
+    /// stderr at the configured cadence (per-lane status, points
+    /// done/total, cache-hit count, ETA). stdout is untouched, so sweep
+    /// output stays byte-identical with the heartbeat on or off.
+    pub fn progress(mut self, cfg: ProgressConfig) -> SweepEngine {
+        self.progress = Some(cfg);
         self
     }
 
@@ -297,6 +309,9 @@ impl SweepEngine {
         let queue: Mutex<VecDeque<usize>> = Mutex::new(pending.into());
         let remaining = AtomicUsize::new(total - resumed);
         let done = AtomicUsize::new(resumed);
+        let hits = AtomicUsize::new(0);
+        // lane -> index of the point it is executing (heartbeat display).
+        let board: Mutex<Vec<Option<usize>>> = Mutex::new(vec![None; workers]);
         let watch = self.watchdog.map(|cfg| WatchdogState::new(cfg, workers));
 
         crossbeam::thread::scope(|scope| {
@@ -304,6 +319,8 @@ impl SweepEngine {
             let queue = &queue;
             let remaining = &remaining;
             let done = &done;
+            let hits = &hits;
+            let board = &board;
             let watch = watch.as_ref();
             let keys = &keys;
             let specs = &specs;
@@ -327,8 +344,13 @@ impl SweepEngine {
                     if let Some(watch) = watch {
                         watch.claim(lane, i);
                     }
+                    if self.progress.is_some() {
+                        board.lock()[lane] = Some(i);
+                    }
                     if let Some(journal) = &self.journal {
+                        let t = emx_hostprof::now();
                         let _ = journal.intent(i, key.hex());
+                        emx_hostprof::wall_since(emx_hostprof::Wall::SweepJournalNs, t);
                     }
                     let run_started = Instant::now();
                     let slot: Slot = match self.cache.as_ref().and_then(|c| c.load(key)) {
@@ -353,6 +375,14 @@ impl SweepEngine {
                     if let Some(watch) = watch {
                         watch.release(lane);
                     }
+                    if self.progress.is_some() {
+                        board.lock()[lane] = None;
+                    }
+                    if emx_hostprof::enabled() {
+                        let ns =
+                            u64::try_from(run_started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                        emx_hostprof::add_wall(emx_hostprof::Wall::SweepExecNs, ns);
+                    }
                     {
                         let mut slots = slots.lock();
                         if slots[i].is_some() {
@@ -366,12 +396,17 @@ impl SweepEngine {
                             continue;
                         }
                         if let Some(journal) = &self.journal {
+                            let t = emx_hostprof::now();
                             let _ = match &slot {
                                 Ok((report, cached)) => {
                                     journal.result(i, key.hex(), *cached, report)
                                 }
                                 Err((error, attempts)) => journal.fail(i, *attempts, error),
                             };
+                            emx_hostprof::wall_since(emx_hostprof::Wall::SweepJournalNs, t);
+                        }
+                        if matches!(&slot, Ok((_, true))) {
+                            hits.fetch_add(1, Ordering::Relaxed);
                         }
                         slots[i] = Some(slot);
                     }
@@ -392,6 +427,39 @@ impl SweepEngine {
                             "[sweep {finished}/{total}] {} ({}): {outcome}",
                             spec.label(),
                             key.short(),
+                        );
+                    }
+                });
+            }
+            if let Some(cfg) = self.progress {
+                scope.spawn(move |_| {
+                    // Poll in short slices so the reporter exits promptly
+                    // when the sweep finishes, whatever the cadence.
+                    let slice = cfg.every.min(Duration::from_millis(50));
+                    let mut last = Instant::now();
+                    while remaining.load(Ordering::Acquire) > 0 {
+                        std::thread::sleep(slice);
+                        if last.elapsed() < cfg.every {
+                            continue;
+                        }
+                        last = Instant::now();
+                        if remaining.load(Ordering::Acquire) == 0 {
+                            break; // the engine prints the final line itself
+                        }
+                        let running: Vec<String> = board
+                            .lock()
+                            .iter()
+                            .filter_map(|slot| slot.map(|i| specs[i].label()))
+                            .collect();
+                        eprintln!(
+                            "{}",
+                            render_heartbeat(
+                                done.load(Ordering::Relaxed),
+                                total,
+                                hits.load(Ordering::Relaxed),
+                                &running,
+                                started.elapsed(),
+                            )
                         );
                     }
                 });
@@ -459,6 +527,12 @@ impl SweepEngine {
             }
         }
 
+        // Settled after assembly, so the totals are scheduling-independent:
+        // the same specs yield the same counters at any `--jobs` count.
+        emx_hostprof::add_host(emx_hostprof::Host::SweepPoints, total as u64);
+        emx_hostprof::add_host(emx_hostprof::Host::SweepCacheHits, cache_hits as u64);
+        emx_hostprof::add_host(emx_hostprof::Host::SweepSimulated, simulated as u64);
+
         let outcome = SweepOutcome {
             points,
             failed,
@@ -469,6 +543,12 @@ impl SweepEngine {
             watchdog: watch.map(|w| w.summary()),
             wall: started.elapsed(),
         };
+        if self.progress.is_some() {
+            eprintln!(
+                "{}",
+                render_heartbeat(total, total, cache_hits, &[], outcome.wall)
+            );
+        }
         if !self.quiet {
             eprintln!("[sweep] {}", outcome.summary());
         }

@@ -54,6 +54,7 @@
 pub mod cache;
 pub mod engine;
 pub mod journal;
+pub mod progress;
 pub mod provenance;
 pub mod spec;
 pub mod watchdog;
@@ -61,5 +62,6 @@ pub mod watchdog;
 pub use cache::{CacheKey, GcAction, GcReport, RunCache, CACHE_FORMAT, DEFAULT_CACHE_DIR};
 pub use engine::{FailedRun, SweepEngine, SweepOutcome, SweepPoint, JOBS_ENV};
 pub use journal::{resume, Completed, Journal, JournalState, ResumedSweep, JOURNAL_FORMAT};
+pub use progress::ProgressConfig;
 pub use spec::{config_canonical, grid, RunSpec, Workload};
 pub use watchdog::{WatchdogConfig, WatchdogSummary};

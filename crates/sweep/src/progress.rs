@@ -1,0 +1,136 @@
+//! Live sweep progress telemetry: the `--progress[=every-ms]` heartbeat.
+//!
+//! A sweep with hundreds of points and a cold cache can run for minutes
+//! with nothing on the terminal (`--quiet`) or far too much (one line per
+//! point). The heartbeat is the middle ground — and the live-progress
+//! protocol a future `emx-serve` daemon will stream to clients (ROADMAP
+//! item 2): at a fixed cadence, one line on **stderr** summarizing the
+//! whole sweep:
+//!
+//! ```text
+//! [progress] 37/120 done (21 cached, 30%), 4 running: fft_p64_n2048_h4 +3 more, eta 41.2s
+//! ```
+//!
+//! Fields: points done / total, cache hits so far and percent complete,
+//! per-lane status (the labels every busy worker is executing, truncated),
+//! and an ETA extrapolated from the observed per-point rate. Everything
+//! goes to stderr so stdout — CSVs, reports, digest lines — is untouched:
+//! with the heartbeat off (the default) *and* on, stdout is byte-identical
+//! to a pre-heartbeat engine.
+
+use std::time::Duration;
+
+/// Configuration for the heartbeat: the reporting cadence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProgressConfig {
+    /// Time between heartbeat lines.
+    pub every: Duration,
+}
+
+impl ProgressConfig {
+    /// Default cadence: one line per second.
+    pub const DEFAULT_EVERY_MS: u64 = 1000;
+
+    /// A heartbeat every `ms` milliseconds (clamped to at least 10 ms so
+    /// a typo cannot spin a core on stderr).
+    pub fn every_ms(ms: u64) -> ProgressConfig {
+        ProgressConfig {
+            every: Duration::from_millis(ms.max(10)),
+        }
+    }
+}
+
+impl Default for ProgressConfig {
+    fn default() -> Self {
+        ProgressConfig::every_ms(Self::DEFAULT_EVERY_MS)
+    }
+}
+
+/// Render one heartbeat line (without the trailing newline). Pure so the
+/// format is unit-testable; the engine feeds it live counters.
+///
+/// * `done`/`total` — finished vs. submitted points;
+/// * `cached` — cache hits among the finished points;
+/// * `running` — labels of points currently executing, in lane order;
+/// * `elapsed` — wall time since the sweep started, used with `done` to
+///   extrapolate the ETA (`?` until at least one point finishes).
+pub fn render_heartbeat(
+    done: usize,
+    total: usize,
+    cached: usize,
+    running: &[String],
+    elapsed: Duration,
+) -> String {
+    let pct = (done * 100).checked_div(total).unwrap_or(100);
+    let eta = if done == 0 || total == 0 || done >= total {
+        "0.0s".to_string()
+    } else {
+        let rate = elapsed.as_secs_f64() / done as f64;
+        format!("{:.1}s", rate * (total - done) as f64)
+    };
+    let eta = if done == 0 && total > 0 {
+        "?".to_string()
+    } else {
+        eta
+    };
+    const SHOW: usize = 3;
+    let lanes = if running.is_empty() {
+        "idle".to_string()
+    } else {
+        let mut s = running
+            .iter()
+            .take(SHOW)
+            .cloned()
+            .collect::<Vec<_>>()
+            .join(", ");
+        if running.len() > SHOW {
+            s.push_str(&format!(" +{} more", running.len() - SHOW));
+        }
+        s
+    };
+    format!(
+        "[progress] {done}/{total} done ({cached} cached, {pct}%), {} running: {lanes}, eta {eta}",
+        running.len(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cadence_is_clamped() {
+        assert_eq!(ProgressConfig::every_ms(0).every, Duration::from_millis(10));
+        assert_eq!(
+            ProgressConfig::default().every,
+            Duration::from_millis(ProgressConfig::DEFAULT_EVERY_MS)
+        );
+    }
+
+    #[test]
+    fn heartbeat_line_shape() {
+        let line = render_heartbeat(
+            37,
+            120,
+            21,
+            &["a".into(), "b".into(), "c".into(), "d".into()],
+            Duration::from_secs(37),
+        );
+        assert_eq!(
+            line,
+            "[progress] 37/120 done (21 cached, 30%), 4 running: a, b, c +1 more, eta 83.0s"
+        );
+    }
+
+    #[test]
+    fn heartbeat_edge_cases() {
+        assert_eq!(
+            render_heartbeat(0, 4, 0, &[], Duration::ZERO),
+            "[progress] 0/4 done (0 cached, 0%), 0 running: idle, eta ?"
+        );
+        assert_eq!(
+            render_heartbeat(4, 4, 4, &[], Duration::from_secs(1)),
+            "[progress] 4/4 done (4 cached, 100%), 0 running: idle, eta 0.0s"
+        );
+    }
+}

@@ -1,0 +1,152 @@
+//! Host-side self-observability (`emx-hostprof`) integration tests.
+//!
+//! The contract under test (see `docs/OBSERVABILITY.md` § "Host
+//! profiling"): the deterministic `counters` section is byte-identical
+//! across `--shards` and `--jobs` values for error-free runs, arming the
+//! sweep heartbeat never changes sweep results, and the counting
+//! allocator's totals are monotone.
+//!
+//! Counters are process-global, so every test serializes on one lock and
+//! leaves the gate disabled on exit.
+
+use std::sync::Mutex;
+
+use emx::hostprof;
+use emx::prelude::*;
+use emx::sweep::{grid, ProgressConfig, SweepEngine, Workload};
+
+/// This test binary opts in to the counting allocator, exercising the
+/// same wiring `emx-cli` and `figures` use.
+#[global_allocator]
+static ALLOC: hostprof::CountingAlloc = hostprof::CountingAlloc::new();
+
+/// Counters are process-global; all tests toggling the gate take this.
+static LOCK: Mutex<()> = Mutex::new(());
+
+/// Run one comm-only FFT at the given shard count with profiling armed
+/// and return the settled report.
+fn profiled_fft(shards: usize) -> hostprof::HostProfReport {
+    let mut cfg = MachineConfig::with_pes(64);
+    cfg.local_memory_words = 1 << 17;
+    cfg.shards = shards;
+    hostprof::set_enabled(true);
+    hostprof::reset();
+    run_fft(&cfg, &FftParams::comm_only(64 * 64, 4)).unwrap();
+    let rep = hostprof::HostProfReport::new(Vec::new(), hostprof::snapshot());
+    hostprof::set_enabled(false);
+    rep
+}
+
+#[test]
+fn counter_section_is_byte_identical_across_shards() {
+    let _g = LOCK.lock().unwrap();
+    let oracle = profiled_fft(1);
+    assert!(
+        oracle.snap.sim[hostprof::Sim::CalPushes as usize] > 0,
+        "instrumented run must count calendar pushes"
+    );
+    for shards in [2usize, 4] {
+        let sharded = profiled_fft(shards);
+        assert_eq!(
+            oracle.counters_section(),
+            sharded.counters_section(),
+            "counters section diverged at {shards} shards"
+        );
+        assert_eq!(oracle.digest(), sharded.digest());
+        // The sharded driver, by contrast, must have visibly used its
+        // window machinery — the host section is where that shows.
+        assert!(
+            sharded.snap.host[hostprof::Host::DriverWindows as usize] > 0,
+            "sharded run must count window rounds"
+        );
+    }
+    assert_eq!(
+        oracle.snap.host[hostprof::Host::DriverWindows as usize],
+        0,
+        "oracle run must not touch the shard coordinator"
+    );
+}
+
+/// Run a small sweep (cache disabled, so every point simulates) at the
+/// given worker count with profiling armed; return the report plus the
+/// concatenated canonical report texts of all points.
+fn profiled_sweep(jobs: usize, progress: bool) -> (hostprof::HostProfReport, String) {
+    hostprof::set_enabled(true);
+    hostprof::reset();
+    let mut engine = SweepEngine::new().jobs(jobs).cache(None).quiet(true);
+    if progress {
+        engine = engine.progress(ProgressConfig::every_ms(10));
+    }
+    let outcome = engine.run(grid(Workload::Sort, 4, &[64, 128], &[1, 2]));
+    let rep = hostprof::HostProfReport::new(Vec::new(), hostprof::snapshot());
+    hostprof::set_enabled(false);
+    let texts: String = outcome
+        .points
+        .iter()
+        .map(|pt| emx::stats::digest::report_canonical_text(&pt.report))
+        .collect();
+    (rep, texts)
+}
+
+#[test]
+fn counter_and_host_sections_are_identical_across_jobs() {
+    let _g = LOCK.lock().unwrap();
+    let (serial, serial_texts) = profiled_sweep(1, false);
+    let (parallel, parallel_texts) = profiled_sweep(4, false);
+    assert_eq!(serial_texts, parallel_texts);
+    assert_eq!(
+        serial.counters_section(),
+        parallel.counters_section(),
+        "counters section diverged across --jobs"
+    );
+    // Host counters cover sweep structure (points, cache hits, simulated
+    // count) — all scheduling-independent, so they match too.
+    assert_eq!(serial.snap.host, parallel.snap.host);
+    assert_eq!(serial.snap.host[hostprof::Host::SweepPoints as usize], 4);
+    assert_eq!(serial.snap.host[hostprof::Host::SweepSimulated as usize], 4);
+    assert_eq!(serial.snap.host[hostprof::Host::SweepCacheHits as usize], 0);
+}
+
+#[test]
+fn heartbeat_does_not_change_sweep_results_or_counters() {
+    let _g = LOCK.lock().unwrap();
+    let (off, off_texts) = profiled_sweep(2, false);
+    let (on, on_texts) = profiled_sweep(2, true);
+    assert_eq!(off_texts, on_texts, "heartbeat must not change results");
+    assert_eq!(off.counters_section(), on.counters_section());
+    assert_eq!(off.snap.host, on.snap.host);
+}
+
+#[test]
+fn counting_allocator_totals_are_monotone() {
+    let _g = LOCK.lock().unwrap();
+    hostprof::set_enabled(true);
+    hostprof::reset();
+    let (a0, b0) = hostprof::alloc_totals();
+    // Force real heap traffic that the optimizer cannot elide.
+    let v: Vec<String> = (0..512).map(|i| format!("alloc-probe-{i}")).collect();
+    assert_eq!(v.len(), 512);
+    let (a1, b1) = hostprof::alloc_totals();
+    drop(v);
+    let (a2, b2) = hostprof::alloc_totals();
+    hostprof::set_enabled(false);
+    assert!(a1 > a0, "allocation count must grow ({a0} -> {a1})");
+    assert!(b1 > b0, "byte count must grow ({b0} -> {b1})");
+    // Totals count allocation traffic, not live bytes: frees never
+    // decrease them.
+    assert!(a2 >= a1);
+    assert!(b2 >= b1);
+}
+
+#[test]
+fn report_digest_ignores_wall_and_meta() {
+    let _g = LOCK.lock().unwrap();
+    let mut a = profiled_fft(1);
+    let mut b = a.clone();
+    b.meta = vec![("shards".into(), "8".into())];
+    b.snap.wall = [9; hostprof::WALL_NAMES.len()];
+    b.snap.host = [9; hostprof::HOST_NAMES.len()];
+    assert_eq!(a.digest(), b.digest());
+    a.snap.sim[hostprof::Sim::CalPops as usize] += 1;
+    assert_ne!(a.digest(), b.digest());
+}
